@@ -1,0 +1,243 @@
+//! Behavioural model of the ASA content-addressable memory.
+//!
+//! The hardware CAM matches a key against all entries in parallel and
+//! accumulates into the matching entry's partial sum in a short fixed
+//! pipeline; on a miss with a full array it evicts the LRU entry into the
+//! overflow queue. This module models the *state* exactly (contents, LRU
+//! order, evictions); the *cost* is charged by the caller as
+//! `AsaAccumulate` instructions since every outcome takes the same
+//! single-instruction slot.
+
+use rustc_hash::FxHashMap;
+
+/// Outcome of a CAM accumulate, reported for statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CamOutcome {
+    /// Key present: value added to the partial sum.
+    Hit,
+    /// Key absent, free entry available: new entry created.
+    Insert,
+    /// Key absent, CAM full: LRU entry evicted to the overflow queue and
+    /// the new key inserted. Carries the evicted pair.
+    Evict(u32, f64),
+}
+
+/// Which entry a full CAM sacrifices.
+///
+/// Chao et al.'s ASA uses LRU; FIFO is the cheaper-to-build alternative a
+/// hardware team would consider, and the ablation bench quantifies the
+/// quality difference (FIFO evicts hot accumulation targets that LRU
+/// keeps, inflating the overflow queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-*used* entry (hits refresh age).
+    Lru,
+    /// Evict the oldest-*inserted* entry (hits do not refresh age).
+    Fifo,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u32,
+    value: f64,
+    /// LRU: last touch; FIFO: insertion time.
+    age: u64,
+}
+
+/// Fixed-capacity key→sum store with configurable eviction.
+#[derive(Debug)]
+pub struct Cam {
+    entries: Vec<Entry>,
+    index: FxHashMap<u32, usize>,
+    capacity: usize,
+    policy: EvictionPolicy,
+    clock: u64,
+}
+
+impl Cam {
+    /// A CAM holding at most `capacity` entries, with LRU eviction.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Lru)
+    }
+
+    /// A CAM with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
+        assert!(capacity >= 1, "CAM needs at least one entry");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            index: FxHashMap::default(),
+            capacity,
+            policy,
+            clock: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The eviction policy in force.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Accumulates `value` into `key`, reporting what the hardware did.
+    pub fn accumulate(&mut self, key: u32, value: f64) -> CamOutcome {
+        self.clock += 1;
+        if let Some(&slot) = self.index.get(&key) {
+            let e = &mut self.entries[slot];
+            e.value += value;
+            if self.policy == EvictionPolicy::Lru {
+                e.age = self.clock;
+            }
+            return CamOutcome::Hit;
+        }
+        if self.entries.len() < self.capacity {
+            self.index.insert(key, self.entries.len());
+            self.entries.push(Entry {
+                key,
+                value,
+                age: self.clock,
+            });
+            return CamOutcome::Insert;
+        }
+        // Full: evict the oldest entry under the policy's age notion.
+        // Capacity is small (<= a few hundred entries), so a linear scan is
+        // both simple and faithful to the hardware's parallel age compare.
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.age)
+            .map(|(i, _)| i)
+            .expect("capacity >= 1");
+        let evicted = self.entries[victim];
+        self.index.remove(&evicted.key);
+        self.index.insert(key, victim);
+        self.entries[victim] = Entry {
+            key,
+            value,
+            age: self.clock,
+        };
+        CamOutcome::Evict(evicted.key, evicted.value)
+    }
+
+    /// Drains every live entry (unspecified order), clearing the CAM.
+    pub fn drain_into(&mut self, out: &mut Vec<(u32, f64)>) {
+        out.extend(self.entries.iter().map(|e| (e.key, e.value)));
+        self.entries.clear();
+        self.index.clear();
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_insert_evict_lifecycle() {
+        let mut cam = Cam::new(2);
+        assert_eq!(cam.accumulate(1, 1.0), CamOutcome::Insert);
+        assert_eq!(cam.accumulate(2, 1.0), CamOutcome::Insert);
+        assert_eq!(cam.accumulate(1, 2.0), CamOutcome::Hit);
+        // 2 is now LRU; inserting 3 evicts it.
+        match cam.accumulate(3, 5.0) {
+            CamOutcome::Evict(2, v) => assert_eq!(v, 1.0),
+            other => panic!("expected eviction of key 2, got {other:?}"),
+        }
+        let mut out = Vec::new();
+        cam.drain_into(&mut out);
+        out.sort_by_key(|&(k, _)| k);
+        assert_eq!(out, vec![(1, 3.0), (3, 5.0)]);
+    }
+
+    #[test]
+    fn lru_order_respects_recency() {
+        let mut cam = Cam::new(3);
+        cam.accumulate(1, 1.0);
+        cam.accumulate(2, 1.0);
+        cam.accumulate(3, 1.0);
+        cam.accumulate(1, 1.0); // touch 1
+        cam.accumulate(2, 1.0); // touch 2; 3 is LRU
+        match cam.accumulate(4, 1.0) {
+            CamOutcome::Evict(3, _) => {}
+            other => panic!("expected eviction of key 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_clears() {
+        let mut cam = Cam::new(4);
+        cam.accumulate(9, 2.0);
+        let mut out = Vec::new();
+        cam.drain_into(&mut out);
+        assert_eq!(out, vec![(9, 2.0)]);
+        assert!(cam.is_empty());
+        // Reinsert works after drain.
+        assert_eq!(cam.accumulate(9, 1.0), CamOutcome::Insert);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut cam = Cam::with_policy(2, EvictionPolicy::Fifo);
+        cam.accumulate(1, 1.0); // inserted first
+        cam.accumulate(2, 1.0);
+        cam.accumulate(1, 1.0); // hit: FIFO does NOT refresh age
+        match cam.accumulate(3, 1.0) {
+            CamOutcome::Evict(1, v) => assert_eq!(v, 2.0),
+            other => panic!("FIFO must evict the oldest insert (1), got {other:?}"),
+        }
+        assert_eq!(cam.policy(), EvictionPolicy::Fifo);
+    }
+
+    #[test]
+    fn lru_vs_fifo_eviction_counts() {
+        // A hot key revisited between cold inserts: LRU protects it, FIFO
+        // keeps evicting it.
+        let run = |policy| {
+            let mut cam = Cam::with_policy(4, policy);
+            let mut evictions_of_hot = 0;
+            for i in 0..200u32 {
+                if let CamOutcome::Evict(0, _) = cam.accumulate(0, 1.0) {
+                    unreachable!("accumulating key 0 cannot evict itself");
+                }
+                if let CamOutcome::Evict(k, _) = cam.accumulate(100 + i, 1.0) {
+                    if k == 0 {
+                        evictions_of_hot += 1;
+                    }
+                }
+            }
+            evictions_of_hot
+        };
+        assert_eq!(run(EvictionPolicy::Lru), 0);
+        assert!(run(EvictionPolicy::Fifo) > 10);
+    }
+
+    #[test]
+    fn evicted_key_can_return() {
+        let mut cam = Cam::new(1);
+        cam.accumulate(1, 1.0);
+        assert!(matches!(cam.accumulate(2, 2.0), CamOutcome::Evict(1, _)));
+        assert!(matches!(cam.accumulate(1, 3.0), CamOutcome::Evict(2, _)));
+        let mut out = Vec::new();
+        cam.drain_into(&mut out);
+        assert_eq!(out, vec![(1, 3.0)]);
+    }
+}

@@ -1,0 +1,66 @@
+//! ASA device configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cam::EvictionPolicy;
+
+/// Configuration of one core-local ASA unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsaConfig {
+    /// CAM capacity in bytes. The paper's capacity study (Fig. 5) sweeps
+    /// 1 KB – 8 KB and shows 8 KB covers >99% of vertices on its social
+    /// networks.
+    pub cam_bytes: usize,
+    /// Bytes per CAM entry: 32-bit key + 64-bit partial sum, padded.
+    pub entry_bytes: usize,
+    /// Replacement policy on CAM overflow (Chao et al. use LRU).
+    pub policy: EvictionPolicy,
+}
+
+impl AsaConfig {
+    /// The paper's headline configuration: 8 KB CAM per core, LRU.
+    pub fn paper_default() -> Self {
+        Self {
+            cam_bytes: 8 * 1024,
+            entry_bytes: 16,
+            policy: EvictionPolicy::Lru,
+        }
+    }
+
+    /// A configuration with the given CAM capacity in KiB.
+    pub fn with_cam_kb(kb: usize) -> Self {
+        Self {
+            cam_bytes: kb * 1024,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Number of key/value entries the CAM holds.
+    pub fn entries(&self) -> usize {
+        self.cam_bytes / self.entry_bytes
+    }
+}
+
+impl Default for AsaConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_8kb_512_entries() {
+        let c = AsaConfig::paper_default();
+        assert_eq!(c.cam_bytes, 8192);
+        assert_eq!(c.entries(), 512);
+    }
+
+    #[test]
+    fn kb_constructor() {
+        assert_eq!(AsaConfig::with_cam_kb(1).entries(), 64);
+        assert_eq!(AsaConfig::with_cam_kb(4).entries(), 256);
+    }
+}

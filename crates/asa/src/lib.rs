@@ -1,0 +1,34 @@
+//! ASA — Accelerated Sparse Accumulation device model.
+//!
+//! Chao et al. (TACO 2022) designed ASA to accelerate the hash-based sparse
+//! accumulation inside column-wise SpGEMM. The paper reproduced here
+//! generalizes ASA's interface so *any* workload with a high volume of hash
+//! lookup-and-accumulate can use it, and plugs it into parallel Infomap.
+//!
+//! The device per core is:
+//!
+//! * a small content-addressable memory ([`Cam`]) holding `key → partial
+//!   sum` pairs, with single-instruction `accumulate` (lookup + FP add, or
+//!   insert on miss),
+//! * an LRU eviction policy: when the CAM is full, the least-recently-used
+//!   entry is spilled to an in-memory *overflow queue* (Algorithm 2's
+//!   `overflowed_pairs`),
+//! * a `gather_CAM` operation streaming the CAM contents back to memory,
+//! * a software `sort_and_merge` fallback that combines gathered and
+//!   overflowed pairs when overflow occurred (Algorithm 2, lines 10–12).
+//!
+//! [`AsaAccumulator`] implements the shared
+//! [`FlowAccumulator`](asa_simarch::FlowAccumulator) contract, emitting
+//! `AsaAccumulate`/`AsaGather` instructions for on-device work and ordinary
+//! instrumented software events for the overflow path, so the simulated
+//! cost captures both the win (no chains, no branches) and the residual
+//! software cost the paper quantifies (9.9–13.3% of ASA time on
+//! Pokec/Orkut).
+
+pub mod accumulator;
+pub mod cam;
+pub mod config;
+
+pub use accumulator::{AsaAccumulator, AsaStats};
+pub use cam::{Cam, EvictionPolicy};
+pub use config::AsaConfig;

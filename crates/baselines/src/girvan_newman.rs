@@ -1,0 +1,208 @@
+//! Girvan–Newman divisive community detection via edge betweenness.
+//!
+//! The historical root of the field (Girvan & Newman 2002, the paper's
+//! ref 16): repeatedly remove the edge with the highest betweenness
+//! centrality, tracking the modularity of the resulting component
+//! structure, and return the best split seen. O(n·m²) overall — usable
+//! only on small networks, which is exactly why the quality benches
+//! restrict it to reduced instances; its value here is as an independent
+//! third opinion in correctness tests.
+
+use asa_graph::connectivity::connected_components;
+use asa_graph::{CsrGraph, GraphBuilder, NodeId, Partition};
+use rustc_hash::FxHashMap;
+
+use crate::metrics::modularity;
+
+/// Edge betweenness centrality for all edges of an undirected graph
+/// (Brandes' algorithm, unweighted shortest paths). Returns a map from the
+/// canonical edge `(min(u,v), max(u,v))` to its centrality.
+pub fn edge_betweenness(graph: &CsrGraph) -> FxHashMap<(NodeId, NodeId), f64> {
+    let n = graph.num_nodes();
+    let mut centrality: FxHashMap<(NodeId, NodeId), f64> = FxHashMap::default();
+
+    // Scratch reused across sources.
+    let mut dist = vec![-1i64; n];
+    let mut sigma = vec![0f64; n];
+    let mut delta = vec![0f64; n];
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+    for s in 0..n as u32 {
+        // BFS from s.
+        for v in 0..n {
+            dist[v] = -1;
+            sigma[v] = 0.0;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for e in graph.out_neighbors(u).iter() {
+                let v = e.target;
+                if dist[v as usize] < 0 {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v as usize] == dist[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                    preds[v as usize].push(u);
+                }
+            }
+        }
+        // Dependency accumulation, reverse BFS order.
+        for &w in order.iter().rev() {
+            for i in 0..preds[w as usize].len() {
+                let u = preds[w as usize][i];
+                let share = sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                delta[u as usize] += share;
+                let key = (u.min(w), u.max(w));
+                *centrality.entry(key).or_insert(0.0) += share;
+            }
+        }
+    }
+    // Each undirected path is counted from both endpoints.
+    for v in centrality.values_mut() {
+        *v /= 2.0;
+    }
+    centrality
+}
+
+/// Result of a Girvan–Newman run.
+#[derive(Debug, Clone)]
+pub struct GirvanNewmanResult {
+    /// The component partition with the highest modularity encountered.
+    pub partition: Partition,
+    /// Its modularity.
+    pub modularity: f64,
+    /// Edges removed before the best split appeared.
+    pub removed_edges: usize,
+}
+
+/// Runs Girvan–Newman on a small undirected graph, removing up to
+/// `max_removals` edges (all of them if `None`).
+///
+/// # Panics
+/// Panics on directed graphs.
+pub fn girvan_newman(graph: &CsrGraph, max_removals: Option<usize>) -> GirvanNewmanResult {
+    assert!(!graph.is_directed(), "girvan-newman expects an undirected graph");
+    let mut edges: Vec<(NodeId, NodeId, f64)> = graph
+        .arcs()
+        .filter(|&(u, v, _)| u <= v)
+        .collect();
+    let budget = max_removals.unwrap_or(edges.len()).min(edges.len());
+
+    let mut best_partition = connected_components(graph).partition;
+    let mut best_q = modularity(graph, &best_partition);
+    let mut removed = 0usize;
+    let mut best_removed = 0usize;
+
+    for _ in 0..budget {
+        // Rebuild the current graph and find the max-betweenness edge.
+        let mut b = GraphBuilder::undirected(graph.num_nodes());
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let current = b.build();
+        let centrality = edge_betweenness(&current);
+        let Some((&(u, v), _)) = centrality
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        else {
+            break;
+        };
+        edges.retain(|&(a, c, _)| (a.min(c), a.max(c)) != (u, v));
+        removed += 1;
+
+        let mut b = GraphBuilder::undirected(graph.num_nodes());
+        for &(a, c, w) in &edges {
+            b.add_edge(a, c, w);
+        }
+        let split = connected_components(&b.build()).partition;
+        // Modularity is always evaluated on the ORIGINAL graph.
+        let q = modularity(graph, &split);
+        if q > best_q {
+            best_q = q;
+            best_partition = split;
+            best_removed = removed;
+        }
+    }
+
+    GirvanNewmanResult {
+        partition: best_partition,
+        modularity: best_q,
+        removed_edges: best_removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::normalized_mutual_information;
+    use asa_graph::generators::{planted_partition, PlantedConfig};
+
+    fn two_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bridge_has_highest_betweenness() {
+        let g = two_triangles();
+        let c = edge_betweenness(&g);
+        let bridge = c[&(2, 3)];
+        for (&e, &v) in c.iter() {
+            if e != (2, 3) {
+                assert!(
+                    bridge > v,
+                    "bridge {bridge} must exceed edge {e:?} = {v}"
+                );
+            }
+        }
+        // The bridge carries all 9 cross pairs of shortest paths.
+        assert!((bridge - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_graph_betweenness() {
+        // 0-1-2: edge (0,1) carries paths {0-1, 0-2} = 2.
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let c = edge_betweenness(&b.build());
+        assert!((c[&(0, 1)] - 2.0).abs() < 1e-9);
+        assert!((c[&(1, 2)] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_two_triangles() {
+        let g = two_triangles();
+        let r = girvan_newman(&g, None);
+        assert_eq!(r.partition.num_communities(), 2);
+        assert_eq!(r.removed_edges, 1, "removing the bridge is optimal");
+        assert!(r.modularity > 0.3);
+    }
+
+    #[test]
+    fn agrees_with_ground_truth_on_tiny_planted_graph() {
+        let (g, truth) = planted_partition(
+            &PlantedConfig {
+                communities: 3,
+                community_size: 10,
+                k_in: 6.0,
+                k_out: 0.5,
+            },
+            5,
+        );
+        let r = girvan_newman(&g, Some(25));
+        let nmi = normalized_mutual_information(&r.partition, &truth);
+        assert!(nmi > 0.8, "GN NMI {nmi} too low on an easy instance");
+    }
+}

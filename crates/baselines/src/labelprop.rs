@@ -1,0 +1,110 @@
+//! Asynchronous label propagation (Raghavan et al. 2007).
+//!
+//! Each vertex repeatedly adopts the label carried by the plurality weight
+//! of its neighbours; convergence yields communities. Fast but fragile —
+//! included as the low-quality end of the comparison spectrum in the
+//! quality benches.
+
+use asa_graph::{CsrGraph, Partition};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rustc_hash::FxHashMap;
+
+/// Runs label propagation for at most `max_sweeps`, visiting vertices in a
+/// seeded random order each sweep (the algorithm's usual symmetry breaker).
+/// Ties go to the smallest label for determinism given the seed.
+pub fn label_propagation(graph: &CsrGraph, max_sweeps: usize, seed: u64) -> Partition {
+    let n = graph.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tally: FxHashMap<u32, f64> = FxHashMap::default();
+
+    for _ in 0..max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changes = 0usize;
+        for &u in &order {
+            if graph.out_degree(u) == 0 {
+                continue;
+            }
+            tally.clear();
+            for e in graph.out_neighbors(u).iter() {
+                if e.target != u {
+                    *tally.entry(labels[e.target as usize]).or_insert(0.0) += e.weight;
+                }
+            }
+            if tally.is_empty() {
+                continue;
+            }
+            let mut best = (u32::MAX, f64::NEG_INFINITY);
+            let mut entries: Vec<(u32, f64)> = tally.iter().map(|(&l, &w)| (l, w)).collect();
+            entries.sort_unstable_by_key(|&(l, _)| l);
+            for (l, w) in entries {
+                if w > best.1 + 1e-15 {
+                    best = (l, w);
+                }
+            }
+            if best.0 != labels[u as usize] {
+                labels[u as usize] = best.0;
+                changes += 1;
+            }
+        }
+        if changes == 0 {
+            break;
+        }
+    }
+    Partition::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::generators::{planted_partition, PlantedConfig};
+    use asa_graph::GraphBuilder;
+
+    #[test]
+    fn separates_disconnected_cliques() {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        let p = label_propagation(&b.build(), 20, 1);
+        assert_eq!(p.community_of(0), p.community_of(1));
+        assert_eq!(p.community_of(0), p.community_of(2));
+        assert_eq!(p.community_of(3), p.community_of(4));
+        assert_ne!(p.community_of(0), p.community_of(3));
+    }
+
+    #[test]
+    fn strong_planted_structure_recovered() {
+        let (g, truth) = planted_partition(
+            &PlantedConfig {
+                communities: 4,
+                community_size: 50,
+                k_in: 14.0,
+                k_out: 0.5,
+            },
+            3,
+        );
+        let p = label_propagation(&g, 30, 7);
+        let nmi = crate::metrics::normalized_mutual_information(&p, &truth);
+        assert!(nmi > 0.8, "NMI {nmi} too low on an easy instance");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, _) = planted_partition(
+            &PlantedConfig {
+                communities: 3,
+                community_size: 30,
+                k_in: 8.0,
+                k_out: 1.0,
+            },
+            5,
+        );
+        let a = label_propagation(&g, 20, 11);
+        let b = label_propagation(&g, 20, 11);
+        assert_eq!(a.labels(), b.labels());
+    }
+}

@@ -1,0 +1,287 @@
+//! Partition-quality metrics.
+
+use asa_graph::{CsrGraph, Partition};
+
+/// Joint contingency counts of two partitions over the same vertex set.
+fn contingency(a: &Partition, b: &Partition) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) {
+    assert_eq!(a.len(), b.len(), "partitions cover different vertex sets");
+    let (ka, kb) = (a.num_communities(), b.num_communities());
+    let mut joint = vec![vec![0u64; kb]; ka];
+    let mut ca = vec![0u64; ka];
+    let mut cb = vec![0u64; kb];
+    for u in 0..a.len() as u32 {
+        let (i, j) = (a.community_of(u) as usize, b.community_of(u) as usize);
+        joint[i][j] += 1;
+        ca[i] += 1;
+        cb[j] += 1;
+    }
+    (joint, ca, cb)
+}
+
+/// Normalized mutual information between two partitions, in `[0, 1]`
+/// (arithmetic-mean normalization, the convention of Lancichinetti &
+/// Fortunato's comparative analysis). Returns 1 when both partitions are
+/// identical up to relabeling, and 1 by convention when both are trivial
+/// (single community or all singletons on both sides with zero entropy).
+pub fn normalized_mutual_information(a: &Partition, b: &Partition) -> f64 {
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (joint, ca, cb) = contingency(a, b);
+    let h = |counts: &[u64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ca);
+    let hb = h(&cb);
+    let mut mi = 0.0;
+    for (i, row) in joint.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0 {
+                let pij = c as f64 / n;
+                let pi = ca[i] as f64 / n;
+                let pj = cb[j] as f64 / n;
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+    }
+    let denom = 0.5 * (ha + hb);
+    if denom <= 0.0 {
+        // Both partitions carry no information; identical by construction.
+        1.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index between two partitions: 1 for identical partitions,
+/// ~0 for independent ones (can be slightly negative).
+pub fn adjusted_rand_index(a: &Partition, b: &Partition) -> f64 {
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let (joint, ca, cb) = contingency(a, b);
+    let c2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = joint
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| c2(c))
+        .sum();
+    let sum_a: f64 = ca.iter().map(|&c| c2(c)).sum();
+    let sum_b: f64 = cb.iter().map(|&c| c2(c)).sum();
+    let total = c2(n);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        1.0
+    } else {
+        (sum_ij - expected) / (max - expected)
+    }
+}
+
+/// Newman modularity `Q` of a partition on a weighted graph:
+/// `Q = Σ_c (w_in_c / W − (s_c / 2W)²)` for undirected graphs, with the
+/// directed generalization `Q = Σ_c (w_in_c / W − s_out_c·s_in_c / W²)`.
+pub fn modularity(graph: &CsrGraph, partition: &Partition) -> f64 {
+    assert_eq!(graph.num_nodes(), partition.len());
+    let total: f64 = graph.total_arc_weight();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let m = partition.num_communities();
+    let mut w_in = vec![0.0f64; m];
+    let mut s_out = vec![0.0f64; m];
+    let mut s_in = vec![0.0f64; m];
+    for u in graph.nodes() {
+        let cu = partition.community_of(u) as usize;
+        s_out[cu] += graph.out_weight(u);
+        s_in[cu] += graph.in_weight(u);
+        for e in graph.out_neighbors(u).iter() {
+            if partition.community_of(e.target) as usize == cu {
+                w_in[cu] += e.weight;
+            }
+        }
+    }
+    (0..m)
+        .map(|c| w_in[c] / total - (s_out[c] / total) * (s_in[c] / total))
+        .sum()
+}
+
+/// Coverage: the fraction of edge weight that falls inside communities.
+/// 1.0 means no community-crossing edges; the all-in-one partition always
+/// scores 1.0, so coverage is only meaningful alongside other metrics.
+pub fn coverage(graph: &CsrGraph, partition: &Partition) -> f64 {
+    assert_eq!(graph.num_nodes(), partition.len());
+    let total = graph.total_arc_weight();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let intra: f64 = graph
+        .arcs()
+        .filter(|&(u, v, _)| partition.community_of(u) == partition.community_of(v))
+        .map(|(_, _, w)| w)
+        .sum();
+    intra / total
+}
+
+/// Conductance of each community: `cut(C) / min(vol(C), vol(V∖C))`, where
+/// volumes are weighted degrees. Lower is better (0 = no boundary).
+/// Communities spanning more than half the volume use the complement's
+/// volume, per the standard definition. Empty communities yield 0.
+pub fn conductance(graph: &CsrGraph, partition: &Partition) -> Vec<f64> {
+    assert_eq!(graph.num_nodes(), partition.len());
+    let m = partition.num_communities();
+    let mut cut = vec![0.0f64; m];
+    let mut vol = vec![0.0f64; m];
+    let mut total_vol = 0.0f64;
+    for u in graph.nodes() {
+        let cu = partition.community_of(u) as usize;
+        let s = graph.out_weight(u);
+        vol[cu] += s;
+        total_vol += s;
+        for e in graph.out_neighbors(u).iter() {
+            if partition.community_of(e.target) as usize != cu {
+                cut[cu] += e.weight;
+            }
+        }
+    }
+    (0..m)
+        .map(|c| {
+            let denom = vol[c].min(total_vol - vol[c]);
+            if denom <= 0.0 {
+                0.0
+            } else {
+                cut[c] / denom
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::GraphBuilder;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn nmi_identical_is_one() {
+        let a = p(&[0, 0, 1, 1, 2]);
+        let b = p(&[5, 5, 9, 9, 1]); // same structure, different labels
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_independent_is_low() {
+        // a splits first/second half; b splits even/odd — independent-ish.
+        let a = p(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let b = p(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(normalized_mutual_information(&a, &b) < 0.05);
+    }
+
+    #[test]
+    fn nmi_symmetric() {
+        let a = p(&[0, 0, 1, 1, 2, 2]);
+        let b = p(&[0, 1, 1, 1, 2, 2]);
+        let ab = normalized_mutual_information(&a, &b);
+        let ba = normalized_mutual_information(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    #[test]
+    fn ari_identical_and_independent() {
+        let a = p(&[0, 0, 1, 1]);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        let b = p(&[0, 1, 0, 1]);
+        assert!(adjusted_rand_index(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn modularity_of_two_cliques() {
+        // Two triangles, one bridge.
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        let g = b.build();
+        let good = p(&[0, 0, 0, 1, 1, 1]);
+        let bad = p(&[0, 1, 0, 1, 0, 1]);
+        let q_good = modularity(&g, &good);
+        let q_bad = modularity(&g, &bad);
+        assert!(q_good > 0.3, "good partition Q = {q_good}");
+        assert!(q_good > q_bad);
+        // Uniform partition has Q = 0 by definition... actually Q =
+        // w_in/W - 1 = -2/14 for the single community minus... compute:
+        let q_uni = modularity(&g, &Partition::uniform(6));
+        assert!(q_uni.abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_in_range() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let q = modularity(&g, &p(&[0, 0, 1, 1]));
+        assert!((-1.0..=1.0).contains(&q));
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different vertex sets")]
+    fn mismatched_lengths_rejected() {
+        normalized_mutual_information(&p(&[0, 1]), &p(&[0, 1, 2]));
+    }
+
+    fn two_triangles() -> asa_graph::CsrGraph {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn coverage_counts_intra_weight() {
+        let g = two_triangles();
+        let good = p(&[0, 0, 0, 1, 1, 1]);
+        // 6 of 7 edges are intra.
+        assert!((coverage(&g, &good) - 6.0 / 7.0).abs() < 1e-12);
+        assert!((coverage(&g, &Partition::uniform(6)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_clean_split() {
+        let g = two_triangles();
+        let good = p(&[0, 0, 0, 1, 1, 1]);
+        let phi = conductance(&g, &good);
+        // Each triangle: cut 1, volume 7 => 1/7.
+        assert_eq!(phi.len(), 2);
+        for &x in &phi {
+            assert!((x - 1.0 / 7.0).abs() < 1e-12);
+        }
+        // A bad split has strictly higher conductance.
+        let bad = conductance(&g, &p(&[0, 1, 0, 1, 0, 1]));
+        assert!(bad.iter().sum::<f64>() > phi.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn conductance_zero_for_disconnected() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let phi = conductance(&b.build(), &p(&[0, 0, 1, 1]));
+        assert_eq!(phi, vec![0.0, 0.0]);
+    }
+}

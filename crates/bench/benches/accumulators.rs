@@ -1,0 +1,65 @@
+//! Criterion micro-benches of the accumulation devices (host throughput).
+//!
+//! These measure *host* execution speed of the behavioural models (with a
+//! null event sink), not simulated cycles — useful for keeping the
+//! simulator itself fast and for the Table III/IV "native" column, whose
+//! wall-clock comes from exactly these code paths.
+
+use asa_accel::{AsaAccumulator, AsaConfig};
+use asa_hashsim::{ChainedAccumulator, LinearProbeAccumulator};
+use asa_simarch::accum::{FlowAccumulator, OracleAccumulator};
+use asa_simarch::events::NullSink;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A power-law-ish key stream mimicking one vertex's neighbour-module ids:
+/// `len` accumulations over roughly `len/2` distinct keys.
+fn stream(len: usize, seed: u64) -> Vec<(u32, f64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let k = (rng.gen::<f64>().powi(2) * len as f64 / 2.0) as u32;
+            (k, rng.gen_range(0.01..1.0))
+        })
+        .collect()
+}
+
+fn run<A: FlowAccumulator>(acc: &mut A, data: &[(u32, f64)], out: &mut Vec<(u32, f64)>) {
+    let mut sink = NullSink;
+    acc.begin(&mut sink);
+    for &(k, v) in data {
+        acc.accumulate(k, v, &mut sink);
+    }
+    acc.gather(out, &mut sink);
+}
+
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulate_gather");
+    for &len in &[8usize, 64, 512] {
+        let data = stream(len, 42);
+        group.throughput(Throughput::Elements(len as u64));
+
+        let mut out = Vec::new();
+        let mut chained = ChainedAccumulator::new();
+        group.bench_with_input(BenchmarkId::new("chained", len), &data, |b, d| {
+            b.iter(|| run(&mut chained, d, &mut out))
+        });
+        let mut probe = LinearProbeAccumulator::new();
+        group.bench_with_input(BenchmarkId::new("linear_probe", len), &data, |b, d| {
+            b.iter(|| run(&mut probe, d, &mut out))
+        });
+        let mut asa = AsaAccumulator::new(AsaConfig::paper_default());
+        group.bench_with_input(BenchmarkId::new("asa", len), &data, |b, d| {
+            b.iter(|| run(&mut asa, d, &mut out))
+        });
+        let mut oracle = OracleAccumulator::default();
+        group.bench_with_input(BenchmarkId::new("oracle_btree", len), &data, |b, d| {
+            b.iter(|| run(&mut oracle, d, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators);
+criterion_main!(benches);

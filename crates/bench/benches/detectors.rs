@@ -1,0 +1,49 @@
+//! Criterion benches of end-to-end community detection: Infomap vs the
+//! Louvain and label-propagation baselines, plus the simulated device runs
+//! (Baseline vs ASA) on a small network so the full simulation path stays
+//! performance-regression-tested.
+
+use asa_accel::AsaConfig;
+use asa_baselines::{label_propagation, louvain, LouvainConfig};
+use asa_graph::generators::{synth_network, PaperNetwork};
+use asa_infomap::instrumented::{simulate_infomap, Device};
+use asa_infomap::{detect_communities, InfomapConfig};
+use asa_simarch::MachineConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_detectors(c: &mut Criterion) {
+    let (graph, _) = synth_network(PaperNetwork::Amazon, 512);
+    let mut group = c.benchmark_group("detectors");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+
+    group.bench_function("infomap", |b| {
+        b.iter(|| detect_communities(&graph, &InfomapConfig::default()))
+    });
+    group.bench_function("louvain", |b| {
+        b.iter(|| louvain(&graph, &LouvainConfig::default()))
+    });
+    group.bench_function("label_propagation", |b| {
+        b.iter(|| label_propagation(&graph, 20, 7))
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let (graph, _) = synth_network(PaperNetwork::Amazon, 1024);
+    let icfg = InfomapConfig::default();
+    let mcfg = MachineConfig::baseline(1);
+    let mut group = c.benchmark_group("simulated_kernel");
+    group.sample_size(10);
+
+    group.bench_function("baseline_device", |b| {
+        b.iter(|| simulate_infomap(&graph, &icfg, &mcfg, Device::SoftwareHash))
+    });
+    group.bench_function("asa_device", |b| {
+        b.iter(|| simulate_infomap(&graph, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_simulation);
+criterion_main!(benches);

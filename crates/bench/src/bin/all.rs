@@ -1,0 +1,28 @@
+//! Runs every experiment binary in sequence, mirroring the paper's
+//! evaluation section end to end. Equivalent to running each `table*` /
+//! `fig*` / `quality` binary yourself; this exists so
+//! `cargo run -p asa-bench --release --bin all | tee results.txt`
+//! regenerates the whole evaluation in one go.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1", "table2", "fig2", "fig4", "fig5", "table3_4", "table5", "fig7", "fig8",
+        "fig9_10_11", "quality", "ablation", "distributed", "spgemm", "hierarchy",
+    ];
+    for bin in bins {
+        println!("\n{}", "=".repeat(72));
+        println!("== {bin}");
+        println!("{}\n", "=".repeat(72));
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("experiment {bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 8 — total instructions, branch mispredictions, and CPI for the
+//! big networks, Baseline vs ASA (single core).
+//!
+//! Paper expectations: up to 24% fewer instructions (8a), up to 59% fewer
+//! mispredicted branches (8b), and an 18–21% CPI reduction (8c) for
+//! YouTube / Pokec / Orkut.
+
+use asa_accel::AsaConfig;
+use asa_bench::{fmt_count, fmt_pct, load_network, render_table, simulate};
+use asa_graph::generators::PaperNetwork;
+use asa_infomap::instrumented::Device;
+use asa_simarch::report::ComparisonRow;
+
+fn main() {
+    let mut rows_instr = Vec::new();
+    let mut rows_miss = Vec::new();
+    let mut rows_cpi = Vec::new();
+
+    for net in [
+        PaperNetwork::YouTube,
+        PaperNetwork::Pokec,
+        PaperNetwork::Orkut,
+    ] {
+        let (graph, _) = load_network(net);
+        let cmp = ComparisonRow {
+            label: net.name().to_string(),
+            baseline: simulate(&graph, 1, Device::SoftwareHash).total,
+            asa: simulate(&graph, 1, Device::Asa(AsaConfig::paper_default())).total,
+        };
+
+        rows_instr.push(vec![
+            cmp.label.clone(),
+            fmt_count(cmp.baseline.instructions),
+            fmt_count(cmp.asa.instructions),
+            fmt_pct(cmp.instruction_reduction()),
+        ]);
+        rows_miss.push(vec![
+            cmp.label.clone(),
+            fmt_count(cmp.baseline.mispredictions),
+            fmt_count(cmp.asa.mispredictions),
+            fmt_pct(cmp.mispredict_reduction()),
+        ]);
+        rows_cpi.push(vec![
+            cmp.label.clone(),
+            format!("{:.3}", cmp.baseline.cpi()),
+            format!("{:.3}", cmp.asa.cpi()),
+            fmt_pct(cmp.cpi_reduction()),
+        ]);
+    }
+
+    print!(
+        "{}",
+        render_table(
+            "Fig 8a: total instructions, Baseline vs ASA (1 core)",
+            &["network", "Baseline", "ASA", "reduction"],
+            &rows_instr,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Fig 8b: mispredicted branches, Baseline vs ASA (1 core)",
+            &["network", "Baseline", "ASA", "reduction"],
+            &rows_miss,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Fig 8c: CPI, Baseline vs ASA (1 core)",
+            &["network", "Baseline", "ASA", "reduction"],
+            &rows_cpi,
+        )
+    );
+    println!("\npaper expectation: instructions -24%, mispredictions up to -59%, CPI -(18-21)% on the big networks");
+}

@@ -1,0 +1,101 @@
+//! Hierarchical map equation (Rosvall & Bergstrom 2011) — the multilevel
+//! extension the original Infomap grew after the two-level formulation the
+//! paper accelerates. Scores the optimizer's nested level partitions
+//! hierarchically and compares against flat codelengths on a network with
+//! modules-within-modules.
+
+use asa_bench::{infomap_config, load_network, render_table};
+use asa_graph::generators::PaperNetwork;
+use asa_graph::{GraphBuilder, Partition};
+use asa_infomap::flow::FlowNetwork;
+use asa_infomap::hierarchy::{hierarchical_codelength, hierarchy_from_levels, Hierarchy};
+use asa_infomap::{detect_communities, InfomapConfig};
+
+fn nested_demo() -> (asa_graph::CsrGraph, Partition, Partition) {
+    // 6 super-modules of 3 cliques of 6 vertices.
+    let (clique, per_super, supers) = (6usize, 3usize, 6usize);
+    let n = clique * per_super * supers;
+    let mut b = GraphBuilder::undirected(n);
+    for s in 0..supers {
+        for c in 0..per_super {
+            let base = (s * per_super + c) * clique;
+            for i in 0..clique {
+                for j in (i + 1)..clique {
+                    b.add_edge((base + i) as u32, (base + j) as u32, 1.0);
+                }
+            }
+        }
+        for c in 0..per_super {
+            let a = (s * per_super + c) * clique;
+            let d = (s * per_super + (c + 1) % per_super) * clique;
+            b.add_edge(a as u32, d as u32, 1.0);
+        }
+    }
+    for s in 0..supers {
+        let a = s * per_super * clique;
+        let d = ((s + 1) % supers) * per_super * clique;
+        b.add_edge(a as u32, d as u32, 0.25);
+    }
+    let fine = Partition::from_labels((0..n as u32).map(|u| u / clique as u32).collect());
+    let coarse =
+        Partition::from_labels((0..n as u32).map(|u| u / (clique * per_super) as u32).collect());
+    (b.build(), fine, coarse)
+}
+
+fn main() {
+    // --- Synthetic modules-within-modules: nested coding wins.
+    let (graph, fine, coarse) = nested_demo();
+    let flow = FlowNetwork::from_graph(&graph, &infomap_config());
+    let rows = vec![
+        vec![
+            "flat, clique level".into(),
+            format!("{:.4}", hierarchical_codelength(&flow, &Hierarchy::flat(fine.clone()))),
+        ],
+        vec![
+            "flat, super level".into(),
+            format!("{:.4}", hierarchical_codelength(&flow, &Hierarchy::flat(coarse.clone()))),
+        ],
+        vec![
+            "two-level nested".into(),
+            format!(
+                "{:.4}",
+                hierarchical_codelength(&flow, &Hierarchy::new(vec![fine, coarse]))
+            ),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            "Hierarchical map equation on a modules-within-modules network (bits/step)",
+            &["coding", "codelength"],
+            &rows,
+        )
+    );
+    println!();
+
+    // --- Score the optimizer's own hierarchy on a Table I stand-in.
+    let (net, _) = load_network(PaperNetwork::Dblp);
+    let cfg = InfomapConfig {
+        outer_loops: 1, // keep level partitions strictly nested
+        ..Default::default()
+    };
+    let result = detect_communities(&net, &cfg);
+    let net_flow = FlowNetwork::from_graph(&net, &cfg);
+    let h = hierarchy_from_levels(&result.level_partitions);
+    let rows = vec![
+        vec!["flat (final partition)".into(), format!("{:.4}", result.codelength)],
+        vec![
+            format!("hierarchical ({} levels)", h.depth()),
+            format!("{:.4}", hierarchical_codelength(&net_flow, &h)),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            "dblp-like: flat vs hierarchical coding of the optimizer's levels",
+            &["coding", "codelength"],
+            &rows,
+        )
+    );
+    println!("\nreading: nested coding strictly beats either flat level on true two-scale structure; on single-scale LFR stand-ins the extra index codebooks may not pay for themselves");
+}

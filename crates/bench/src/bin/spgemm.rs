@@ -1,0 +1,76 @@
+//! ASA's original workload: SpGEMM (Chao et al., TACO 2022).
+//!
+//! The paper generalizes ASA's interface beyond SpGEMM; this experiment
+//! closes the loop by running SpGEMM through the *same* generalized
+//! interface and machine model used for Infomap. Workloads: `A²` of
+//! scale-free adjacency matrices (skewed row lengths — the hard case) and
+//! uniform random matrices (the easy case).
+
+use asa_accel::AsaConfig;
+use asa_bench::{fmt_count, fmt_secs, render_table};
+use asa_graph::generators::{barabasi_albert, erdos_renyi};
+use asa_hashsim::ChainedAccumulator;
+use asa_simarch::{CoreModel, MachineConfig};
+use asa_spgemm::{spgemm, spgemm_flops, CsrMatrix};
+
+fn main() {
+    let mcfg = MachineConfig::baseline(1);
+    let workloads: Vec<(&str, CsrMatrix)> = vec![
+        (
+            "BA n=2000 m=3 (A^2, scale-free)",
+            CsrMatrix::from_graph(&barabasi_albert(2000, 3, 7)),
+        ),
+        (
+            "BA n=1000 m=8 (A^2, denser hubs)",
+            CsrMatrix::from_graph(&barabasi_albert(1000, 8, 8)),
+        ),
+        (
+            "ER n=1500 (A^2, uniform)",
+            CsrMatrix::from_graph(&erdos_renyi(1500, 9000, 9)),
+        ),
+        ("uniform 600x600 d=2%", CsrMatrix::random(600, 600, 0.02, 4)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, a) in &workloads {
+        let mut base_core = CoreModel::new(&mcfg);
+        let c1 = spgemm(a, a, &mut ChainedAccumulator::new(), &mut base_core);
+        let base = base_core.take_report();
+
+        let mut asa_core = CoreModel::new(&mcfg);
+        let c2 = spgemm(
+            a,
+            a,
+            &mut asa_core_device(),
+            &mut asa_core,
+        );
+        let asa = asa_core.take_report();
+        assert_eq!(c1, c2, "devices disagree on {name}");
+
+        rows.push(vec![
+            name.to_string(),
+            fmt_count(a.nnz() as u64),
+            fmt_count(spgemm_flops(a, a)),
+            fmt_secs(base.seconds(mcfg.freq_ghz)),
+            fmt_secs(asa.seconds(mcfg.freq_ghz)),
+            format!("{:.2}x", base.cycles / asa.cycles),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "SpGEMM (A*A), software hash Baseline vs ASA, 1 simulated core",
+            &["workload", "nnz(A)", "mul-adds", "Baseline", "ASA", "speedup"],
+            &rows,
+        )
+    );
+    println!(
+        "\nChao et al. report ASA consistently outperforming software hashing on SpGEMM; \
+         the shape to match is a clear win on every workload, attenuating when hub rows \
+         overflow the CAM and fall back to the software sort-and-merge (the dense-hub case)"
+    );
+}
+
+fn asa_core_device() -> asa_accel::AsaAccumulator {
+    asa_accel::AsaAccumulator::new(AsaConfig::paper_default())
+}

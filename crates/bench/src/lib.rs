@@ -1,0 +1,238 @@
+//! Experiment harness shared by the per-table/figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index). This library
+//! holds what they share: workload construction (the Table I stand-ins at
+//! a configurable scale), simulation wrappers, and plain-text table
+//! rendering so the output reads like the paper's tables.
+//!
+//! Scale: set `ASA_SCALE_DIV` (default 64) to control the down-scale
+//! denominator of the synthetic networks; `ASA_SCALE_DIV=32` doubles
+//! workload sizes, etc. All generation is seeded and deterministic.
+
+use asa_graph::generators::{NetworkSpec, PaperNetwork};
+use asa_graph::{CsrGraph, Partition};
+use asa_infomap::instrumented::{simulate_infomap, Device, SimulatedRun};
+use asa_infomap::InfomapConfig;
+use asa_simarch::MachineConfig;
+
+/// Reads the workload scale divisor from `ASA_SCALE_DIV` (default 64).
+pub fn scale_div() -> usize {
+    std::env::var("ASA_SCALE_DIV")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&d| d >= 1)
+        .unwrap_or(64)
+}
+
+/// Generates the stand-in for one paper network at the harness scale,
+/// caching the result under `target/asa-workloads/` so subsequent
+/// experiment binaries start instantly. Delete that directory (or set
+/// `ASA_NO_CACHE=1`) to force regeneration.
+pub fn load_network(network: PaperNetwork) -> (CsrGraph, Partition) {
+    let spec = NetworkSpec::new(network, scale_div());
+    if std::env::var_os("ASA_NO_CACHE").is_some() {
+        return spec.generate();
+    }
+    let dir = std::path::Path::new("target").join("asa-workloads");
+    let stem = format!("{}-div{}-seed{}", network.name(), spec.scale_div, spec.seed);
+    let graph_path = dir.join(format!("{stem}.graph"));
+    let part_path = dir.join(format!("{stem}.part"));
+
+    if let (Ok(gf), Ok(pf)) = (
+        std::fs::File::open(&graph_path),
+        std::fs::File::open(&part_path),
+    ) {
+        if let (Ok(graph), Ok(partition)) = (
+            asa_graph::binio::read_graph(std::io::BufReader::new(gf)),
+            asa_graph::binio::read_partition(std::io::BufReader::new(pf)),
+        ) {
+            return (graph, partition);
+        }
+        // Fall through and regenerate on any decode failure.
+    }
+    let (graph, partition) = spec.generate();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::File::create(&graph_path)
+            .and_then(|f| asa_graph::binio::write_graph(&graph, std::io::BufWriter::new(f)));
+        let _ = std::fs::File::create(&part_path)
+            .and_then(|f| asa_graph::binio::write_partition(&partition, std::io::BufWriter::new(f)));
+    }
+    (graph, partition)
+}
+
+/// Infomap configuration used across experiments (paper defaults).
+pub fn infomap_config() -> InfomapConfig {
+    InfomapConfig::default()
+}
+
+/// Simulates the FindBestCommunity kernel for a network on `cores`
+/// simulated cores with the given device.
+pub fn simulate(graph: &CsrGraph, cores: usize, device: Device) -> SimulatedRun {
+    simulate_infomap(
+        graph,
+        &infomap_config(),
+        &MachineConfig::baseline(cores),
+        device,
+    )
+}
+
+/// Renders a plain-text table with aligned columns.
+///
+/// When `ASA_JSON_DIR` is set, the table is additionally written as a JSON
+/// document (`{title, headers, rows}`) into that directory, named by a
+/// slug of the title — machine-readable results for downstream plotting.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    if let Some(dir) = std::env::var_os("ASA_JSON_DIR") {
+        let _ = save_json(std::path::Path::new(&dir), title, headers, rows);
+    }
+    render_table_text(title, headers, rows)
+}
+
+/// JSON sidecar writer behind [`render_table`].
+fn save_json(
+    dir: &std::path::Path,
+    title: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-");
+    let doc = serde_json::json!({
+        "title": title,
+        "headers": headers,
+        "rows": rows,
+    });
+    std::fs::write(
+        dir.join(format!("{}.json", &slug[..slug.len().min(80)])),
+        serde_json::to_string_pretty(&doc)?,
+    )
+}
+
+fn render_table_text(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Formats a large count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// The five networks of the hash-operation comparison (Table V / Fig 6).
+pub fn hash_networks() -> [PaperNetwork; 5] {
+    PaperNetwork::hash_comparison_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "Demo",
+            &["name", "count"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("## Demo"));
+        assert!(t.contains("| longer | 22    |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(42), "42");
+        assert_eq!(fmt_pct(0.595), "59.5%");
+        assert!(fmt_secs(2.5).starts_with("2.500"));
+        assert!(fmt_secs(0.002).ends_with("ms"));
+    }
+
+    #[test]
+    fn json_sidecar_written() {
+        let dir = std::env::temp_dir().join("asa-json-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_json(
+            &dir,
+            "Table V: demo!",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let path = dir.join("table-v-demo.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["headers"][0], "a");
+        assert_eq!(doc["rows"][0][1], "2");
+    }
+
+    #[test]
+    fn scale_default() {
+        // Unless the env var is set by the caller, default to 64.
+        if std::env::var("ASA_SCALE_DIV").is_err() {
+            assert_eq!(scale_div(), 64);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Compact binary serialization of graphs and partitions.
+//!
+//! The harness regenerates large synthetic stand-ins for every experiment
+//! binary; caching them as binary CSR dumps makes repeated runs start in
+//! milliseconds. The format is little-endian, versioned, and
+//! self-describing enough to fail loudly on mismatch:
+//!
+//! ```text
+//! magic "ASAG" | version u32 | num_nodes u32 | directed u8 |
+//! out: arcs u64, offsets [u64], targets [u32], weights [f64] |
+//! in:  arcs u64, offsets [u64], targets [u32], weights [f64]
+//! ```
+//!
+//! Partitions serialize as `magic "ASAP" | version | len u32 | labels [u32]`.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::CsrGraph;
+use crate::partition::Partition;
+
+const GRAPH_MAGIC: &[u8; 4] = b"ASAG";
+const PARTITION_MAGIC: &[u8; 4] = b"ASAP";
+const VERSION: u32 = 1;
+
+fn put_csr(buf: &mut BytesMut, offsets: &[u64], targets: &[u32], weights: &[f64]) {
+    buf.put_u64_le(targets.len() as u64);
+    for &x in offsets {
+        buf.put_u64_le(x);
+    }
+    for &t in targets {
+        buf.put_u32_le(t);
+    }
+    for &w in weights {
+        buf.put_f64_le(w);
+    }
+}
+
+fn get_csr(buf: &mut Bytes, num_nodes: usize) -> io::Result<(Vec<u64>, Vec<u32>, Vec<f64>)> {
+    let need = |buf: &Bytes, n: usize| -> io::Result<()> {
+        if buf.remaining() < n {
+            Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated graph blob",
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 8)?;
+    let arcs = buf.get_u64_le() as usize;
+    need(buf, (num_nodes + 1) * 8 + arcs * 12)?;
+    let mut offsets = Vec::with_capacity(num_nodes + 1);
+    for _ in 0..=num_nodes {
+        offsets.push(buf.get_u64_le());
+    }
+    let mut targets = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        targets.push(buf.get_u32_le());
+    }
+    let mut weights = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        weights.push(buf.get_f64_le());
+    }
+    Ok((offsets, targets, weights))
+}
+
+/// Serializes a graph to a writer.
+pub fn write_graph<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(GRAPH_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(graph.num_nodes() as u32);
+    buf.put_u8(graph.is_directed() as u8);
+    let (oo, ot, ow) = graph.out_csr();
+    put_csr(&mut buf, oo, ot, ow);
+    let (io_, it, iw) = graph.in_csr();
+    put_csr(&mut buf, io_, it, iw);
+    writer.write_all(&buf)
+}
+
+/// Deserializes a graph written by [`write_graph`].
+pub fn read_graph<R: Read>(mut reader: R) -> io::Result<CsrGraph> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 13 || &buf.copy_to_bytes(4)[..] != GRAPH_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad graph magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported graph blob version {version}"),
+        ));
+    }
+    let num_nodes = buf.get_u32_le();
+    let directed = buf.get_u8() != 0;
+    let (oo, ot, ow) = get_csr(&mut buf, num_nodes as usize)?;
+    let (io_, it, iw) = get_csr(&mut buf, num_nodes as usize)?;
+    Ok(CsrGraph::from_csr_parts(
+        num_nodes, directed, oo, ot, ow, io_, it, iw,
+    ))
+}
+
+/// Serializes a partition to a writer.
+pub fn write_partition<W: Write>(partition: &Partition, mut writer: W) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(12 + partition.len() * 4);
+    buf.put_slice(PARTITION_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(partition.len() as u32);
+    for &l in partition.labels() {
+        buf.put_u32_le(l);
+    }
+    writer.write_all(&buf)
+}
+
+/// Deserializes a partition written by [`write_partition`].
+pub fn read_partition<R: Read>(mut reader: R) -> io::Result<Partition> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 12 || &buf.copy_to_bytes(4)[..] != PARTITION_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad partition magic",
+        ));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported partition blob version {version}"),
+        ));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated partition blob",
+        ));
+    }
+    let labels = (0..len).map(|_| buf.get_u32_le()).collect();
+    Ok(Partition::from_labels(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, planted_partition, PlantedConfig};
+
+    #[test]
+    fn graph_round_trip() {
+        let g = barabasi_albert(500, 3, 7);
+        let mut blob = Vec::new();
+        write_graph(&g, &mut blob).unwrap();
+        let back = read_graph(blob.as_slice()).unwrap();
+        assert_eq!(g.num_nodes(), back.num_nodes());
+        assert_eq!(g.num_edges(), back.num_edges());
+        assert_eq!(
+            g.arcs().collect::<Vec<_>>(),
+            back.arcs().collect::<Vec<_>>()
+        );
+        assert_eq!(g.is_directed(), back.is_directed());
+    }
+
+    #[test]
+    fn directed_round_trip() {
+        use crate::builder::GraphBuilder;
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(0, 1, 2.5);
+        b.add_edge(3, 0, 1.0);
+        let g = b.build();
+        let mut blob = Vec::new();
+        write_graph(&g, &mut blob).unwrap();
+        let back = read_graph(blob.as_slice()).unwrap();
+        assert!(back.is_directed());
+        assert_eq!(back.in_degree(0), 1);
+        assert_eq!(back.out_neighbors(0).iter().next().unwrap().weight, 2.5);
+    }
+
+    #[test]
+    fn partition_round_trip() {
+        let (_, p) = planted_partition(
+            &PlantedConfig {
+                communities: 3,
+                community_size: 10,
+                k_in: 4.0,
+                k_out: 1.0,
+            },
+            2,
+        );
+        let mut blob = Vec::new();
+        write_partition(&p, &mut blob).unwrap();
+        let back = read_partition(blob.as_slice()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        assert!(read_graph(&b"nope"[..]).is_err());
+        assert!(read_partition(&b"ASAPxxxx"[..]).is_err());
+        // Truncated after the header.
+        let g = barabasi_albert(50, 2, 1);
+        let mut blob = Vec::new();
+        write_graph(&g, &mut blob).unwrap();
+        blob.truncate(blob.len() / 2);
+        assert!(read_graph(blob.as_slice()).is_err());
+    }
+
+    #[test]
+    fn version_checked() {
+        let g = barabasi_albert(20, 2, 1);
+        let mut blob = Vec::new();
+        write_graph(&g, &mut blob).unwrap();
+        blob[4] = 99; // clobber version
+        let err = read_graph(blob.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+}

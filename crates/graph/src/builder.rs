@@ -1,0 +1,274 @@
+//! Mutable edge-list accumulator that compiles to [`CsrGraph`].
+//!
+//! Parallel edges are merged by *summing* their weights, matching the paper's
+//! `Convert2SuperNode` kernel: "If multiple vertices of one super node are
+//! connected to another super node, a single super edge is created with
+//! accumulated edge weights."
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Streaming graph builder.
+///
+/// Edges may be added in any order; `build` sorts, deduplicates (summing
+/// weights of parallel edges) and produces both adjacency directions.
+///
+/// ```
+/// use asa_graph::GraphBuilder;
+/// let mut b = GraphBuilder::undirected(4);
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(1, 0, 2.0); // parallel to (0,1): weights merge to 3.0
+/// b.add_edge(2, 3, 1.0);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.out_neighbors(0).iter().next().unwrap().weight, 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: u32,
+    directed: bool,
+    drop_self_loops: bool,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a directed graph with `num_nodes` vertices.
+    pub fn directed(num_nodes: usize) -> Self {
+        Self::new(num_nodes, true)
+    }
+
+    /// New builder for an undirected graph with `num_nodes` vertices.
+    ///
+    /// Each added edge `(u, v)` produces the two arcs `u→v` and `v→u`; the
+    /// pair is normalized so `(u, v)` and `(v, u)` merge.
+    pub fn undirected(num_nodes: usize) -> Self {
+        Self::new(num_nodes, false)
+    }
+
+    fn new(num_nodes: usize, directed: bool) -> Self {
+        assert!(num_nodes <= u32::MAX as usize, "node count exceeds u32");
+        Self {
+            num_nodes: num_nodes as u32,
+            directed,
+            drop_self_loops: false,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Discard self-loops instead of storing them (SNAP social networks are
+    /// loop-free; generators may emit loops that callers want dropped).
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of raw (pre-merge) edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Reserve capacity for `n` additional edges.
+    pub fn reserve(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    /// Adds one weighted edge. For undirected builders the endpoint order is
+    /// irrelevant.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the weight is not finite
+    /// and positive.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) {
+        assert!(u < self.num_nodes && v < self.num_nodes, "endpoint out of range");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be finite and positive"
+        );
+        if u == v && self.drop_self_loops {
+            return;
+        }
+        if self.directed || u <= v {
+            self.edges.push((u, v, weight));
+        } else {
+            self.edges.push((v, u, weight));
+        }
+    }
+
+    /// Adds every edge of an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId, f64)>>(&mut self, it: I) {
+        for (u, v, w) in it {
+            self.add_edge(u, v, w);
+        }
+    }
+
+    /// Compiles the accumulated edges into an immutable [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        // Merge parallel edges: sort by (u, v) and fold equal keys.
+        self.edges
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut merged: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+
+        // Expand to arcs.
+        let mut arcs: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(
+            merged.len() * if self.directed { 1 } else { 2 },
+        );
+        for &(u, v, w) in &merged {
+            arcs.push((u, v, w));
+            if !self.directed && u != v {
+                arcs.push((v, u, w));
+            }
+        }
+
+        let (out_offsets, out_targets, out_weights) =
+            arcs_to_csr(self.num_nodes, arcs.iter().copied());
+        let (in_offsets, in_targets, in_weights) = arcs_to_csr(
+            self.num_nodes,
+            arcs.iter().map(|&(u, v, w)| (v, u, w)),
+        );
+
+        CsrGraph::from_csr_parts(
+            self.num_nodes,
+            self.directed,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+        )
+    }
+}
+
+/// Counting-sort arcs by source into CSR arrays, keeping targets sorted per
+/// row (inputs are expected pre-sorted for the out direction; the in
+/// direction is re-sorted here).
+fn arcs_to_csr<I>(num_nodes: u32, arcs: I) -> (Vec<u64>, Vec<NodeId>, Vec<f64>)
+where
+    I: Iterator<Item = (NodeId, NodeId, f64)> + Clone,
+{
+    let n = num_nodes as usize;
+    let mut counts = vec![0u64; n + 1];
+    let mut num_arcs = 0usize;
+    for (u, _, _) in arcs.clone() {
+        counts[u as usize + 1] += 1;
+        num_arcs += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut targets = vec![0 as NodeId; num_arcs];
+    let mut weights = vec![0f64; num_arcs];
+    for (u, v, w) in arcs {
+        let slot = cursor[u as usize] as usize;
+        targets[slot] = v;
+        weights[slot] = w;
+        cursor[u as usize] += 1;
+    }
+    // Sort each row by target so lookups and comparisons are deterministic.
+    for u in 0..n {
+        let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+        let row: &mut [NodeId] = &mut targets[lo..hi];
+        if row.windows(2).all(|w| w[0] <= w[1]) {
+            continue;
+        }
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_unstable_by_key(|&i| row[i]);
+        let t_sorted: Vec<NodeId> = idx.iter().map(|&i| row[i]).collect();
+        let w_sorted: Vec<f64> = idx.iter().map(|&i| weights[lo + i]).collect();
+        targets[lo..hi].copy_from_slice(&t_sorted);
+        weights[lo..hi].copy_from_slice(&w_sorted);
+    }
+    (offsets, targets, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 1, 2.5);
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.out_neighbors(0).iter().next().unwrap().weight, 3.5);
+    }
+
+    #[test]
+    fn undirected_normalizes_endpoints() {
+        let mut b = GraphBuilder::undirected(2);
+        b.add_edge(1, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_neighbors(0).iter().next().unwrap().weight, 2.0);
+    }
+
+    #[test]
+    fn drop_self_loops_works() {
+        let mut b = GraphBuilder::undirected(2).drop_self_loops(true);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let mut b = GraphBuilder::directed(5);
+        for v in [4, 2, 3, 1] {
+            b.add_edge(0, v, 1.0);
+        }
+        let g = b.build();
+        let row: Vec<u32> = g.out_neighbors(0).iter().map(|e| e.target).collect();
+        assert_eq!(row, vec![1, 2, 3, 4]);
+        // in-adjacency of each target contains 0
+        for v in 1..5 {
+            assert_eq!(g.in_neighbors(v).iter().next().unwrap().target, 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::undirected(3).build();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.out_neighbors(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bad_weight_rejected() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn extend_edges_bulk() {
+        let mut b = GraphBuilder::directed(3);
+        b.extend_edges(vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert_eq!(b.num_raw_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 3);
+    }
+}

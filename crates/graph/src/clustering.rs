@@ -1,0 +1,172 @@
+//! Local clustering and degree-mixing analytics.
+//!
+//! Together with the degree distribution (Figure 4), these summarize what
+//! makes the paper's social networks "social": heavy-tailed degrees,
+//! non-trivial triangle density, and (for friendship graphs) assortative
+//! degree mixing. The harness prints them alongside Table I so stand-ins
+//! can be compared structurally against published SNAP statistics.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Local clustering coefficient of vertex `u`: the fraction of its
+/// neighbour pairs that are themselves connected. 0 for degree < 2.
+///
+/// Uses sorted-adjacency merge intersection, O(Σ_w d(w)) per vertex.
+pub fn local_clustering(graph: &CsrGraph, u: NodeId) -> f64 {
+    let neighbors: Vec<NodeId> = graph
+        .out_neighbors(u)
+        .iter()
+        .map(|e| e.target)
+        .filter(|&v| v != u)
+        .collect();
+    let k = neighbors.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for &v in &neighbors {
+        // Count neighbours of v that are also neighbours of u (merge walk;
+        // both adjacency lists are sorted by construction).
+        let vs: Vec<NodeId> = graph
+            .out_neighbors(v)
+            .iter()
+            .map(|e| e.target)
+            .collect();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < neighbors.len() && j < vs.len() {
+            match neighbors[i].cmp(&vs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    links += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Each triangle edge was counted from both endpoints.
+    links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition).
+pub fn average_clustering(graph: &CsrGraph) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = graph.nodes().map(|u| local_clustering(graph, u)).sum();
+    total / n as f64
+}
+
+/// Degree assortativity: the Pearson correlation of degrees across edges
+/// (Newman 2002). Positive for social networks (hubs befriend hubs),
+/// negative for technological/biological ones. Returns 0 when undefined
+/// (no edges or zero variance).
+pub fn degree_assortativity(graph: &CsrGraph) -> f64 {
+    let mut n = 0f64;
+    let mut sum_xy = 0f64;
+    let mut sum_x = 0f64;
+    let mut sum_y = 0f64;
+    let mut sum_x2 = 0f64;
+    let mut sum_y2 = 0f64;
+    for (u, v, _) in graph.arcs() {
+        let (du, dv) = (graph.out_degree(u) as f64, graph.out_degree(v) as f64);
+        n += 1.0;
+        sum_xy += du * dv;
+        sum_x += du;
+        sum_y += dv;
+        sum_x2 += du * du;
+        sum_y2 += dv * dv;
+    }
+    if n == 0.0 {
+        return 0.0;
+    }
+    let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+    let var_x = sum_x2 / n - (sum_x / n).powi(2);
+    let var_y = sum_y2 / n - (sum_y / n).powi(2);
+    let denom = (var_x * var_y).sqrt();
+    if denom <= 1e-15 {
+        0.0
+    } else {
+        (cov / denom).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{barabasi_albert, watts_strogatz};
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // Triangle 0-1-2 with a tail 2-3.
+        let mut b = GraphBuilder::undirected(4);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clustering_of_known_graph() {
+        let g = triangle_plus_tail();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 1) - 1.0).abs() < 1e-12);
+        // Vertex 2 has 3 neighbours, one connected pair of 3 possible.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+        let avg = average_clustering(&g);
+        assert!((avg - (1.0 + 1.0 + 1.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_fully_clustered() {
+        let mut b = GraphBuilder::undirected(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let g = b.build();
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_world_beats_random_rewiring() {
+        // WS with low beta keeps the lattice's high clustering.
+        let lattice = watts_strogatz(500, 6, 0.0, 1);
+        let rewired = watts_strogatz(500, 6, 0.9, 1);
+        let c_lat = average_clustering(&lattice);
+        let c_rew = average_clustering(&rewired);
+        assert!(c_lat > 0.5, "ring lattice clustering {c_lat}");
+        assert!(c_lat > 2.0 * c_rew, "{c_lat} vs {c_rew}");
+    }
+
+    #[test]
+    fn ba_is_degree_disassortative() {
+        // Preferential attachment yields mildly negative assortativity
+        // (young low-degree vertices attach to old hubs).
+        let g = barabasi_albert(3000, 3, 5);
+        let r = degree_assortativity(&g);
+        assert!(r < 0.05, "BA assortativity should be ~<=0, got {r}");
+        assert!(r > -0.5);
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let mut b = GraphBuilder::undirected(6);
+        for v in 1..6u32 {
+            b.add_edge(0, v, 1.0);
+        }
+        let g = b.build();
+        assert!((degree_assortativity(&g) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let g = GraphBuilder::undirected(3).build();
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Connectivity analysis: connected components and breadth-first search.
+//!
+//! Community detection behaves differently on disconnected inputs (each
+//! component decomposes independently, and isolated vertices carry only
+//! teleport flow), so the harness reports component structure alongside
+//! Table I, and the tests use components as an independent oracle: on a
+//! graph whose planted communities are *disconnected*, every detector must
+//! return exactly the components.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::partition::Partition;
+
+/// Result of a component decomposition.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component label per vertex (dense, `0..count`).
+    pub partition: Partition,
+    /// Number of components.
+    pub count: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+/// Finds weakly connected components (edge direction ignored) with an
+/// iterative BFS over both adjacency directions.
+pub fn connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut count = 0u32;
+
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            for e in graph.out_neighbors(u).iter() {
+                if labels[e.target as usize] == u32::MAX {
+                    labels[e.target as usize] = count;
+                    queue.push(e.target);
+                }
+            }
+            for e in graph.in_neighbors(u).iter() {
+                if labels[e.target as usize] == u32::MAX {
+                    labels[e.target as usize] = count;
+                    queue.push(e.target);
+                }
+            }
+        }
+        count += 1;
+    }
+
+    let partition = Partition::from_labels(labels);
+    let largest = partition.community_sizes().into_iter().max().unwrap_or(0);
+    Components {
+        count: partition.num_communities(),
+        largest,
+        partition,
+    }
+}
+
+/// Breadth-first distances (in hops, out-edges only) from `source`;
+/// unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(graph: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut next = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        for &u in &frontier {
+            for e in graph.out_neighbors(u).iter() {
+                if dist[e.target as usize] == u32::MAX {
+                    dist[e.target as usize] = level;
+                    next.push(e.target);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::barabasi_albert;
+
+    #[test]
+    fn two_components_found() {
+        let mut b = GraphBuilder::undirected(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(3, 4, 1.0);
+        let c = connected_components(&b.build());
+        assert_eq!(c.count, 2);
+        assert_eq!(c.largest, 3);
+        assert_eq!(
+            c.partition.community_of(0),
+            c.partition.community_of(2)
+        );
+        assert_ne!(
+            c.partition.community_of(0),
+            c.partition.community_of(3)
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = GraphBuilder::undirected(3).build();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.largest, 1);
+    }
+
+    #[test]
+    fn directed_weak_connectivity() {
+        // 0 -> 1, 2 -> 1: weakly connected despite no directed path 0 to 2.
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 1, 1.0);
+        let c = connected_components(&b.build());
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn ba_graph_is_connected() {
+        let g = barabasi_albert(1000, 2, 3);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1, "preferential attachment builds connected graphs");
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let d = bfs_distances(&b.build(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1, 1.0);
+        let d = bfs_distances(&b.build(), 1);
+        assert_eq!(d[1], 0);
+        assert_eq!(d[0], u32::MAX); // directed: no edge back
+        assert_eq!(d[2], u32::MAX);
+    }
+}

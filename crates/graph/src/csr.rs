@@ -1,0 +1,449 @@
+//! Compressed sparse row (CSR) weighted graph.
+//!
+//! The paper's HyPC-Map substrate stores, for every vertex, its outgoing and
+//! incoming weighted adjacency. `FindBestCommunity` (Algorithm 1) walks the
+//! out-links to accumulate `outFlowToModules` and the in-links to accumulate
+//! `inFlowFromModules`, so both directions must be cheap to iterate. We store
+//! two CSR structures sharing one node count; for undirected graphs the two
+//! are identical views built from the symmetrized edge list.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. The paper's largest network (Orkut) has ~3M vertices, so
+/// `u32` is sufficient and halves index memory versus `usize` (Rust
+/// Performance Book, "Smaller Integers").
+pub type NodeId = u32;
+
+/// A single weighted edge endpoint as seen from a source vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// The neighbouring vertex.
+    pub target: NodeId,
+    /// Edge weight (accumulated over parallel edges at build time).
+    pub weight: f64,
+}
+
+/// Direction of an adjacency query on a [`CsrGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges away from the vertex (`outLinks` in Algorithm 1).
+    Out,
+    /// Follow edges into the vertex (used for `inFlowFromModules`).
+    In,
+}
+
+/// Immutable weighted graph in CSR form with both adjacency directions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_nodes: u32,
+    directed: bool,
+    /// Out-adjacency row offsets, length `num_nodes + 1`.
+    out_offsets: Vec<u64>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f64>,
+    /// In-adjacency row offsets, length `num_nodes + 1`.
+    in_offsets: Vec<u64>,
+    in_targets: Vec<NodeId>,
+    in_weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Assembles a CSR graph from sorted, deduplicated adjacency arrays.
+    ///
+    /// This is the low-level constructor used by [`crate::GraphBuilder`];
+    /// prefer the builder unless you already hold valid CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the offsets are not monotone, do not start at 0, do not end
+    /// at the target array length, or if any target is out of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_csr_parts(
+        num_nodes: u32,
+        directed: bool,
+        out_offsets: Vec<u64>,
+        out_targets: Vec<NodeId>,
+        out_weights: Vec<f64>,
+        in_offsets: Vec<u64>,
+        in_targets: Vec<NodeId>,
+        in_weights: Vec<f64>,
+    ) -> Self {
+        validate_csr(num_nodes, &out_offsets, &out_targets, &out_weights);
+        validate_csr(num_nodes, &in_offsets, &in_targets, &in_weights);
+        Self {
+            num_nodes,
+            directed,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of directed arcs stored in the out-adjacency. For an undirected
+    /// graph each input edge contributes two arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Number of logical edges: arcs for directed graphs, arcs/2 for
+    /// undirected graphs (self-loops, which appear once, are counted once).
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.num_arcs()
+        } else {
+            let self_loops = (0..self.num_nodes)
+                .map(|u| {
+                    self.out_neighbors(u)
+                        .iter()
+                        .filter(|e| e.target == u)
+                        .count()
+                })
+                .sum::<usize>();
+            (self.num_arcs() - self_loops) / 2 + self_loops
+        }
+    }
+
+    /// Whether the graph was built as directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `u` (number of stored arcs, after weight-merging).
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        (self.out_offsets[u + 1] - self.out_offsets[u]) as usize
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        (self.in_offsets[u + 1] - self.in_offsets[u]) as usize
+    }
+
+    /// Total degree used for the CAM-capacity study (Figure 5): the number of
+    /// distinct accumulation keys touched when processing vertex `u`, which is
+    /// bounded by out-degree + in-degree.
+    #[inline]
+    pub fn total_degree(&self, u: NodeId) -> usize {
+        self.out_degree(u) + self.in_degree(u)
+    }
+
+    /// Iterates the out-neighbourhood of `u` as `(target, weight)` pairs.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> Neighbors<'_> {
+        let (lo, hi) = self.range(&self.out_offsets, u);
+        Neighbors {
+            targets: &self.out_targets[lo..hi],
+            weights: &self.out_weights[lo..hi],
+        }
+    }
+
+    /// Iterates the in-neighbourhood of `u` as `(source, weight)` pairs.
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> Neighbors<'_> {
+        let (lo, hi) = self.range(&self.in_offsets, u);
+        Neighbors {
+            targets: &self.in_targets[lo..hi],
+            weights: &self.in_weights[lo..hi],
+        }
+    }
+
+    /// Neighbourhood in a chosen [`Direction`].
+    #[inline]
+    pub fn neighbors(&self, u: NodeId, dir: Direction) -> Neighbors<'_> {
+        match dir {
+            Direction::Out => self.out_neighbors(u),
+            Direction::In => self.in_neighbors(u),
+        }
+    }
+
+    /// Sum of outgoing edge weights of `u` (the random walker's normalization
+    /// denominator in the flow model).
+    pub fn out_weight(&self, u: NodeId) -> f64 {
+        self.out_neighbors(u).weights().iter().sum()
+    }
+
+    /// Sum of incoming edge weights of `u`.
+    pub fn in_weight(&self, u: NodeId) -> f64 {
+        self.in_neighbors(u).weights().iter().sum()
+    }
+
+    /// Total weight over all stored arcs.
+    pub fn total_arc_weight(&self) -> f64 {
+        self.out_weights.iter().sum()
+    }
+
+    /// Vertices with no outgoing links (dangling nodes). PageRank must
+    /// redistribute their rank mass via teleportation.
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes)
+            .filter(|&u| self.out_degree(u) == 0)
+            .collect()
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes
+    }
+
+    /// All arcs as `(source, target, weight)` triples, in CSR order.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.out_neighbors(u)
+                .iter()
+                .map(move |e| (u, e.target, e.weight))
+        })
+    }
+
+    #[inline]
+    fn range(&self, offsets: &[u64], u: NodeId) -> (usize, usize) {
+        let u = u as usize;
+        (offsets[u] as usize, offsets[u + 1] as usize)
+    }
+
+    /// Raw CSR arrays `(offsets, targets, weights)` of the out-adjacency.
+    /// Advanced API for serialization and zero-copy analysis.
+    pub fn out_csr(&self) -> (&[u64], &[NodeId], &[f64]) {
+        (&self.out_offsets, &self.out_targets, &self.out_weights)
+    }
+
+    /// Raw CSR arrays of the in-adjacency. See [`CsrGraph::out_csr`].
+    pub fn in_csr(&self) -> (&[u64], &[NodeId], &[f64]) {
+        (&self.in_offsets, &self.in_targets, &self.in_weights)
+    }
+}
+
+fn validate_csr(num_nodes: u32, offsets: &[u64], targets: &[NodeId], weights: &[f64]) {
+    assert_eq!(
+        offsets.len(),
+        num_nodes as usize + 1,
+        "offset array must have num_nodes + 1 entries"
+    );
+    assert_eq!(offsets[0], 0, "offsets must start at 0");
+    assert_eq!(
+        *offsets.last().unwrap() as usize,
+        targets.len(),
+        "offsets must end at the arc count"
+    );
+    assert_eq!(targets.len(), weights.len());
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "offsets must be monotone"
+    );
+    assert!(
+        targets.iter().all(|&t| t < num_nodes),
+        "edge target out of range"
+    );
+}
+
+/// Borrowed view of one vertex's adjacency.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbors<'g> {
+    targets: &'g [NodeId],
+    weights: &'g [f64],
+}
+
+impl<'g> Neighbors<'g> {
+    /// Number of neighbours in this view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the vertex has no neighbours in this direction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The neighbour ids.
+    #[inline]
+    pub fn targets(&self) -> &'g [NodeId] {
+        self.targets
+    }
+
+    /// The matching edge weights.
+    #[inline]
+    pub fn weights(&self) -> &'g [f64] {
+        self.weights
+    }
+
+    /// Iterate as [`EdgeRef`]s.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = EdgeRef> + 'g {
+        self.targets
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(&target, &weight)| EdgeRef { target, weight })
+    }
+}
+
+impl<'g> IntoIterator for Neighbors<'g> {
+    type Item = EdgeRef;
+    type IntoIter = NeighborsIter<'g>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        NeighborsIter { view: self, pos: 0 }
+    }
+}
+
+/// Owning iterator over a [`Neighbors`] view.
+pub struct NeighborsIter<'g> {
+    view: Neighbors<'g>,
+    pos: usize,
+}
+
+impl<'g> Iterator for NeighborsIter<'g> {
+    type Item = EdgeRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<EdgeRef> {
+        if self.pos < self.view.len() {
+            let e = EdgeRef {
+                target: self.view.targets[self.pos],
+                weight: self.view.weights[self.pos],
+            };
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.view.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<'g> ExactSizeIterator for NeighborsIter<'g> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_directed());
+        for u in 0..3 {
+            assert_eq!(g.out_degree(u), 2);
+            assert_eq!(g.in_degree(u), 2);
+            assert_eq!(g.total_degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn weights_symmetric_for_undirected() {
+        let g = triangle();
+        let w01: f64 = g
+            .out_neighbors(0)
+            .iter()
+            .find(|e| e.target == 1)
+            .unwrap()
+            .weight;
+        let w10: f64 = g
+            .out_neighbors(1)
+            .iter()
+            .find(|e| e.target == 0)
+            .unwrap()
+            .weight;
+        assert_eq!(w01, w10);
+        assert_eq!(w01, 1.0);
+    }
+
+    #[test]
+    fn directed_in_out_distinct() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        let g = b.build();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.out_degree(1), 0);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dangling_nodes_found() {
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        assert_eq!(g.dangling_nodes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn arc_iteration_covers_all() {
+        let g = triangle();
+        let total: f64 = g.arcs().map(|(_, _, w)| w).sum();
+        assert!((total - 2.0 * (1.0 + 2.0 + 3.0)).abs() < 1e-12);
+        assert_eq!(g.arcs().count(), 6);
+    }
+
+    #[test]
+    fn out_weight_sums() {
+        let g = triangle();
+        assert!((g.out_weight(0) - 4.0).abs() < 1e-12);
+        assert!((g.in_weight(0) - 4.0).abs() < 1e-12);
+        assert!((g.total_arc_weight() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge target out of range")]
+    fn invalid_target_rejected() {
+        CsrGraph::from_csr_parts(
+            1,
+            true,
+            vec![0, 1],
+            vec![5],
+            vec![1.0],
+            vec![0, 0],
+            vec![],
+            vec![],
+        );
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let g = triangle();
+        let it = g.out_neighbors(0).into_iter();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.count(), 2);
+    }
+
+    #[test]
+    fn self_loop_counted_once() {
+        let mut b = GraphBuilder::undirected(2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

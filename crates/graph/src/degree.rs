@@ -1,0 +1,253 @@
+//! Degree-distribution analytics backing Figures 4 and 5.
+//!
+//! Figure 4 plots the (heavily skewed) degree histograms of LiveJournal,
+//! Pokec, and YouTube; Figure 5 turns those into the fraction of vertices
+//! whose neighbour list fits in a core-local CAM of 1–8 KB. Both reduce to
+//! simple functions of the degree sequence computed here.
+
+use crate::csr::CsrGraph;
+
+/// Degree histogram: `counts[k]` is the number of vertices with degree `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeHistogram {
+    counts: Vec<u64>,
+    num_nodes: u64,
+}
+
+/// Which degree to histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeKind {
+    /// Out-degree only. For undirected graphs this is the conventional
+    /// neighbour count, and it bounds the CAM working set of one
+    /// accumulation phase of Algorithm 2 (out-flow and in-flow are
+    /// accumulated in separate phases, each gathered before the next).
+    Out,
+    /// In-degree only.
+    In,
+    /// Out + in. Note that undirected graphs store both arc directions, so
+    /// this is twice the conventional degree there.
+    Total,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram of the chosen degree over all vertices.
+    pub fn of(graph: &CsrGraph, kind: DegreeKind) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        for u in graph.nodes() {
+            let d = match kind {
+                DegreeKind::Out => graph.out_degree(u),
+                DegreeKind::In => graph.in_degree(u),
+                DegreeKind::Total => graph.total_degree(u),
+            };
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+        }
+        Self {
+            counts,
+            num_nodes: graph.num_nodes() as u64,
+        }
+    }
+
+    /// `counts[k]` slice; index = degree.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Largest observed degree.
+    pub fn max_degree(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        total as f64 / self.num_nodes as f64
+    }
+
+    /// Complementary CDF: fraction of vertices with degree > `k`.
+    pub fn ccdf(&self, k: usize) -> f64 {
+        let above: u64 = self.counts.iter().skip(k + 1).sum();
+        above as f64 / self.num_nodes as f64
+    }
+
+    /// Fraction of vertices with degree ≤ `k` (Figure 5's y-axis).
+    pub fn coverage(&self, k: usize) -> f64 {
+        1.0 - self.ccdf(k)
+    }
+
+    /// Log-binned `(degree, count)` series for plotting Figure 4 on log-log
+    /// axes: bins are powers of `base` (use 2.0), each reported at its
+    /// geometric centre with the *average* count per integer degree in the
+    /// bin so power-law slopes remain unbiased.
+    pub fn log_binned(&self, base: f64) -> Vec<(f64, f64)> {
+        assert!(base > 1.0);
+        let mut out = Vec::new();
+        let mut lo = 1usize;
+        while lo <= self.max_degree() {
+            let hi = ((lo as f64 * base).ceil() as usize).max(lo + 1);
+            let span = hi - lo;
+            let total: u64 = self
+                .counts
+                .iter()
+                .skip(lo)
+                .take(span)
+                .sum();
+            if total > 0 {
+                let centre = (lo as f64 * (hi - 1) as f64).sqrt();
+                out.push((centre, total as f64 / span as f64));
+            }
+            lo = hi;
+        }
+        out
+    }
+
+    /// Maximum-likelihood power-law exponent fit (Clauset–Shalizi–Newman
+    /// discrete MLE approximation) for degrees ≥ `k_min`:
+    /// `alpha = 1 + n / Σ ln(k / (k_min - 0.5))`.
+    pub fn power_law_alpha(&self, k_min: usize) -> Option<f64> {
+        assert!(k_min >= 1);
+        let mut n = 0u64;
+        let mut log_sum = 0.0f64;
+        for (k, &c) in self.counts.iter().enumerate().skip(k_min) {
+            if c > 0 {
+                n += c;
+                log_sum += c as f64 * (k as f64 / (k_min as f64 - 0.5)).ln();
+            }
+        }
+        if n < 10 || log_sum <= 0.0 {
+            return None;
+        }
+        Some(1.0 + n as f64 / log_sum)
+    }
+}
+
+/// Result row of the CAM-coverage study (Figure 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CamCoverage {
+    /// CAM capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Number of key/value entries that capacity holds.
+    pub entries: usize,
+    /// Fraction of vertices whose accumulation working set fits without
+    /// overflowing.
+    pub fraction_covered: f64,
+}
+
+/// Computes, for each CAM capacity, the fraction of vertices whose
+/// neighbourhood accumulation fits entirely on-chip (Figure 5).
+///
+/// A vertex's working set is bounded by its degree in the accumulated
+/// direction: each distinct neighbouring *module* needs one CAM entry, and
+/// the number of distinct modules is at most the degree. `entry_bytes` is
+/// the CAM line size per key/value pair (the paper's ASA stores a 32-bit key
+/// and 64-bit partial sum; we default to 16 bytes with padding).
+pub fn cam_coverage(
+    graph: &CsrGraph,
+    capacities_bytes: &[usize],
+    entry_bytes: usize,
+    kind: DegreeKind,
+) -> Vec<CamCoverage> {
+    assert!(entry_bytes > 0);
+    let hist = DegreeHistogram::of(graph, kind);
+    capacities_bytes
+        .iter()
+        .map(|&cap| {
+            let entries = cap / entry_bytes;
+            CamCoverage {
+                capacity_bytes: cap,
+                entries,
+                fraction_covered: hist.coverage(entries),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+    use crate::GraphBuilder;
+
+    fn star(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::undirected(n);
+        for v in 1..n as u32 {
+            b.add_edge(0, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_histogram() {
+        let g = star(11);
+        let h = DegreeHistogram::of(&g, DegreeKind::Out);
+        assert_eq!(h.counts()[1], 10);
+        assert_eq!(h.counts()[10], 1);
+        assert_eq!(h.max_degree(), 10);
+        assert!((h.mean() - 20.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_and_coverage() {
+        let g = star(11);
+        let h = DegreeHistogram::of(&g, DegreeKind::Out);
+        assert!((h.ccdf(1) - 1.0 / 11.0).abs() < 1e-12);
+        assert!((h.coverage(1) - 10.0 / 11.0).abs() < 1e-12);
+        assert_eq!(h.coverage(10), 1.0);
+    }
+
+    #[test]
+    fn total_degree_counts_both_directions() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 1, 1.0);
+        let g = b.build();
+        let h = DegreeHistogram::of(&g, DegreeKind::Total);
+        assert_eq!(h.counts()[2], 1); // vertex 1: in-degree 2
+        assert_eq!(h.counts()[1], 2); // vertices 0 and 2
+    }
+
+    #[test]
+    fn ba_power_law_fit() {
+        let g = barabasi_albert(20_000, 3, 13);
+        let h = DegreeHistogram::of(&g, DegreeKind::Out);
+        let alpha = h.power_law_alpha(6).expect("enough tail mass");
+        // BA's theoretical exponent is 3; MLE with finite n lands nearby.
+        assert!(
+            (2.2..4.2).contains(&alpha),
+            "BA exponent fit {alpha} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn cam_coverage_monotone() {
+        let g = barabasi_albert(5_000, 4, 3);
+        let rows = cam_coverage(&g, &[1024, 2048, 4096, 8192], 16, DegreeKind::Out);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[0].fraction_covered <= w[1].fraction_covered);
+        }
+        // Headline claim of the paper: 8KB covers > 99% on power-law graphs.
+        assert!(rows[3].fraction_covered > 0.99);
+        // And 1KB already covers > 82%.
+        assert!(rows[0].fraction_covered > 0.82);
+    }
+
+    #[test]
+    fn log_binning_conserves_mass() {
+        let g = barabasi_albert(2_000, 3, 5);
+        let h = DegreeHistogram::of(&g, DegreeKind::Out);
+        let binned = h.log_binned(2.0);
+        assert!(!binned.is_empty());
+        // Bin centres strictly increase.
+        for w in binned.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

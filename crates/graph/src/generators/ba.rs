@@ -1,0 +1,106 @@
+//! Barabási–Albert preferential attachment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Generates an undirected Barabási–Albert graph: `n` vertices, each new
+/// vertex attaching to `m` existing vertices with probability proportional to
+/// their current degree. The resulting degree distribution follows a power
+/// law with exponent ≈ 3, matching the heavy-tailed shape of the paper's
+/// social networks (Figure 4).
+///
+/// Implementation uses the standard repeated-endpoint list trick: sampling a
+/// uniform element of the edge-endpoint list is exactly degree-proportional
+/// sampling, giving O(n·m) construction.
+///
+/// # Panics
+/// Panics unless `1 <= m < n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Endpoint list: every arc endpoint appears once, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut builder = GraphBuilder::undirected(n).drop_self_loops(true);
+    builder.reserve(n * m);
+
+    // Seed clique-ish core: connect the first m+1 vertices in a ring so every
+    // early vertex has nonzero degree.
+    let core = m + 1;
+    for u in 0..core {
+        let v = (u + 1) % core;
+        builder.add_edge(u as u32, v as u32, 1.0);
+        endpoints.push(u as u32);
+        endpoints.push(v as u32);
+    }
+
+    let mut picked: Vec<u32> = Vec::with_capacity(m);
+    for u in core..n {
+        picked.clear();
+        // Rejection-sample m distinct targets; degree-proportional.
+        while picked.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            builder.add_edge(u as u32, t, 1.0);
+            endpoints.push(u as u32);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match() {
+        let g = barabasi_albert(500, 3, 42);
+        assert_eq!(g.num_nodes(), 500);
+        // ring core has m+1 edges; each later vertex adds m.
+        assert_eq!(g.num_edges(), 4 + (500 - 4) * 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(200, 2, 7);
+        let b = barabasi_albert(200, 2, 7);
+        assert_eq!(
+            a.arcs().collect::<Vec<_>>(),
+            b.arcs().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = barabasi_albert(200, 2, 7);
+        let b = barabasi_albert(200, 2, 8);
+        assert_ne!(
+            a.arcs().collect::<Vec<_>>(),
+            b.arcs().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn has_hub_vertices() {
+        let g = barabasi_albert(2000, 2, 1);
+        let max_deg = g.nodes().map(|u| g.out_degree(u)).max().unwrap();
+        // Preferential attachment must concentrate degree far above the mean.
+        assert!(max_deg > 20, "max degree {max_deg} too small for BA");
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(300, 3, 9);
+        let min_deg = g.nodes().map(|u| g.out_degree(u)).min().unwrap();
+        assert!(min_deg >= 2, "every vertex attaches with >= m-1 distinct edges");
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic stand-ins for the paper's Table I datasets.
+//!
+//! The six SNAP networks are not redistributable inside this repository, so
+//! each is replaced by a deterministic LFR-style synthetic network whose
+//! vertex count, average degree, and power-law tail match the original at a
+//! configurable down-scale factor (DESIGN.md, substitution 1). All measured
+//! effects — software-hash pressure, CAM overflow rates, branch behaviour —
+//! are functions of the degree distribution and community-merge dynamics
+//! that these stand-ins preserve.
+
+use super::lfr::{lfr_benchmark, LfrConfig};
+use crate::csr::CsrGraph;
+use crate::partition::Partition;
+
+/// Identifier for each of the paper's six networks (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperNetwork {
+    /// com-Amazon: 334,863 vertices, 925,872 edges.
+    Amazon,
+    /// com-DBLP: 317,080 vertices, 1,049,866 edges.
+    Dblp,
+    /// com-YouTube: 1,134,890 vertices, 2,987,624 edges.
+    YouTube,
+    /// soc-Pokec: 1,632,803 vertices, 30,622,564 edges.
+    Pokec,
+    /// soc-LiveJournal: 3,997,962 vertices, 34,681,189 edges.
+    LiveJournal,
+    /// com-Orkut: 3,072,441 vertices, 117,185,083 edges.
+    Orkut,
+}
+
+impl PaperNetwork {
+    /// Lower-case display name used throughout the harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperNetwork::Amazon => "amazon",
+            PaperNetwork::Dblp => "dblp",
+            PaperNetwork::YouTube => "youtube",
+            PaperNetwork::Pokec => "soc-pokec",
+            PaperNetwork::LiveJournal => "livejournal",
+            PaperNetwork::Orkut => "orkut",
+        }
+    }
+
+    /// Vertex count reported in Table I of the paper.
+    pub fn paper_vertices(self) -> usize {
+        match self {
+            PaperNetwork::Amazon => 334_863,
+            PaperNetwork::Dblp => 317_080,
+            PaperNetwork::YouTube => 1_134_890,
+            PaperNetwork::Pokec => 1_632_803,
+            PaperNetwork::LiveJournal => 3_997_962,
+            PaperNetwork::Orkut => 3_072_441,
+        }
+    }
+
+    /// Edge count reported in Table I of the paper.
+    pub fn paper_edges(self) -> usize {
+        match self {
+            PaperNetwork::Amazon => 925_872,
+            PaperNetwork::Dblp => 1_049_866,
+            PaperNetwork::YouTube => 2_987_624,
+            PaperNetwork::Pokec => 30_622_564,
+            PaperNetwork::LiveJournal => 34_681_189,
+            PaperNetwork::Orkut => 117_185_083,
+        }
+    }
+
+    /// Average degree implied by Table I.
+    pub fn avg_degree(self) -> f64 {
+        2.0 * self.paper_edges() as f64 / self.paper_vertices() as f64
+    }
+
+    /// All six networks, in Table I order.
+    pub fn all() -> [PaperNetwork; 6] {
+        [
+            PaperNetwork::Amazon,
+            PaperNetwork::Dblp,
+            PaperNetwork::YouTube,
+            PaperNetwork::Pokec,
+            PaperNetwork::LiveJournal,
+            PaperNetwork::Orkut,
+        ]
+    }
+
+    /// The five networks used in the hash-operation comparison (Table V /
+    /// Figure 6): everything except LiveJournal.
+    pub fn hash_comparison_set() -> [PaperNetwork; 5] {
+        [
+            PaperNetwork::Amazon,
+            PaperNetwork::Dblp,
+            PaperNetwork::YouTube,
+            PaperNetwork::Pokec,
+            PaperNetwork::Orkut,
+        ]
+    }
+}
+
+/// Recipe for synthesizing one stand-in network.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    /// Which paper network this stands in for.
+    pub network: PaperNetwork,
+    /// Down-scale denominator: the stand-in has `paper_vertices / scale_div`
+    /// vertices with the *paper's* average degree.
+    pub scale_div: usize,
+    /// Degree power-law exponent (Figure 4 fits of social networks sit
+    /// between roughly 2 and 3).
+    pub degree_exponent: f64,
+    /// LFR mixing parameter.
+    pub mu: f64,
+    /// Generation seed; fixed per network for reproducibility.
+    pub seed: u64,
+}
+
+impl NetworkSpec {
+    /// Default recipe for a network at the given scale divisor.
+    pub fn new(network: PaperNetwork, scale_div: usize) -> Self {
+        assert!(scale_div >= 1);
+        // Denser social networks (Pokec/Orkut) have flatter tails; the
+        // co-purchase/co-author graphs (Amazon/DBLP) are steeper.
+        let degree_exponent = match network {
+            PaperNetwork::Amazon | PaperNetwork::Dblp => 2.8,
+            PaperNetwork::YouTube => 2.2,
+            _ => 2.4,
+        };
+        Self {
+            network,
+            scale_div,
+            degree_exponent,
+            mu: 0.25,
+            seed: 0xA5A0_0000 + network as u64,
+        }
+    }
+
+    /// Vertex count of the stand-in.
+    pub fn num_vertices(&self) -> usize {
+        (self.network.paper_vertices() / self.scale_div).max(1000)
+    }
+
+    /// Target average degree (matches the paper network exactly, because the
+    /// hash-table working-set per vertex is the degree, not the graph size).
+    pub fn avg_degree(&self) -> usize {
+        (self.network.avg_degree().round() as usize).max(3)
+    }
+
+    /// Materializes the stand-in graph and its planted communities.
+    pub fn generate(&self) -> (CsrGraph, Partition) {
+        let n = self.num_vertices();
+        let avg = self.avg_degree();
+        // Max degree: SNAP hubs reach tens of thousands of neighbours
+        // (Orkut's max degree is ~33k on 3.1M vertices, roughly n^0.7).
+        // Scale hubs superlinearly in n so that, at realistic harness
+        // scales, the largest neighbourhoods of the *dense* networks
+        // overflow an 8KB CAM exactly as the paper's Section IV-C overflow
+        // analysis requires; the sparse co-purchase/co-author graphs keep
+        // modest hubs (real max degrees: Amazon 549, DBLP 343) and the
+        // paper reports overflow cost only for Pokec and Orkut.
+        let hub_factor = match self.network {
+            PaperNetwork::Pokec | PaperNetwork::Orkut | PaperNetwork::LiveJournal => 2.0,
+            PaperNetwork::YouTube => 0.85,
+            _ => 1.0,
+        };
+        let max_degree = ((n as f64).powf(0.65) * hub_factor) as usize;
+        let max_degree = max_degree.max(4 * avg).min(n / 2).max(avg + 2);
+        let cfg = LfrConfig {
+            n,
+            degree_exponent: self.degree_exponent,
+            community_exponent: 1.5,
+            avg_degree: avg,
+            max_degree,
+            min_community: (avg * 2).max(10),
+            max_community: ((avg * 20).max(50)).min(n / 2),
+            mu: self.mu,
+        };
+        let lfr = lfr_benchmark(&cfg, self.seed);
+        (lfr.graph, lfr.ground_truth)
+    }
+}
+
+/// Generates one stand-in network at a given scale divisor.
+pub fn synth_network(network: PaperNetwork, scale_div: usize) -> (CsrGraph, Partition) {
+    NetworkSpec::new(network, scale_div).generate()
+}
+
+/// Specs for every Table I network at a common scale divisor.
+pub fn paper_networks(scale_div: usize) -> Vec<NetworkSpec> {
+    PaperNetwork::all()
+        .into_iter()
+        .map(|n| NetworkSpec::new(n, scale_div))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        assert_eq!(PaperNetwork::Orkut.paper_vertices(), 3_072_441);
+        assert_eq!(PaperNetwork::Amazon.paper_edges(), 925_872);
+        assert!((PaperNetwork::Orkut.avg_degree() - 76.28).abs() < 0.1);
+    }
+
+    #[test]
+    fn standin_matches_degree() {
+        let spec = NetworkSpec::new(PaperNetwork::Amazon, 64);
+        let (g, truth) = spec.generate();
+        assert_eq!(g.num_nodes(), spec.num_vertices());
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        let target = spec.avg_degree() as f64;
+        assert!(
+            (avg - target).abs() / target < 0.5,
+            "avg degree {avg} vs target {target}"
+        );
+        assert!(truth.num_communities() > 1);
+    }
+
+    #[test]
+    fn all_six_listed() {
+        let specs = paper_networks(128);
+        assert_eq!(specs.len(), 6);
+        let names: Vec<_> = specs.iter().map(|s| s.network.name()).collect();
+        assert!(names.contains(&"orkut") && names.contains(&"soc-pokec"));
+    }
+
+    #[test]
+    fn deterministic_standins() {
+        let (a, _) = synth_network(PaperNetwork::Dblp, 256);
+        let (b, _) = synth_network(PaperNetwork::Dblp, 256);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,57 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Generates an undirected Erdős–Rényi graph with `n` vertices and `m`
+/// uniformly random edges (before parallel-edge merging). ER graphs have
+/// *no* community structure and a binomial (light-tailed) degree
+/// distribution, making them the control case in the CAM-coverage and
+/// quality experiments.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::undirected(n).drop_self_loops(true);
+    builder.reserve(m);
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            builder.add_edge(u, v, 1.0);
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_close() {
+        let g = erdos_renyi(1000, 5000, 1);
+        assert_eq!(g.num_nodes(), 1000);
+        // A few duplicates merge; the bulk must survive.
+        assert!(g.num_edges() > 4900 && g.num_edges() <= 5000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(100, 300, 9);
+        let b = erdos_renyi(100, 300, 9);
+        assert_eq!(a.arcs().collect::<Vec<_>>(), b.arcs().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn light_tailed() {
+        let g = erdos_renyi(5000, 25_000, 3);
+        let max_deg = g.nodes().map(|u| g.out_degree(u)).max().unwrap();
+        // Binomial(n, p) with mean 10: max should stay within a small factor.
+        assert!(max_deg < 40, "ER max degree {max_deg} unexpectedly heavy");
+    }
+}

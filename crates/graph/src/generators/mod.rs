@@ -1,0 +1,104 @@
+//! Deterministic, seeded graph generators.
+//!
+//! The paper evaluates on six SNAP social networks (Table I). Those exact
+//! datasets are not redistributable here, so the harness synthesizes
+//! *stand-ins* whose properties drive every measured effect: power-law degree
+//! distributions (Figure 4), sparsity, and community structure. Each
+//! generator takes an explicit seed and is deterministic across runs and
+//! platforms.
+
+mod ba;
+mod datasets;
+mod er;
+mod lfr;
+mod planted;
+mod rmat;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use datasets::{paper_networks, synth_network, NetworkSpec, PaperNetwork};
+pub use er::erdos_renyi;
+pub use lfr::{lfr_benchmark, LfrConfig, LfrGraph};
+pub use planted::{planted_partition, PlantedConfig};
+pub use rmat::{rmat, RmatConfig};
+pub use ws::watts_strogatz;
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Samples from a discrete power law `P(k) ∝ k^-alpha` on `[k_min, k_max]`
+/// via inverse-CDF on the continuous approximation, rounded down.
+///
+/// Used by the LFR-style generator for both degree and community-size
+/// sequences, matching Lancichinetti–Fortunato–Radicchi's construction.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLaw {
+    alpha: f64,
+    k_min: f64,
+    k_max: f64,
+}
+
+impl PowerLaw {
+    /// Creates a sampler for exponent `alpha > 1` over `[k_min, k_max]`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 1.0` and `1 <= k_min < k_max`.
+    pub fn new(alpha: f64, k_min: usize, k_max: usize) -> Self {
+        assert!(alpha > 1.0, "power-law exponent must exceed 1");
+        assert!(k_min >= 1 && k_min < k_max, "need 1 <= k_min < k_max");
+        Self {
+            alpha,
+            k_min: k_min as f64,
+            k_max: k_max as f64 + 1.0,
+        }
+    }
+}
+
+impl Distribution<usize> for PowerLaw {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // Inverse CDF of the truncated continuous Pareto distribution.
+        let u: f64 = rng.gen();
+        let a = 1.0 - self.alpha;
+        let lo = self.k_min.powf(a);
+        let hi = self.k_max.powf(a);
+        let x = (lo + u * (hi - lo)).powf(1.0 / a);
+        (x.floor() as usize).clamp(self.k_min as usize, self.k_max as usize - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_in_range() {
+        let pl = PowerLaw::new(2.5, 2, 100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = pl.sample(&mut rng);
+            assert!((2..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        // For alpha=2.5 on [2,1000], the small values dominate: the median
+        // must land near k_min while the max reaches far beyond it.
+        let pl = PowerLaw::new(2.5, 2, 1000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut samples: Vec<usize> = (0..50_000).map(|_| pl.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let max = *samples.last().unwrap();
+        assert!(median <= 4, "median {median} should hug k_min");
+        assert!(max >= 100, "max {max} should stretch into the tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must exceed 1")]
+    fn alpha_validated() {
+        PowerLaw::new(1.0, 2, 10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex connects to its `k` nearest neighbours (`k` even), with each
+/// edge rewired to a uniform random endpoint with probability `beta`.
+///
+/// Small-world graphs have *homogeneous* degree (no hubs) but strong local
+/// clustering — the opposite regime from the scale-free social networks,
+/// used by the ablation benches to show the CAM-capacity result is a
+/// property of degree distributions, not of graphs in general.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(k < n, "ring degree must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::undirected(n).drop_self_loops(true);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            let (mut a, mut b) = (u as u32, v as u32);
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint.
+                let mut w = rng.gen_range(0..n as u32);
+                let mut guard = 0;
+                while (w == a || w == b) && guard < 16 {
+                    w = rng.gen_range(0..n as u32);
+                    guard += 1;
+                }
+                b = w;
+            }
+            if a != b {
+                // Keep deterministic canonical order for reproducibility.
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                builder.add_edge(a, b, 1.0);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::connected_components;
+    use crate::degree::{DegreeHistogram, DegreeKind};
+
+    #[test]
+    fn lattice_without_rewiring() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        // Pure ring lattice: every vertex has degree exactly k.
+        for u in g.nodes() {
+            assert_eq!(g.out_degree(u), 4);
+        }
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_count_close() {
+        let g0 = watts_strogatz(500, 6, 0.0, 2);
+        let g1 = watts_strogatz(500, 6, 0.3, 2);
+        // Rewired duplicates merge, so slightly fewer edges survive.
+        assert!(g1.num_edges() <= g0.num_edges());
+        assert!(g1.num_edges() as f64 > 0.9 * g0.num_edges() as f64);
+    }
+
+    #[test]
+    fn degrees_stay_homogeneous() {
+        let g = watts_strogatz(2000, 8, 0.1, 3);
+        let h = DegreeHistogram::of(&g, DegreeKind::Out);
+        // No hubs: max degree within a small factor of the mean.
+        assert!(
+            (h.max_degree() as f64) < 3.0 * h.mean(),
+            "max {} vs mean {}",
+            h.max_degree(),
+            h.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(100, 4, 0.2, 9);
+        let b = watts_strogatz(100, 4, 0.2, 9);
+        assert_eq!(a.arcs().collect::<Vec<_>>(), b.arcs().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,83 @@
+//! Summary statistics used in harness output (Table I columns and more).
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrGraph;
+use crate::degree::{DegreeHistogram, DegreeKind};
+
+/// Descriptive statistics of a graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_nodes: usize,
+    /// Edge count (undirected edges or directed arcs).
+    pub num_edges: usize,
+    /// Directedness flag.
+    pub directed: bool,
+    /// Mean out-degree (for undirected graphs this is the conventional mean
+    /// degree `2|E|/|V|`, since both arc directions are stored).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Number of vertices with no out-links.
+    pub dangling: usize,
+    /// MLE power-law exponent of the total-degree tail, when fittable.
+    pub power_law_alpha: Option<f64>,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`. The power-law fit uses `k_min` equal
+    /// to twice the mean degree, a common heuristic for tail onset.
+    pub fn of(graph: &CsrGraph) -> Self {
+        let hist = DegreeHistogram::of(graph, DegreeKind::Out);
+        let mean = hist.mean();
+        let k_min = (2.0 * mean).ceil().max(2.0) as usize;
+        GraphStats {
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            directed: graph.is_directed(),
+            avg_degree: mean,
+            max_degree: hist.max_degree(),
+            dangling: graph.dangling_nodes().len(),
+            power_law_alpha: hist.power_law_alpha(k_min),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} ({}) avg_deg={:.2} max_deg={} dangling={}",
+            self.num_nodes,
+            self.num_edges,
+            if self.directed { "directed" } else { "undirected" },
+            self.avg_degree,
+            self.max_degree,
+            self.dangling,
+        )?;
+        if let Some(alpha) = self.power_law_alpha {
+            write!(f, " alpha={alpha:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+
+    #[test]
+    fn stats_of_ba() {
+        let g = barabasi_albert(3000, 3, 17);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_nodes, 3000);
+        assert!(!s.directed);
+        assert!(s.avg_degree > 5.0 && s.avg_degree < 7.0);
+        assert!(s.max_degree > 20);
+        assert_eq!(s.dangling, 0);
+        let text = s.to_string();
+        assert!(text.contains("|V|=3000"));
+    }
+}

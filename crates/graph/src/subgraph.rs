@@ -1,0 +1,148 @@
+//! Induced subgraphs and per-community extraction.
+//!
+//! After community detection, downstream analysis usually continues on a
+//! single community (e.g. re-running detection inside the giant community,
+//! or inspecting a protein module). These helpers materialize induced
+//! subgraphs with an id mapping back to the parent graph.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::builder::GraphBuilder;
+use crate::partition::Partition;
+
+/// An induced subgraph plus the mapping from its dense vertex ids back to
+/// the parent graph's ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph with vertices renumbered `0..k`.
+    pub graph: CsrGraph,
+    /// `original[i]` is the parent-graph id of subgraph vertex `i`.
+    pub original: Vec<NodeId>,
+}
+
+/// Extracts the subgraph induced by `vertices` (need not be sorted;
+/// duplicates are ignored). Edges are kept when both endpoints are in the
+/// set, with their weights.
+pub fn induced_subgraph(graph: &CsrGraph, vertices: &[NodeId]) -> Subgraph {
+    let mut original: Vec<NodeId> = vertices.to_vec();
+    original.sort_unstable();
+    original.dedup();
+    let mut dense = vec![u32::MAX; graph.num_nodes()];
+    for (i, &v) in original.iter().enumerate() {
+        dense[v as usize] = i as u32;
+    }
+
+    let mut builder = if graph.is_directed() {
+        GraphBuilder::directed(original.len())
+    } else {
+        GraphBuilder::undirected(original.len())
+    };
+    for &u in &original {
+        let du = dense[u as usize];
+        for e in graph.out_neighbors(u).iter() {
+            let dv = dense[e.target as usize];
+            if dv == u32::MAX {
+                continue;
+            }
+            // Undirected arcs appear in both directions; keep one.
+            if !graph.is_directed() && e.target < u {
+                continue;
+            }
+            builder.add_edge(du, dv, e.weight);
+        }
+    }
+    Subgraph {
+        graph: builder.build(),
+        original,
+    }
+}
+
+/// Extracts the subgraph induced by community `c` of `partition`.
+pub fn community_subgraph(graph: &CsrGraph, partition: &Partition, c: u32) -> Subgraph {
+    assert_eq!(graph.num_nodes(), partition.len());
+    let members: Vec<NodeId> = (0..graph.num_nodes() as u32)
+        .filter(|&u| partition.community_of(u) == c)
+        .collect();
+    induced_subgraph(graph, &members)
+}
+
+/// Extracts every community's subgraph, indexed by community label.
+pub fn all_community_subgraphs(graph: &CsrGraph, partition: &Partition) -> Vec<Subgraph> {
+    (0..partition.num_communities() as u32)
+        .map(|c| community_subgraph(graph, partition, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn induced_triangle() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 3); // bridge (2,3) dropped
+        assert_eq!(sub.original, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn community_extraction() {
+        let g = two_triangles();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let subs = all_community_subgraphs(&g, &p);
+        assert_eq!(subs.len(), 2);
+        for sub in &subs {
+            assert_eq!(sub.graph.num_nodes(), 3);
+            assert_eq!(sub.graph.num_edges(), 3);
+        }
+        assert_eq!(subs[1].original, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn duplicates_and_order_normalized() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[2, 0, 2, 1, 0]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.original, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_subgraph_preserves_direction() {
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 0, 3.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let sub = induced_subgraph(&g, &[0, 1]);
+        assert!(sub.graph.is_directed());
+        assert_eq!(sub.graph.num_edges(), 2);
+        let w01 = sub.graph.out_neighbors(0).iter().next().unwrap().weight;
+        assert_eq!(w01, 2.0);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_nodes(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(0, 1, 2.5);
+        b.add_edge(1, 2, 4.0);
+        let g = b.build();
+        let sub = induced_subgraph(&g, &[0, 1]);
+        assert_eq!(sub.graph.out_neighbors(0).iter().next().unwrap().weight, 2.5);
+    }
+}

@@ -1,0 +1,339 @@
+//! Chained hash table structurally modelling `std::unordered_map`.
+
+use asa_simarch::accum::FlowAccumulator;
+use asa_simarch::events::{phase, EventSink, InstrClass};
+
+use crate::{hash_key, sites};
+
+const NIL: u32 = u32::MAX;
+/// Fresh `unordered_map`s start small; libstdc++ picks 13 buckets, we use
+/// the nearest power of two.
+const INITIAL_BUCKETS: usize = 16;
+
+/// Synthetic address-space layout. Bucket array and node heap live in
+/// distinct regions so the cache model sees the same two access streams the
+/// real container generates.
+const BUCKET_BASE: u64 = 0x1000_0000;
+const NODE_BASE: u64 = 0x2000_0000;
+/// libstdc++ `_Hash_node` for a `<int, double>` pair: next pointer (8) +
+/// cached hash (8) + pair (16).
+const NODE_BYTES: u64 = 32;
+/// Bucket slot: one head pointer.
+const BUCKET_BYTES: u64 = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u32,
+    next: u32,
+    value: f64,
+    /// Heap slot, assigned at first allocation and stable under rehash
+    /// (nodes are relinked, not moved — exactly unordered_map's behaviour).
+    slot: u32,
+}
+
+/// Instrumented chained hash accumulator (the Baseline device).
+///
+/// Semantics: a `u32 → f64` sum map. Costs: every operation emits the
+/// micro-events of the equivalent `std::unordered_map` code path —
+/// hashing, bucket-head load, data-dependent chain walk with per-node
+/// compare branches and pointer-chase loads, node allocation, and
+/// load-factor-driven rehashes.
+#[derive(Debug)]
+pub struct ChainedAccumulator {
+    buckets: Vec<u32>,
+    nodes: Vec<Node>,
+    mask: u64,
+    /// Monotone heap-slot counter: models malloc returning fresh
+    /// allocations per vertex round, so chain neighbours sit on different
+    /// cache lines.
+    next_slot: u32,
+}
+
+impl Default for ChainedAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainedAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![NIL; INITIAL_BUCKETS],
+            nodes: Vec::new(),
+            mask: (INITIAL_BUCKETS - 1) as u64,
+            next_slot: 0,
+        }
+    }
+
+    /// Current number of stored keys.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current bucket count (grows by rehashing).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket_addr(&self, bucket: u64) -> u64 {
+        BUCKET_BASE + bucket * BUCKET_BYTES
+    }
+
+    #[inline]
+    fn node_addr(&self, node: &Node) -> u64 {
+        NODE_BASE + node.slot as u64 * NODE_BYTES
+    }
+
+    fn rehash<S: EventSink>(&mut self, sink: &mut S) {
+        let new_count = self.buckets.len() * 2;
+        self.buckets.clear();
+        self.buckets.resize(new_count, NIL);
+        self.mask = (new_count - 1) as u64;
+
+        // Cost: allocate the new bucket array and relink every node —
+        // rehash recomputes each node's bucket and writes two pointers.
+        sink.instr(InstrClass::Alu, 8); // allocate + bookkeeping
+        for i in 0..self.nodes.len() {
+            let key = self.nodes[i].key;
+            let bucket = hash_key(key) & self.mask;
+            sink.instr(InstrClass::Alu, 3); // hash + mask
+            sink.set_dependent(true);
+            sink.mem_read(NODE_BASE + self.nodes[i].slot as u64 * NODE_BYTES);
+            sink.set_dependent(false);
+            sink.mem_write(self.bucket_addr(bucket));
+            let head = self.buckets[bucket as usize];
+            self.nodes[i].next = head;
+            self.buckets[bucket as usize] = i as u32;
+        }
+    }
+}
+
+impl FlowAccumulator for ChainedAccumulator {
+    fn begin<S: EventSink>(&mut self, sink: &mut S) {
+        sink.set_phase(phase::HASH);
+        // Algorithm 1 constructs fresh maps per vertex. Destruction frees
+        // every node (allocator fast-path, one op per node); construction
+        // grabs a cached small bucket array and zeroes it (one line).
+        if !self.nodes.is_empty() {
+            sink.instr(InstrClass::Alu, self.nodes.len() as u64); // frees
+        }
+        sink.instr(InstrClass::Alu, 4); // construct + bookkeeping
+        self.nodes.clear();
+        self.buckets.clear();
+        self.buckets.resize(INITIAL_BUCKETS, NIL);
+        self.mask = (INITIAL_BUCKETS - 1) as u64;
+        sink.mem_write(BUCKET_BASE);
+        sink.set_phase(phase::COMPUTE);
+    }
+
+    fn accumulate<S: EventSink>(&mut self, key: u32, value: f64, sink: &mut S) {
+        sink.set_phase(phase::HASH);
+        // Hash + bucket index: multiply, shift, mask (libstdc++'s modulo by
+        // a prime costs more; we charge a small fixed ALU budget).
+        sink.instr(InstrClass::Alu, 3);
+        let bucket = hash_key(key) & self.mask;
+        sink.mem_read(self.bucket_addr(bucket));
+
+        // Chain walk: every iteration is a "more nodes?" branch; each node
+        // visit is a dependent load plus a key-compare branch. This is the
+        // code the paper blames for Baseline's mispredictions.
+        let mut cursor = self.buckets[bucket as usize];
+        sink.set_dependent(true);
+        loop {
+            sink.branch(sites::CHAIN_CONTINUE, cursor != NIL);
+            if cursor == NIL {
+                break;
+            }
+            let node = self.nodes[cursor as usize];
+            sink.mem_read(self.node_addr(&node));
+            sink.instr(InstrClass::Alu, 1);
+            let matched = node.key == key;
+            sink.branch(sites::KEY_MATCH, matched);
+            if matched {
+                sink.set_dependent(false);
+                // Accumulate in place: FP add + store back.
+                sink.instr(InstrClass::Float, 1);
+                sink.mem_write(self.node_addr(&node));
+                self.nodes[cursor as usize].value += value;
+                sink.set_phase(phase::COMPUTE);
+                return;
+            }
+            cursor = node.next;
+        }
+        sink.set_dependent(false);
+
+        // Miss: insert a new node at the chain head.
+        // Rehash check (branch) happens on every insert.
+        let needs_rehash = self.nodes.len() + 1 > self.buckets.len();
+        sink.branch(sites::REHASH, needs_rehash);
+        if needs_rehash {
+            self.rehash(sink);
+        }
+        let bucket = hash_key(key) & self.mask;
+
+        // malloc fast path + node init (key, value, hash cache) + head link.
+        sink.instr(InstrClass::Alu, 8);
+        let slot = self.next_slot;
+        self.next_slot = self.next_slot.wrapping_add(1);
+        let node = Node {
+            key,
+            next: self.buckets[bucket as usize],
+            value,
+            slot,
+        };
+        sink.mem_write(self.node_addr(&node)); // initialize node
+        sink.mem_write(self.bucket_addr(bucket)); // update head pointer
+        self.buckets[bucket as usize] = self.nodes.len() as u32;
+        self.nodes.push(node);
+        sink.set_phase(phase::COMPUTE);
+    }
+
+    fn gather<S: EventSink>(&mut self, out: &mut Vec<(u32, f64)>, sink: &mut S) {
+        sink.set_phase(phase::HASH);
+        out.clear();
+        out.reserve(self.nodes.len());
+        // unordered_map iteration follows the node list: one dependent load
+        // per node, plus copying the pair out.
+        sink.set_dependent(true);
+        for node in &self.nodes {
+            sink.mem_read(self.node_addr(node));
+            sink.instr(InstrClass::Alu, 1);
+            sink.mem_write(0x3000_0000 + out.len() as u64 * 16);
+            out.push((node.key, node.value));
+        }
+        sink.set_dependent(false);
+        self.nodes.clear();
+        // Bucket reset handled by the next begin(); keep table consistent.
+        self.buckets.clear();
+        self.buckets.resize(INITIAL_BUCKETS, NIL);
+        self.mask = (INITIAL_BUCKETS - 1) as u64;
+        sink.set_phase(phase::COMPUTE);
+    }
+
+    fn name(&self) -> &'static str {
+        "software-hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_simarch::accum::OracleAccumulator;
+    use asa_simarch::events::{CountingSink, NullSink};
+
+    fn drain<A: FlowAccumulator>(acc: &mut A) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        acc.gather(&mut out, &mut NullSink);
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
+    #[test]
+    fn accumulates_like_oracle() {
+        let stream: Vec<(u32, f64)> = vec![
+            (5, 1.0),
+            (9, 0.5),
+            (5, 2.0),
+            (1, 0.25),
+            (9, 0.5),
+            (1, 1.0),
+            (7, 3.0),
+        ];
+        let mut chained = ChainedAccumulator::new();
+        let mut oracle = OracleAccumulator::default();
+        let mut sink = NullSink;
+        chained.begin(&mut sink);
+        oracle.begin(&mut sink);
+        for &(k, v) in &stream {
+            chained.accumulate(k, v, &mut sink);
+            oracle.accumulate(k, v, &mut sink);
+        }
+        assert_eq!(drain(&mut chained), drain(&mut oracle));
+    }
+
+    #[test]
+    fn rehash_preserves_contents() {
+        let mut acc = ChainedAccumulator::new();
+        let mut sink = NullSink;
+        acc.begin(&mut sink);
+        // Insert far more keys than INITIAL_BUCKETS to force several rehashes.
+        for k in 0..1000u32 {
+            acc.accumulate(k, k as f64, &mut sink);
+        }
+        assert!(acc.bucket_count() >= 1024);
+        let out = drain(&mut acc);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().all(|&(k, v)| v == k as f64));
+    }
+
+    #[test]
+    fn emits_chain_walk_events() {
+        let mut acc = ChainedAccumulator::new();
+        let mut sink = CountingSink::default();
+        acc.begin(&mut sink);
+        acc.accumulate(1, 1.0, &mut sink);
+        let after_insert = sink.branches;
+        // Second accumulate of the same key: chain-continue (taken) +
+        // key-match (taken) branches, no rehash branch.
+        acc.accumulate(1, 1.0, &mut sink);
+        assert_eq!(sink.branches - after_insert, 2);
+        assert_eq!(sink.instr[InstrClass::Float.index()], 1);
+    }
+
+    #[test]
+    fn collision_chains_walk_longer() {
+        // Dense keys spread well; craft colliding keys by brute force.
+        let mask = (INITIAL_BUCKETS - 1) as u64;
+        let target = hash_key(0) & mask;
+        let colliders: Vec<u32> = (0..10_000u32)
+            .filter(|&k| hash_key(k) & mask == target)
+            .take(8)
+            .collect();
+        assert!(colliders.len() >= 4, "need colliding keys for the test");
+
+        let mut acc = ChainedAccumulator::new();
+        let mut sink = CountingSink::default();
+        acc.begin(&mut sink);
+        for &k in &colliders {
+            acc.accumulate(k, 1.0, &mut sink);
+        }
+        let reads_before = sink.reads;
+        // Looking up the *last* inserted key is cheap (chain head);
+        // the first inserted key requires walking the whole chain.
+        acc.accumulate(colliders[0], 1.0, &mut sink);
+        let deep_walk = sink.reads - reads_before;
+        assert!(
+            deep_walk as usize >= colliders.len(),
+            "expected a full chain walk, saw {deep_walk} reads"
+        );
+    }
+
+    #[test]
+    fn begin_resets_between_vertices() {
+        let mut acc = ChainedAccumulator::new();
+        let mut sink = NullSink;
+        acc.begin(&mut sink);
+        acc.accumulate(1, 1.0, &mut sink);
+        acc.begin(&mut sink);
+        assert!(acc.is_empty());
+        acc.accumulate(2, 5.0, &mut sink);
+        assert_eq!(drain(&mut acc), vec![(2, 5.0)]);
+    }
+
+    #[test]
+    fn gather_resets() {
+        let mut acc = ChainedAccumulator::new();
+        let mut sink = NullSink;
+        acc.begin(&mut sink);
+        acc.accumulate(3, 1.5, &mut sink);
+        assert_eq!(drain(&mut acc), vec![(3, 1.5)]);
+        assert_eq!(drain(&mut acc), vec![]);
+    }
+}

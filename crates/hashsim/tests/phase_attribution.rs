@@ -1,0 +1,65 @@
+//! Phase attribution: device work must land in the HASH phase of a timing
+//! sink, compute must not — this is what makes the paper's Fig. 2b
+//! (hash-ops share of the kernel) measurable.
+
+use asa_hashsim::{ChainedAccumulator, LinearProbeAccumulator};
+use asa_simarch::accum::FlowAccumulator;
+use asa_simarch::events::{phase, EventSink, InstrClass};
+use asa_simarch::{CoreModel, MachineConfig};
+
+fn drive<A: FlowAccumulator>(acc: &mut A) -> CoreModel {
+    let mut core = CoreModel::new(&MachineConfig::baseline(1));
+    // Simulated kernel: compute, then device work, then compute again.
+    core.instr(InstrClass::Float, 100);
+    acc.begin(&mut core);
+    for k in 0..200u32 {
+        acc.accumulate(k % 37, 1.0, &mut core);
+    }
+    let mut out = Vec::new();
+    acc.gather(&mut out, &mut core);
+    core.instr(InstrClass::Alu, 50);
+    core
+}
+
+#[test]
+fn chained_work_lands_in_hash_phase() {
+    let mut core = drive(&mut ChainedAccumulator::new());
+    let hash = *core.phase_report(phase::HASH);
+    let compute = *core.phase_report(phase::COMPUTE);
+    assert!(hash.instructions > 500, "device work missing from HASH phase");
+    assert!(hash.cycles > compute.cycles, "hash must dominate this kernel");
+    // The two explicit compute bursts (150 instructions) are attributed to
+    // COMPUTE, not to the device.
+    assert_eq!(compute.instructions, 150);
+    // The device restores the phase on exit.
+    core.instr(InstrClass::Alu, 1);
+    assert_eq!(core.phase_report(phase::COMPUTE).instructions, 151);
+    // Software devices never touch the ASA overflow phase.
+    assert_eq!(core.phase_report(phase::OVERFLOW).instructions, 0);
+}
+
+#[test]
+fn probe_work_lands_in_hash_phase() {
+    let core = drive(&mut LinearProbeAccumulator::new());
+    assert!(core.phase_report(phase::HASH).instructions > 300);
+    assert_eq!(core.phase_report(phase::COMPUTE).instructions, 150);
+    assert_eq!(core.phase_report(phase::OVERFLOW).instructions, 0);
+}
+
+#[test]
+fn asa_overflow_lands_in_overflow_phase() {
+    use asa_accel::{AsaAccumulator, AsaConfig};
+    let mut acc = AsaAccumulator::new(AsaConfig {
+        cam_bytes: 4 * 16, // 4 entries: guaranteed overflow below
+        entry_bytes: 16,
+        ..AsaConfig::paper_default()
+    });
+    let mut core = drive(&mut acc);
+    assert!(
+        core.phase_report(phase::OVERFLOW).instructions > 0,
+        "sort_and_merge must be attributed to the OVERFLOW phase"
+    );
+    assert!(core.phase_report(phase::HASH).instructions > 0);
+    assert_eq!(core.phase_report(phase::COMPUTE).instructions, 150);
+    let _ = &mut core;
+}

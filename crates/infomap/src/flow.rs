@@ -1,0 +1,429 @@
+//! The random walker's flow network.
+//!
+//! Infomap's map equation is a function of *flows*: the stationary visit
+//! rate `p_α` of each vertex and the per-arc flow `F(α→β)` of the walker.
+//! `FindBestCommunity` accumulates these flows per neighbouring module, and
+//! `Convert2SuperNode` aggregates them into super-edges. Representing the
+//! coarse levels directly as flow networks (rather than re-deriving flows
+//! from a coarsened weighted graph) keeps flows exactly conserved across
+//! levels for directed graphs, where PageRank does not compose under
+//! aggregation.
+
+use asa_graph::{CsrGraph, NodeId, Partition};
+use rustc_hash::FxHashMap;
+
+use crate::config::InfomapConfig;
+use crate::pagerank::{pagerank, undirected_stationary};
+
+/// A weighted-flow digraph with both adjacency directions and per-node
+/// visit rates. Self-loop flow (walker staying on a supernode) is dropped:
+/// it never crosses a module boundary, so it affects neither exit flows nor
+/// move decisions.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    num_nodes: u32,
+    out_offsets: Vec<u64>,
+    out_targets: Vec<NodeId>,
+    out_flows: Vec<f64>,
+    in_offsets: Vec<u64>,
+    in_targets: Vec<NodeId>,
+    in_flows: Vec<f64>,
+    node_flow: Vec<f64>,
+    /// Original-vertex count per node: 1 at the vertex level, member count
+    /// for supernodes. Needed by the recorded-teleportation map equation,
+    /// whose exit term depends on module sizes in *original* vertices.
+    node_weight: Vec<u64>,
+    /// Σ of out-arc flows per node (excludes self-loops).
+    out_total: Vec<f64>,
+    /// Σ of in-arc flows per node.
+    in_total: Vec<f64>,
+}
+
+impl FlowNetwork {
+    /// Derives the flow network of a graph.
+    ///
+    /// * Undirected: `p_α = s_α / 2W` (analytic stationary distribution) and
+    ///   `F(α→β) = w_αβ / 2W`, symmetric.
+    /// * Directed: `p` from PageRank with teleport `cfg.teleport`, and
+    ///   `F(α→β) = p_α · w_αβ / s_α` (unrecorded teleportation).
+    pub fn from_graph(graph: &CsrGraph, cfg: &InfomapConfig) -> Self {
+        let n = graph.num_nodes();
+        let node_flow = if graph.is_directed() {
+            pagerank(graph, cfg.teleport, cfg.pagerank_tol, cfg.pagerank_max_iters).rank
+        } else {
+            undirected_stationary(graph)
+        };
+
+        let mut arcs: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(graph.num_arcs());
+        for u in graph.nodes() {
+            let s = graph.out_weight(u);
+            if s <= 0.0 {
+                continue;
+            }
+            let scale = node_flow[u as usize] / s;
+            for e in graph.out_neighbors(u).iter() {
+                if e.target != u {
+                    arcs.push((u, e.target, e.weight * scale));
+                }
+            }
+        }
+        Self::from_arcs(n as u32, node_flow, arcs)
+    }
+
+    /// Assembles a flow network from explicit flow arcs (self-loops are
+    /// dropped; parallel arcs are summed), with every node weight 1.
+    pub fn from_arcs(
+        num_nodes: u32,
+        node_flow: Vec<f64>,
+        arcs: Vec<(NodeId, NodeId, f64)>,
+    ) -> Self {
+        let weights = vec![1u64; num_nodes as usize];
+        Self::from_arcs_weighted(num_nodes, node_flow, weights, arcs)
+    }
+
+    /// [`FlowNetwork::from_arcs`] with explicit per-node original-vertex
+    /// weights (used by [`FlowNetwork::coarsen`]).
+    pub fn from_arcs_weighted(
+        num_nodes: u32,
+        node_flow: Vec<f64>,
+        node_weight: Vec<u64>,
+        mut arcs: Vec<(NodeId, NodeId, f64)>,
+    ) -> Self {
+        assert_eq!(node_flow.len(), num_nodes as usize);
+        assert_eq!(node_weight.len(), num_nodes as usize);
+        arcs.retain(|&(u, v, _)| u != v);
+        // Counting-sort arcs into rows (O(m)), then sort and duplicate-merge
+        // each small row (O(Σ d·log d)). A global comparison sort here was
+        // the dominant cost of flow-network construction on the dense
+        // stand-ins — large enough to distort the Fig. 2a kernel shares.
+        let (out_offsets, out_targets, out_flows) =
+            rows_to_merged_csr(num_nodes, arcs.iter().map(|&(u, v, f)| (u, v, f)));
+        let (in_offsets, in_targets, in_flows) =
+            rows_to_merged_csr(num_nodes, arcs.iter().map(|&(u, v, f)| (v, u, f)));
+
+        let mut out_total = vec![0.0f64; num_nodes as usize];
+        let mut in_total = vec![0.0f64; num_nodes as usize];
+        for u in 0..num_nodes as usize {
+            out_total[u] = out_flows[out_offsets[u] as usize..out_offsets[u + 1] as usize]
+                .iter()
+                .sum();
+            in_total[u] = in_flows[in_offsets[u] as usize..in_offsets[u + 1] as usize]
+                .iter()
+                .sum();
+        }
+
+        Self {
+            num_nodes,
+            out_offsets,
+            out_targets,
+            out_flows,
+            in_offsets,
+            in_targets,
+            in_flows,
+            node_flow,
+            node_weight,
+            out_total,
+            in_total,
+        }
+    }
+
+    /// Aggregates the network by a partition: the paper's
+    /// `Convert2SuperNode` kernel. Supernode flow is the sum of member
+    /// flows; cross-module arcs merge into super-arcs with accumulated
+    /// flow; intra-module flow becomes (dropped) self-loop flow.
+    ///
+    /// The partition must be compact (labels `0..num_communities`).
+    pub fn coarsen(&self, partition: &Partition) -> FlowNetwork {
+        assert_eq!(partition.len(), self.num_nodes as usize);
+        let m = partition.num_communities();
+        let mut node_flow = vec![0.0f64; m];
+        let mut node_weight = vec![0u64; m];
+        for u in 0..self.num_nodes as usize {
+            let c = partition.community_of(u as u32) as usize;
+            node_flow[c] += self.node_flow[u];
+            node_weight[c] += self.node_weight[u];
+        }
+        // Accumulate super-arcs with a hash map keyed by (src, dst). This is
+        // host bookkeeping; the simulated cost of Convert2SuperNode is not
+        // part of the paper's hash-operation measurements (Fig. 2 charges
+        // hash time inside FindBestCommunity only).
+        let mut acc: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for u in 0..self.num_nodes {
+            let cu = partition.community_of(u);
+            for (v, f) in self.out_arcs(u) {
+                let cv = partition.community_of(v);
+                if cu != cv {
+                    *acc.entry((cu, cv)).or_insert(0.0) += f;
+                }
+            }
+        }
+        let arcs: Vec<(NodeId, NodeId, f64)> =
+            acc.into_iter().map(|((u, v), f)| (u, v, f)).collect();
+        FlowNetwork::from_arcs_weighted(m as u32, node_flow, node_weight, arcs)
+    }
+
+    /// Number of nodes (vertices or supernodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of stored (non-self) flow arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Visit rate of node `u`.
+    #[inline]
+    pub fn node_flow(&self, u: NodeId) -> f64 {
+        self.node_flow[u as usize]
+    }
+
+    /// All node visit rates.
+    #[inline]
+    pub fn node_flows(&self) -> &[f64] {
+        &self.node_flow
+    }
+
+    /// Number of original vertices node `u` stands for.
+    #[inline]
+    pub fn node_weight(&self, u: NodeId) -> u64 {
+        self.node_weight[u as usize]
+    }
+
+    /// The per-node quantities the move evaluation consumes.
+    #[inline]
+    pub fn node_summary(&self, u: NodeId) -> crate::mapeq::NodeSummary {
+        crate::mapeq::NodeSummary {
+            flow: self.node_flow[u as usize],
+            weight: self.node_weight[u as usize],
+            out_total: self.out_total[u as usize],
+            in_total: self.in_total[u as usize],
+        }
+    }
+
+    /// Σ of `u`'s outgoing arc flows.
+    #[inline]
+    pub fn out_flow_total(&self, u: NodeId) -> f64 {
+        self.out_total[u as usize]
+    }
+
+    /// Σ of `u`'s incoming arc flows.
+    #[inline]
+    pub fn in_flow_total(&self, u: NodeId) -> f64 {
+        self.in_total[u as usize]
+    }
+
+    /// Out-degree (distinct flow targets).
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]) as usize
+    }
+
+    /// In-degree (distinct flow sources).
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        (self.in_offsets[u as usize + 1] - self.in_offsets[u as usize]) as usize
+    }
+
+    /// Outgoing `(target, flow)` arcs of `u`.
+    #[inline]
+    pub fn out_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (
+            self.out_offsets[u as usize] as usize,
+            self.out_offsets[u as usize + 1] as usize,
+        );
+        self.out_targets[lo..hi]
+            .iter()
+            .zip(self.out_flows[lo..hi].iter())
+            .map(|(&t, &f)| (t, f))
+    }
+
+    /// Incoming `(source, flow)` arcs of `u`.
+    #[inline]
+    pub fn in_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (
+            self.in_offsets[u as usize] as usize,
+            self.in_offsets[u as usize + 1] as usize,
+        );
+        self.in_targets[lo..hi]
+            .iter()
+            .zip(self.in_flows[lo..hi].iter())
+            .map(|(&t, &f)| (t, f))
+    }
+
+    /// Total flow over all arcs (the walker's probability of moving along a
+    /// link per step; < 1 when self-loops or dangling mass exist).
+    pub fn total_arc_flow(&self) -> f64 {
+        self.out_flows.iter().sum()
+    }
+}
+
+/// Counting-sorts arcs by source into CSR rows, then sorts each row by
+/// target and merges duplicate targets by summing flows.
+fn rows_to_merged_csr<I>(num_nodes: u32, arcs: I) -> (Vec<u64>, Vec<NodeId>, Vec<f64>)
+where
+    I: Iterator<Item = (NodeId, NodeId, f64)> + Clone,
+{
+    let n = num_nodes as usize;
+    let mut raw_offsets = vec![0u64; n + 1];
+    let mut count = 0usize;
+    for (u, _, _) in arcs.clone() {
+        raw_offsets[u as usize + 1] += 1;
+        count += 1;
+    }
+    for i in 0..n {
+        raw_offsets[i + 1] += raw_offsets[i];
+    }
+    let mut cursor = raw_offsets.clone();
+    let mut raw_targets = vec![0 as NodeId; count];
+    let mut raw_flows = vec![0f64; count];
+    for (u, v, f) in arcs {
+        let slot = cursor[u as usize] as usize;
+        raw_targets[slot] = v;
+        raw_flows[slot] = f;
+        cursor[u as usize] += 1;
+    }
+
+    // Per-row sort + merge into the final arrays.
+    let mut offsets = vec![0u64; n + 1];
+    let mut targets = Vec::with_capacity(count);
+    let mut flows = Vec::with_capacity(count);
+    let mut idx: Vec<u32> = Vec::new();
+    for u in 0..n {
+        let (lo, hi) = (raw_offsets[u] as usize, raw_offsets[u + 1] as usize);
+        let row_t = &raw_targets[lo..hi];
+        let row_f = &raw_flows[lo..hi];
+        idx.clear();
+        idx.extend(0..(hi - lo) as u32);
+        idx.sort_unstable_by_key(|&i| row_t[i as usize]);
+        for &i in &idx {
+            let (t, f) = (row_t[i as usize], row_f[i as usize]);
+            match targets.last() {
+                Some(&last) if last == t && targets.len() > offsets[u] as usize => {
+                    *flows.last_mut().unwrap() += f;
+                }
+                _ => {
+                    targets.push(t);
+                    flows.push(f);
+                }
+            }
+        }
+        offsets[u + 1] = targets.len() as u64;
+    }
+    (offsets, targets, flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        // Two triangles joined by one bridge edge.
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn undirected_flows_symmetric_and_conserved() {
+        let g = two_triangles();
+        let f = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        assert_eq!(f.num_nodes(), 6);
+        // node flows sum to 1
+        let sum: f64 = f.node_flows().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Each arc flow = w / 2W = 1/14; symmetric.
+        for u in 0..6u32 {
+            for (v, fw) in f.out_arcs(u) {
+                assert!((fw - 1.0 / 14.0).abs() < 1e-12);
+                let back: f64 = f
+                    .out_arcs(v)
+                    .find(|&(t, _)| t == u)
+                    .map(|(_, fw)| fw)
+                    .unwrap();
+                assert!((back - fw).abs() < 1e-12);
+            }
+        }
+        // out_total equals node_flow for undirected, loop-free graphs.
+        for u in 0..6u32 {
+            assert!((f.out_flow_total(u) - f.node_flow(u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn directed_flows_follow_pagerank() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 0, 1.0);
+        let g = b.build();
+        let f = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        // Cycle: p uniform, each arc carries p_u = 1/3.
+        for u in 0..3u32 {
+            assert!((f.out_flow_total(u) - 1.0 / 3.0).abs() < 1e-6);
+            assert_eq!(f.out_degree(u), 1);
+            assert_eq!(f.in_degree(u), 1);
+        }
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 1.0);
+        let g = b.build();
+        let f = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        assert_eq!(f.out_degree(0), 1);
+        assert!(f.out_arcs(0).all(|(t, _)| t == 1));
+    }
+
+    #[test]
+    fn coarsen_conserves_flow() {
+        let g = two_triangles();
+        let f = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let c = f.coarsen(&p);
+        assert_eq!(c.num_nodes(), 2);
+        let nf: f64 = c.node_flows().iter().sum();
+        assert!((nf - 1.0).abs() < 1e-12);
+        // Only the bridge crosses: flow 1/14 each direction.
+        assert_eq!(c.num_arcs(), 2);
+        assert!((c.out_flow_total(0) - 1.0 / 14.0).abs() < 1e-12);
+        assert!((c.in_flow_total(1) - 1.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarsen_merges_parallel_superarcs() {
+        // Path 0-1-2-3 partitioned {0,1},{2,3}: two cross arcs merge... the
+        // cut has one edge (1,2) but flows both ways: 2 directed arcs.
+        let mut b = GraphBuilder::undirected(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let f = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        let p = Partition::from_labels(vec![0, 0, 1, 1]);
+        let c = f.coarsen(&p);
+        assert_eq!(c.num_arcs(), 2);
+        // Cross flow each way = 1/6 (W=3, arc weight sum = 6).
+        assert!((c.out_flow_total(0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_arcs_merges_duplicates() {
+        let f = FlowNetwork::from_arcs(
+            2,
+            vec![0.5, 0.5],
+            vec![(0, 1, 0.1), (0, 1, 0.2), (1, 1, 9.0)],
+        );
+        assert_eq!(f.num_arcs(), 1);
+        assert!((f.out_flow_total(0) - 0.3).abs() < 1e-12);
+        assert_eq!(f.out_degree(1), 0); // self-loop dropped
+    }
+}

@@ -1,0 +1,583 @@
+//! Simulated execution of the `FindBestCommunity` kernel — the ZSim
+//! experiments.
+//!
+//! This driver runs the same multi-level optimization as [`crate::driver`],
+//! but every `FindBestCommunity` evaluation executes against a simulated
+//! core ([`asa_simarch::CoreModel`]) with a per-core accumulation device,
+//! exactly like the paper's setup: one OpenMP thread per core, each with a
+//! private software hash table (Baseline) or core-local CAM (ASA). The
+//! partitioning, move application, and coarsening happen on the host and
+//! are not charged — the paper's simulated numbers likewise cover the
+//! `FindBestCommunity` kernel ("Timing breakdown of the simulated kernel
+//! (FindBestCommunity)", Fig. 7).
+
+use asa_accel::{AsaAccumulator, AsaConfig, AsaStats};
+use asa_graph::{CsrGraph, Partition};
+use asa_hashsim::{ChainedAccumulator, LinearProbeAccumulator};
+use asa_simarch::accum::FlowAccumulator;
+use asa_simarch::events::phase;
+use asa_simarch::machine::block_partition;
+use asa_simarch::{CoreModel, KernelReport, MachineConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::config::InfomapConfig;
+use crate::find_best::MoveDecision;
+use crate::flow::FlowNetwork;
+use crate::local_move::decide_range;
+use crate::schedule::{optimize_multilevel, DecideEngine, SweepCtx};
+
+/// Which accumulation device the simulated cores use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Device {
+    /// Instrumented chained hash table (`std::unordered_map` model) — the
+    /// paper's Baseline.
+    SoftwareHash,
+    /// Instrumented open-addressing table (ablation).
+    LinearProbe,
+    /// The ASA accelerator with the given CAM configuration.
+    Asa(AsaConfig),
+}
+
+impl Device {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Device::SoftwareHash => "baseline",
+            Device::LinearProbe => "linear-probe",
+            Device::Asa(_) => "asa",
+        }
+    }
+}
+
+/// Counters of one simulated sweep (one "iteration").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepSim {
+    /// Hierarchy level (0 = vertex phase).
+    pub level: usize,
+    /// Sweep index within the level.
+    pub sweep: usize,
+    /// Active vertices evaluated.
+    pub active: usize,
+    /// Per-core total reports.
+    pub per_core: Vec<KernelReport>,
+    /// Barrier-combined report: counters summed, cycles = slowest core.
+    pub combined: KernelReport,
+    /// Per-phase reports summed over cores
+    /// (`[compute, hash, overflow]`).
+    pub phases: [KernelReport; phase::COUNT],
+}
+
+/// Full result of a simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulatedRun {
+    /// Device name ("baseline", "asa", ...).
+    pub device: String,
+    /// Machine configuration simulated.
+    pub machine: MachineConfig,
+    /// One entry per sweep, across all levels.
+    pub sweeps: Vec<SweepSim>,
+    /// Totals across sweeps (cycles = Σ of per-sweep barrier cycles).
+    pub total: KernelReport,
+    /// Per-phase totals summed over cores and sweeps.
+    pub phase_totals: [KernelReport; phase::COUNT],
+    /// ASA device statistics (None for software devices).
+    pub asa_stats: Option<AsaStatsSummary>,
+    /// Final partition over the original vertices.
+    pub partition: Partition,
+    /// Final codelength.
+    pub codelength: f64,
+}
+
+/// Serializable subset of [`AsaStats`] summed over cores.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AsaStatsSummary {
+    /// Total accumulate instructions.
+    pub accumulates: u64,
+    /// CAM hits.
+    pub hits: u64,
+    /// CAM inserts.
+    pub inserts: u64,
+    /// LRU evictions to the overflow queue.
+    pub evictions: u64,
+    /// Gather rounds.
+    pub gathers: u64,
+    /// Gather rounds requiring software sort-and-merge.
+    pub overflowed_gathers: u64,
+    /// Fraction of gathers that overflowed.
+    pub overflow_rate: f64,
+}
+
+impl From<AsaStats> for AsaStatsSummary {
+    fn from(s: AsaStats) -> Self {
+        Self {
+            accumulates: s.accumulates,
+            hits: s.hits,
+            inserts: s.inserts,
+            evictions: s.evictions,
+            gathers: s.gathers,
+            overflowed_gathers: s.overflowed_gathers,
+            overflow_rate: s.overflow_rate(),
+        }
+    }
+}
+
+impl SimulatedRun {
+    /// Seconds spent in the simulated kernel (barrier semantics).
+    pub fn kernel_seconds(&self) -> f64 {
+        self.total.seconds(self.machine.freq_ghz)
+    }
+
+    /// Seconds attributed to hash operations (accumulate + gather +
+    /// overflow merge), summed over cores and divided by core count — i.e.
+    /// the average per-core hash time the paper's multi-core breakdowns
+    /// plot.
+    pub fn hash_seconds(&self) -> f64 {
+        let cycles = self.phase_totals[phase::HASH].cycles
+            + self.phase_totals[phase::OVERFLOW].cycles;
+        cycles / self.machine.cores as f64 / (self.machine.freq_ghz * 1e9)
+    }
+
+    /// Share of hash-operation cycles within the kernel (Fig. 2b).
+    pub fn hash_share(&self) -> f64 {
+        let total: f64 = self.phase_totals.iter().map(|r| r.cycles).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.phase_totals[phase::HASH].cycles + self.phase_totals[phase::OVERFLOW].cycles)
+                / total
+        }
+    }
+
+    /// Share of overflow-handling cycles within hash operations
+    /// (the paper: 9.86% for Pokec, 13.31% for Orkut).
+    pub fn overflow_share(&self) -> f64 {
+        let hash = self.phase_totals[phase::HASH].cycles
+            + self.phase_totals[phase::OVERFLOW].cycles;
+        if hash == 0.0 {
+            0.0
+        } else {
+            self.phase_totals[phase::OVERFLOW].cycles / hash
+        }
+    }
+
+    /// Average per-core instruction count (Fig. 9).
+    pub fn instructions_per_core(&self) -> f64 {
+        self.total.instructions as f64 / self.machine.cores as f64
+    }
+
+    /// Average per-core misprediction count (Fig. 10).
+    pub fn mispredictions_per_core(&self) -> f64 {
+        self.total.mispredictions as f64 / self.machine.cores as f64
+    }
+
+    /// Average per-core CPI (Fig. 11): cycles *summed over cores* (the
+    /// phase totals) divided by instructions summed over cores. The
+    /// barrier-combined `total.cpi()` would divide max-core cycles by
+    /// all-core instructions, which is parallel throughput, not per-core
+    /// CPI.
+    pub fn avg_core_cpi(&self) -> f64 {
+        let cycles: f64 = self.phase_totals.iter().map(|r| r.cycles).sum();
+        if self.total.instructions == 0 {
+            0.0
+        } else {
+            cycles / self.total.instructions as f64
+        }
+    }
+}
+
+/// Simulates the full Infomap run on `graph` with the given machine and
+/// device, returning per-sweep and total counters for the
+/// `FindBestCommunity` kernel.
+pub fn simulate_infomap(
+    graph: &CsrGraph,
+    icfg: &InfomapConfig,
+    mcfg: &MachineConfig,
+    device: Device,
+) -> SimulatedRun {
+    let flow = FlowNetwork::from_graph(graph, icfg);
+    match device {
+        Device::SoftwareHash => {
+            let accs = (0..mcfg.cores).map(|_| ChainedAccumulator::new()).collect();
+            let (run, _) = run_device(flow, icfg, mcfg, device, accs);
+            run
+        }
+        Device::LinearProbe => {
+            let accs = (0..mcfg.cores)
+                .map(|_| LinearProbeAccumulator::new())
+                .collect();
+            let (run, _) = run_device(flow, icfg, mcfg, device, accs);
+            run
+        }
+        Device::Asa(cfg) => {
+            let accs = (0..mcfg.cores).map(|_| AsaAccumulator::new(cfg)).collect();
+            let (mut run, accs) = run_device(flow, icfg, mcfg, device, accs);
+            let mut total = AsaStats::default();
+            for a in &accs {
+                let s = a.stats();
+                total.accumulates += s.accumulates;
+                total.hits += s.hits;
+                total.inserts += s.inserts;
+                total.evictions += s.evictions;
+                total.gathers += s.gathers;
+                total.overflowed_gathers += s.overflowed_gathers;
+                total.merged_pairs += s.merged_pairs;
+            }
+            run.asa_stats = Some(total.into());
+            run
+        }
+    }
+}
+
+/// Wall-clock ("native") execution of the same kernel schedule.
+#[derive(Debug, Clone)]
+pub struct NativeRun {
+    /// Seconds per sweep (all levels, in execution order).
+    pub sweep_seconds: Vec<f64>,
+    /// Active vertices per sweep.
+    pub sweep_active: Vec<usize>,
+    /// Final partition.
+    pub partition: Partition,
+    /// Final codelength.
+    pub codelength: f64,
+}
+
+
+/// Runs the identical kernel schedule *natively*: the same per-core device
+/// data structures but a [`asa_simarch::NullSink`], measured with
+/// wall-clock timers on `cores` host threads. This is the "Native" column
+/// of the paper's Tables III/IV — the same binary run without the
+/// simulator.
+pub fn native_infomap(
+    graph: &CsrGraph,
+    icfg: &InfomapConfig,
+    cores: usize,
+    device: Device,
+) -> NativeRun {
+    let flow = FlowNetwork::from_graph(graph, icfg);
+    match device {
+        Device::SoftwareHash => native_device(
+            flow,
+            icfg,
+            cores,
+            (0..cores).map(|_| ChainedAccumulator::new()).collect(),
+        ),
+        Device::LinearProbe => native_device(
+            flow,
+            icfg,
+            cores,
+            (0..cores).map(|_| LinearProbeAccumulator::new()).collect(),
+        ),
+        Device::Asa(cfg) => native_device(
+            flow,
+            icfg,
+            cores,
+            (0..cores).map(|_| AsaAccumulator::new(cfg)).collect(),
+        ),
+    }
+}
+
+/// Native engine: one host thread per emulated core, null event sinks,
+/// per-sweep wall-clock recorded by the schedule callback.
+struct NativeEngine<A> {
+    pool: rayon::ThreadPool,
+    accs: Vec<A>,
+    sweep_seconds: Vec<f64>,
+    sweep_active: Vec<usize>,
+}
+
+impl<A: FlowAccumulator + Send> DecideEngine for NativeEngine<A> {
+    fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
+        let ranges = block_partition(ctx.active.len(), self.accs.len());
+        let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+        self.pool.install(|| {
+            self.accs
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, acc)| {
+                    let mut out = Vec::new();
+                    let mut sink = asa_simarch::events::NullSink;
+                    decide_range(
+                        flow,
+                        labels,
+                        state,
+                        &active[ranges[i].clone()],
+                        acc,
+                        &mut sink,
+                        &mut out,
+                    );
+                    out
+                })
+                .flatten()
+                .collect()
+        })
+    }
+
+    fn after_sweep(
+        &mut self,
+        ctx: &SweepCtx<'_>,
+        _applied: &crate::local_move::AppliedMoves,
+        elapsed: std::time::Duration,
+    ) {
+        self.sweep_seconds.push(elapsed.as_secs_f64());
+        self.sweep_active.push(ctx.active.len());
+    }
+}
+
+fn native_device<A: FlowAccumulator + Send>(
+    flow: FlowNetwork,
+    icfg: &InfomapConfig,
+    cores: usize,
+    accs: Vec<A>,
+) -> NativeRun {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cores)
+        .build()
+        .expect("thread pool");
+    let mut engine = NativeEngine {
+        pool,
+        accs,
+        sweep_seconds: Vec::new(),
+        sweep_active: Vec::new(),
+    };
+    let outcome = optimize_multilevel(&flow, icfg, &mut engine);
+    NativeRun {
+        sweep_seconds: engine.sweep_seconds,
+        sweep_active: engine.sweep_active,
+        partition: outcome.partition,
+        codelength: outcome.codelength,
+    }
+}
+
+/// Simulated engine: each emulated core decides its share of the active
+/// set against its private [`CoreModel`] and accumulation device; per-sweep
+/// counters are collected at the schedule's barrier callback.
+struct SimEngine<A> {
+    cores: Vec<CoreModel>,
+    accs: Vec<A>,
+    sweeps: Vec<SweepSim>,
+}
+
+impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
+    fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
+        let ranges = block_partition(ctx.active.len(), self.cores.len());
+        let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+        self.cores
+            .par_iter_mut()
+            .zip(self.accs.par_iter_mut())
+            .enumerate()
+            .map(|(i, (core, acc))| {
+                let mut out = Vec::new();
+                decide_range(
+                    flow,
+                    labels,
+                    state,
+                    &active[ranges[i].clone()],
+                    acc,
+                    core,
+                    &mut out,
+                );
+                out
+            })
+            .flatten()
+            .collect()
+    }
+
+    fn after_sweep(
+        &mut self,
+        ctx: &SweepCtx<'_>,
+        _applied: &crate::local_move::AppliedMoves,
+        _elapsed: std::time::Duration,
+    ) {
+        // Barrier: collect and reset every core's counters for this sweep.
+        let mut per_core = Vec::with_capacity(self.cores.len());
+        let mut phases: [KernelReport; phase::COUNT] = Default::default();
+        for core in self.cores.iter_mut() {
+            let p = core.take_phase_reports();
+            per_core.push(KernelReport::sum(p.iter()));
+            for (agg, part) in phases.iter_mut().zip(p.iter()) {
+                agg.merge(part);
+            }
+        }
+        let combined = KernelReport::parallel(per_core.iter());
+        self.sweeps.push(SweepSim {
+            level: ctx.level,
+            sweep: ctx.sweep,
+            active: ctx.active.len(),
+            per_core,
+            combined,
+            phases,
+        });
+    }
+}
+
+fn run_device<A: FlowAccumulator + Send>(
+    flow: FlowNetwork,
+    icfg: &InfomapConfig,
+    mcfg: &MachineConfig,
+    device: Device,
+    accs: Vec<A>,
+) -> (SimulatedRun, Vec<A>) {
+    let mut engine = SimEngine {
+        cores: (0..mcfg.cores).map(|_| CoreModel::new(mcfg)).collect(),
+        accs,
+        sweeps: Vec::new(),
+    };
+    let outcome = optimize_multilevel(&flow, icfg, &mut engine);
+
+    let mut total = KernelReport::default();
+    let mut phase_totals: [KernelReport; phase::COUNT] = Default::default();
+    for s in &engine.sweeps {
+        total.merge(&s.combined);
+        for (agg, part) in phase_totals.iter_mut().zip(s.phases.iter()) {
+            agg.merge(part);
+        }
+    }
+
+    (
+        SimulatedRun {
+            device: device.name().to_string(),
+            machine: mcfg.clone(),
+            sweeps: engine.sweeps,
+            total,
+            phase_totals,
+            asa_stats: None,
+            partition: outcome.partition,
+            codelength: outcome.codelength,
+        },
+        engine.accs,
+    )
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::generators::{planted_partition, PlantedConfig};
+
+    fn small_graph() -> CsrGraph {
+        planted_partition(
+            &PlantedConfig {
+                communities: 6,
+                community_size: 30,
+                k_in: 10.0,
+                k_out: 1.0,
+            },
+            13,
+        )
+        .0
+    }
+
+    #[test]
+    fn baseline_and_asa_agree_on_the_answer() {
+        let g = small_graph();
+        let icfg = InfomapConfig::default();
+        let mcfg = MachineConfig::baseline(2);
+        let base = simulate_infomap(&g, &icfg, &mcfg, Device::SoftwareHash);
+        let asa = simulate_infomap(&g, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default()));
+        // The accelerator changes cost, not semantics.
+        assert_eq!(base.partition.labels(), asa.partition.labels());
+        assert!((base.codelength - asa.codelength).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asa_is_faster_on_hash_work() {
+        let g = small_graph();
+        let icfg = InfomapConfig::default();
+        let mcfg = MachineConfig::baseline(1);
+        let base = simulate_infomap(&g, &icfg, &mcfg, Device::SoftwareHash);
+        let asa = simulate_infomap(&g, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default()));
+        assert!(
+            base.hash_seconds() > 2.0 * asa.hash_seconds(),
+            "expected a clear hash speedup: baseline {} vs asa {}",
+            base.hash_seconds(),
+            asa.hash_seconds()
+        );
+        assert!(base.total.instructions > asa.total.instructions);
+        assert!(base.total.mispredictions > asa.total.mispredictions);
+    }
+
+    #[test]
+    fn baseline_hash_share_in_paper_band() {
+        let g = small_graph();
+        let base = simulate_infomap(
+            &g,
+            &InfomapConfig::default(),
+            &MachineConfig::baseline(1),
+            Device::SoftwareHash,
+        );
+        let share = base.hash_share();
+        // Paper: 50-65% of FindBestCommunity. Allow a generous band for the
+        // small test graph.
+        assert!(
+            (0.3..0.9).contains(&share),
+            "hash share {share} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn sweep_reports_cover_cores() {
+        let g = small_graph();
+        let mcfg = MachineConfig::baseline(4);
+        let run = simulate_infomap(
+            &g,
+            &InfomapConfig::default(),
+            &mcfg,
+            Device::SoftwareHash,
+        );
+        assert!(!run.sweeps.is_empty());
+        for s in &run.sweeps {
+            assert_eq!(s.per_core.len(), 4);
+            let sum_instr: u64 = s.per_core.iter().map(|r| r.instructions).sum();
+            assert_eq!(sum_instr, s.combined.instructions);
+            let max_cycles = s
+                .per_core
+                .iter()
+                .map(|r| r.cycles)
+                .fold(0.0f64, f64::max);
+            assert!((s.combined.cycles - max_cycles).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_cam_overflows_and_still_correct() {
+        let g = small_graph();
+        let icfg = InfomapConfig::default();
+        let mcfg = MachineConfig::baseline(1);
+        let tiny = simulate_infomap(
+            &g,
+            &icfg,
+            &mcfg,
+            Device::Asa(AsaConfig {
+                cam_bytes: 64,
+                entry_bytes: 16,
+                ..AsaConfig::paper_default()
+            }),
+        );
+        let base = simulate_infomap(&g, &icfg, &mcfg, Device::SoftwareHash);
+        assert_eq!(tiny.partition.labels(), base.partition.labels());
+        let stats = tiny.asa_stats.unwrap();
+        assert!(stats.evictions > 0, "4-entry CAM must overflow");
+        assert!(tiny.overflow_share() > 0.0);
+    }
+
+    #[test]
+    fn linear_probe_agrees_and_asa_beats_both() {
+        let g = small_graph();
+        let icfg = InfomapConfig::default();
+        let mcfg = MachineConfig::baseline(1);
+        let base = simulate_infomap(&g, &icfg, &mcfg, Device::SoftwareHash);
+        let probe = simulate_infomap(&g, &icfg, &mcfg, Device::LinearProbe);
+        let asa = simulate_infomap(&g, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default()));
+        assert_eq!(probe.partition.labels(), base.partition.labels());
+        // ASA beats both software tables; the probe-vs-chained ordering
+        // depends on per-vertex table sizes and is examined by the ablation
+        // bench rather than asserted here.
+        assert!(asa.total.cycles < probe.total.cycles);
+        assert!(asa.total.cycles < base.total.cycles);
+        // The probe table avoids pointer chasing, so it must miss the
+        // caches less per load than the chained table... but both emit the
+        // same *kernel* compute; at minimum the partitions agree.
+        assert!(probe.total.instructions > 0);
+    }
+}

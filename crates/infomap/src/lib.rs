@@ -1,0 +1,52 @@
+//! Parallel information-theoretic community detection (Infomap).
+//!
+//! This crate reimplements the paper's HyPC-Map pipeline (Faysal et al.,
+//! HPEC 2021) — the four kernels of Section II-C:
+//!
+//! 1. **PageRank** ([`pagerank`]): ergodic vertex visit probabilities via
+//!    power iteration with teleportation.
+//! 2. **FindBestCommunity** ([`find_best`]): per-vertex greedy module
+//!    selection minimizing the map equation, written once and generic over
+//!    the flow-accumulation device — the software hash Baseline
+//!    (Algorithm 1) and the ASA accelerator (Algorithm 2) plug in through
+//!    [`asa_simarch::FlowAccumulator`].
+//! 3. **Convert2SuperNode** ([`coarsen`]): module aggregation into
+//!    supernodes with accumulated super-edge flows.
+//! 4. **UpdateMembers** ([`asa_graph::Partition::project`]): projecting
+//!    coarse module choices back onto original vertices.
+//!
+//! The [`driver`] runs the multi-level loop with per-kernel wall-clock
+//! timing (Fig. 2a); [`instrumented`] runs the `FindBestCommunity` kernel
+//! on the `asa-simarch` machine model to produce the simulated
+//! instruction/misprediction/CPI/cycle numbers behind Tables III–V and
+//! Figures 6–11.
+//!
+//! # Flow model
+//!
+//! Teleportation is *unrecorded* (used to compute stationary visit rates,
+//! not encoded in the codelength), matching modern Infomap defaults; for
+//! undirected graphs the stationary distribution is the analytic
+//! degree-proportional one and PageRank iteration is skipped. See
+//! [`flow::FlowNetwork`].
+
+pub mod coarsen;
+pub mod config;
+pub mod distributed;
+pub mod driver;
+pub mod exhaustive;
+pub mod find_best;
+pub mod flow;
+pub mod hierarchy;
+pub mod instrumented;
+pub mod local_move;
+pub mod mapeq;
+pub mod module_stats;
+pub mod pagerank;
+pub mod result;
+pub mod schedule;
+
+pub use config::InfomapConfig;
+pub use driver::{detect_communities, Infomap};
+pub use flow::FlowNetwork;
+pub use mapeq::MapState;
+pub use result::{InfomapResult, KernelTimings};

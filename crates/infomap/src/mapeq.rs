@@ -1,0 +1,555 @@
+//! The map equation: codelength of a partitioned flow network.
+//!
+//! Rosvall & Bergstrom's map equation (paper Eq. 1) in its expanded,
+//! directly computable form:
+//!
+//! ```text
+//! L(M) = plogp(q) − 2·Σ_i plogp(q_i) + Σ_i plogp(q_i + p_i) − Σ_α plogp(p_α)
+//! ```
+//!
+//! with `plogp(x) = x·log₂x`, `q_i` the exit probability of module `i`,
+//! `q = Σ q_i`, `p_i` the total visit rate of module `i`, and `p_α`
+//! per-node visit rates (the last term is partition-independent).
+//! [`MapState`] maintains the module-level quantities and supports O(1)
+//! move deltas given the accumulated in/out flows that `FindBestCommunity`
+//! produces — exactly the role of the `calc(outFlowToNewMod,
+//! inFlowFromMod)` call in Algorithm 1.
+//!
+//! # Teleportation
+//!
+//! Two conventions for the exit probability are supported
+//! ([`TeleportMode`]):
+//!
+//! * **Unrecorded** (default, modern Infomap): teleportation only shapes
+//!   the stationary visit rates; module exits count link flow alone,
+//!   `q_i = Σ_{α∈i, β∉i} F(α→β)`.
+//! * **Recorded** (the original Rosvall 2008 formulation the paper's
+//!   Eq. 1 describes): the random teleport step is itself encoded, adding
+//!   `τ·(n−n_i)/n·p_i` to each module's exit and scaling link exits by
+//!   `(1−τ)`. Node *weights* (how many original vertices a supernode
+//!   stands for) keep `n_i` exact across coarsening levels.
+
+use asa_graph::{NodeId, Partition};
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowNetwork;
+
+/// `x · log₂x`, extended continuously with `plogp(0) = 0`.
+#[inline]
+pub fn plogp(x: f64) -> f64 {
+    if x > 1e-300 {
+        x * x.log2()
+    } else {
+        0.0
+    }
+}
+
+/// How teleportation enters the codelength. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum TeleportMode {
+    /// Teleport steps are not encoded; exits are pure link flow.
+    #[default]
+    Unrecorded,
+    /// Teleport steps are encoded with probability `tau` per step.
+    Recorded {
+        /// Teleportation probability τ.
+        tau: f64,
+    },
+}
+
+
+/// The flow summary of one candidate move, produced by the accumulation
+/// device: a vertex's flow exchanged with one module.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModuleFlows {
+    /// Σ flow from the vertex into members of the module.
+    pub out_flow: f64,
+    /// Σ flow from members of the module into the vertex.
+    pub in_flow: f64,
+}
+
+/// Per-node quantities consumed by the move evaluation; see
+/// [`FlowNetwork::node_summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSummary {
+    /// Stationary visit rate `p_α`.
+    pub flow: f64,
+    /// Number of original vertices this node stands for (1 at the vertex
+    /// level; member count for supernodes).
+    pub weight: u64,
+    /// Σ of outgoing arc flows (self-loops excluded).
+    pub out_total: f64,
+    /// Σ of incoming arc flows.
+    pub in_total: f64,
+}
+
+/// Module-level map-equation state for one level of the hierarchy.
+#[derive(Debug, Clone)]
+pub struct MapState {
+    mode: TeleportMode,
+    /// Link exit flow per module (teleport-free part).
+    mod_link_exit: Vec<f64>,
+    /// Total visit rate `p_i` per module.
+    mod_flow: Vec<f64>,
+    /// Original-vertex count per module.
+    mod_nodes: Vec<u64>,
+    /// Total original-vertex count `n`.
+    total_nodes: u64,
+    /// `q = Σ_i q_i` over *effective* exits.
+    total_exit: f64,
+    /// Partition-constant `Σ_α plogp(p_α)`.
+    node_plogp: f64,
+}
+
+impl MapState {
+    /// Builds module statistics for `partition` over `flow`, with the
+    /// node-level term `Σ_α plogp(p_α)` taken from `flow` itself and
+    /// unrecorded teleportation.
+    ///
+    /// When optimizing a *coarse* level of the hierarchy, use
+    /// [`MapState::with_node_term`] and pass the original vertex-level term:
+    /// a supernode stands for many vertices, so the within-module codebook
+    /// must still be priced at vertex granularity. The term is
+    /// partition-constant either way, so move deltas are unaffected — only
+    /// reported absolute codelengths differ.
+    ///
+    /// The partition must be compact; module ids index the state arrays.
+    pub fn new(flow: &FlowNetwork, partition: &Partition) -> Self {
+        let node_plogp = flow.node_flows().iter().copied().map(plogp).sum();
+        Self::with_options(flow, partition, node_plogp, TeleportMode::Unrecorded)
+    }
+
+    /// Like [`MapState::new`] but with an explicit node-level term (see
+    /// there for when this matters).
+    pub fn with_node_term(flow: &FlowNetwork, partition: &Partition, node_plogp: f64) -> Self {
+        Self::with_options(flow, partition, node_plogp, TeleportMode::Unrecorded)
+    }
+
+    /// Full-control constructor: explicit node term and teleport mode.
+    pub fn with_options(
+        flow: &FlowNetwork,
+        partition: &Partition,
+        node_plogp: f64,
+        mode: TeleportMode,
+    ) -> Self {
+        assert_eq!(flow.num_nodes(), partition.len());
+        if let TeleportMode::Recorded { tau } = mode {
+            assert!((0.0..1.0).contains(&tau), "tau must be in [0,1)");
+        }
+        let m = partition.num_communities();
+        let mut mod_link_exit = vec![0.0f64; m];
+        let mut mod_flow = vec![0.0f64; m];
+        let mut mod_nodes = vec![0u64; m];
+        for u in 0..flow.num_nodes() as u32 {
+            let cu = partition.community_of(u) as usize;
+            mod_flow[cu] += flow.node_flow(u);
+            mod_nodes[cu] += flow.node_weight(u);
+            for (v, f) in flow.out_arcs(u) {
+                if partition.community_of(v) as usize != cu {
+                    mod_link_exit[cu] += f;
+                }
+            }
+        }
+        let total_nodes: u64 = mod_nodes.iter().sum();
+        let mut state = Self {
+            mode,
+            mod_link_exit,
+            mod_flow,
+            mod_nodes,
+            total_nodes,
+            total_exit: 0.0,
+            node_plogp,
+        };
+        state.total_exit = (0..m)
+            .map(|i| state.effective_exit(state.mod_link_exit[i], state.mod_flow[i], state.mod_nodes[i]))
+            .sum();
+        state
+    }
+
+    /// Effective exit probability of a module with link exit `link`, visit
+    /// rate `p`, and `n_i` member vertices.
+    #[inline]
+    fn effective_exit(&self, link: f64, p: f64, n_i: u64) -> f64 {
+        match self.mode {
+            TeleportMode::Unrecorded => link,
+            TeleportMode::Recorded { tau } => {
+                let n = self.total_nodes.max(1) as f64;
+                tau * ((self.total_nodes - n_i) as f64 / n) * p + (1.0 - tau) * link
+            }
+        }
+    }
+
+    /// Number of module slots (some may be empty after moves).
+    pub fn num_modules(&self) -> usize {
+        self.mod_link_exit.len()
+    }
+
+    /// The teleport convention in use.
+    pub fn mode(&self) -> TeleportMode {
+        self.mode
+    }
+
+    /// Effective exit probability of module `m`.
+    pub fn exit(&self, m: u32) -> f64 {
+        self.effective_exit(
+            self.mod_link_exit[m as usize],
+            self.mod_flow[m as usize],
+            self.mod_nodes[m as usize],
+        )
+    }
+
+    /// Link-only exit flow of module `m` (excludes any teleport term).
+    pub fn link_exit(&self, m: u32) -> f64 {
+        self.mod_link_exit[m as usize]
+    }
+
+    /// Total visit rate of module `m`.
+    pub fn flow(&self, m: u32) -> f64 {
+        self.mod_flow[m as usize]
+    }
+
+    /// Original-vertex count of module `m`.
+    pub fn nodes(&self, m: u32) -> u64 {
+        self.mod_nodes[m as usize]
+    }
+
+    /// Total effective exit flow `q`.
+    pub fn total_exit(&self) -> f64 {
+        self.total_exit
+    }
+
+    /// Current codelength `L(M)` in bits.
+    pub fn codelength(&self) -> f64 {
+        let mut exit_sum = 0.0;
+        let mut combined = 0.0;
+        for i in 0..self.mod_link_exit.len() {
+            let q = self.effective_exit(self.mod_link_exit[i], self.mod_flow[i], self.mod_nodes[i]);
+            exit_sum += plogp(q);
+            combined += plogp(q + self.mod_flow[i]);
+        }
+        plogp(self.total_exit) - 2.0 * exit_sum + combined - self.node_plogp
+    }
+
+    /// The `(link_exit', p', n')` of both touched modules after moving a
+    /// node, shared by [`MapState::delta_move`] and [`MapState::apply_move`].
+    #[allow(clippy::type_complexity)]
+    fn moved_stats(
+        &self,
+        old: u32,
+        new: u32,
+        node: &NodeSummary,
+        flows_old: ModuleFlows,
+        flows_new: ModuleFlows,
+    ) -> ((f64, f64, u64), (f64, f64, u64)) {
+        let (old, new) = (old as usize, new as usize);
+        // Leaving `old`: the node's arcs to outside-old stop exiting from
+        // old, while old's arcs into the node start exiting.
+        let link_o = self.mod_link_exit[old] - (node.out_total - flows_old.out_flow)
+            + flows_old.in_flow;
+        // Joining `new`: the node's arcs to outside-new now exit from new,
+        // minus its arcs into new members; new's arcs into the node stop
+        // exiting.
+        let link_n = self.mod_link_exit[new] + (node.out_total - flows_new.out_flow)
+            - flows_new.in_flow;
+        (
+            (
+                link_o,
+                self.mod_flow[old] - node.flow,
+                self.mod_nodes[old] - node.weight,
+            ),
+            (
+                link_n,
+                self.mod_flow[new] + node.flow,
+                self.mod_nodes[new] + node.weight,
+            ),
+        )
+    }
+
+    /// Codelength change (bits) of moving `node` from module `old` to
+    /// module `new`, where `flows_old` / `flows_new` are its accumulated
+    /// flow exchanges with those modules (the node's own self-arcs are
+    /// excluded by construction). Negative = improvement.
+    pub fn delta_move(
+        &self,
+        old: u32,
+        new: u32,
+        node: &NodeSummary,
+        flows_old: ModuleFlows,
+        flows_new: ModuleFlows,
+    ) -> f64 {
+        if old == new {
+            return 0.0;
+        }
+        let (q_o, p_o, n_o) = (
+            self.mod_link_exit[old as usize],
+            self.mod_flow[old as usize],
+            self.mod_nodes[old as usize],
+        );
+        let (q_n, p_n, n_n) = (
+            self.mod_link_exit[new as usize],
+            self.mod_flow[new as usize],
+            self.mod_nodes[new as usize],
+        );
+        let ((lo2, po2, no2), (ln2, pn2, nn2)) =
+            self.moved_stats(old, new, node, flows_old, flows_new);
+
+        let e_o = self.effective_exit(q_o, p_o, n_o);
+        let e_n = self.effective_exit(q_n, p_n, n_n);
+        let e_o2 = self.effective_exit(lo2, po2, no2);
+        let e_n2 = self.effective_exit(ln2, pn2, nn2);
+        let q_new = self.total_exit + (e_o2 - e_o) + (e_n2 - e_n);
+
+        plogp(q_new) - plogp(self.total_exit)
+            - 2.0 * (plogp(e_o2) - plogp(e_o))
+            - 2.0 * (plogp(e_n2) - plogp(e_n))
+            + plogp(e_o2 + po2)
+            - plogp(e_o + p_o)
+            + plogp(e_n2 + pn2)
+            - plogp(e_n + p_n)
+    }
+
+    /// Applies the move that [`MapState::delta_move`] evaluated, updating
+    /// module statistics in O(1).
+    pub fn apply_move(
+        &mut self,
+        old: u32,
+        new: u32,
+        node: &NodeSummary,
+        flows_old: ModuleFlows,
+        flows_new: ModuleFlows,
+    ) {
+        if old == new {
+            return;
+        }
+        let e_o = self.exit(old);
+        let e_n = self.exit(new);
+        let ((lo2, po2, no2), (ln2, pn2, nn2)) =
+            self.moved_stats(old, new, node, flows_old, flows_new);
+        self.mod_link_exit[old as usize] = lo2;
+        self.mod_flow[old as usize] = po2;
+        self.mod_nodes[old as usize] = no2;
+        self.mod_link_exit[new as usize] = ln2;
+        self.mod_flow[new as usize] = pn2;
+        self.mod_nodes[new as usize] = nn2;
+        self.total_exit += (self.exit(old) - e_o) + (self.exit(new) - e_n);
+    }
+}
+
+/// Convenience: the codelength of `partition` on `flow` (builds a fresh
+/// unrecorded-teleport [`MapState`]).
+pub fn codelength(flow: &FlowNetwork, partition: &Partition) -> f64 {
+    MapState::new(flow, partition).codelength()
+}
+
+/// Accumulates, without any device model, the flow exchange between vertex
+/// `u` and module `m` under `partition`. Test/oracle helper mirroring what
+/// the accumulation device computes.
+pub fn module_flows_of(
+    flow: &FlowNetwork,
+    partition: &Partition,
+    u: NodeId,
+    m: u32,
+) -> ModuleFlows {
+    let mut mf = ModuleFlows::default();
+    for (v, f) in flow.out_arcs(u) {
+        if partition.community_of(v) == m {
+            mf.out_flow += f;
+        }
+    }
+    for (v, f) in flow.in_arcs(u) {
+        if partition.community_of(v) == m {
+            mf.in_flow += f;
+        }
+    }
+    mf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InfomapConfig;
+    use asa_graph::generators::planted_partition;
+    use asa_graph::generators::PlantedConfig;
+    use asa_graph::GraphBuilder;
+
+    fn two_triangles_flow() -> FlowNetwork {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        FlowNetwork::from_graph(&b.build(), &InfomapConfig::default())
+    }
+
+    fn check_delta_everywhere(flow: &FlowNetwork, partition: &Partition, mode: TeleportMode) {
+        let node_plogp: f64 = flow.node_flows().iter().copied().map(plogp).sum();
+        let state = MapState::with_options(flow, partition, node_plogp, mode);
+        let l0 = state.codelength();
+        let m = partition.num_communities() as u32;
+        for u in 0..flow.num_nodes() as u32 {
+            let old = partition.community_of(u);
+            for new in 0..m {
+                if new == old {
+                    continue;
+                }
+                let delta = state.delta_move(
+                    old,
+                    new,
+                    &flow.node_summary(u),
+                    module_flows_of(flow, partition, u, old),
+                    module_flows_of(flow, partition, u, new),
+                );
+                let mut moved = partition.clone();
+                moved.assign(u, new);
+                let l1 = MapState::with_options(flow, &moved, node_plogp, mode).codelength();
+                assert!(
+                    (delta - (l1 - l0)).abs() < 1e-9,
+                    "{mode:?} u={u} {old}->{new}: delta {delta} vs recompute {}",
+                    l1 - l0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plogp_properties() {
+        assert_eq!(plogp(0.0), 0.0);
+        assert_eq!(plogp(1.0), 0.0);
+        assert!((plogp(0.5) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_partition_beats_bad() {
+        let flow = two_triangles_flow();
+        let good = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let bad = Partition::from_labels(vec![0, 1, 0, 1, 0, 1]);
+        let singletons = Partition::singletons(6);
+        let l_good = codelength(&flow, &good);
+        let l_bad = codelength(&flow, &bad);
+        let l_single = codelength(&flow, &singletons);
+        assert!(l_good < l_bad, "{l_good} !< {l_bad}");
+        assert!(l_good < l_single, "{l_good} !< {l_single}");
+    }
+
+    #[test]
+    fn one_module_codelength_is_node_entropy() {
+        let flow = two_triangles_flow();
+        let uniform = Partition::uniform(6);
+        // q = 0: L reduces to -Σ plogp(p_α) = H(p), the entropy of visit
+        // rates.
+        let entropy: f64 = -flow.node_flows().iter().copied().map(plogp).sum::<f64>();
+        assert!((codelength(&flow, &uniform) - entropy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_matches_recomputation_unrecorded() {
+        let flow = two_triangles_flow();
+        let partition = Partition::from_labels(vec![0, 0, 1, 1, 2, 2]);
+        check_delta_everywhere(&flow, &partition, TeleportMode::Unrecorded);
+    }
+
+    #[test]
+    fn delta_matches_recomputation_recorded() {
+        let flow = two_triangles_flow();
+        let partition = Partition::from_labels(vec![0, 0, 1, 1, 2, 2]);
+        check_delta_everywhere(&flow, &partition, TeleportMode::Recorded { tau: 0.15 });
+    }
+
+    #[test]
+    fn delta_matches_on_directed_random_graph_both_modes() {
+        let mut b = GraphBuilder::directed(10);
+        // Deterministic pseudo-random digraph.
+        let mut x = 9u64;
+        for _ in 0..40 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % 10) as u32;
+            let v = ((x >> 13) % 10) as u32;
+            if u != v {
+                b.add_edge(u, v, 1.0 + (x % 3) as f64);
+            }
+        }
+        let flow = FlowNetwork::from_graph(&b.build(), &InfomapConfig::default());
+        let labels: Vec<u32> = (0..10).map(|i| i % 3).collect();
+        let partition = Partition::from_labels(labels);
+        check_delta_everywhere(&flow, &partition, TeleportMode::Unrecorded);
+        check_delta_everywhere(&flow, &partition, TeleportMode::Recorded { tau: 0.15 });
+    }
+
+    #[test]
+    fn recorded_with_tau_zero_equals_unrecorded() {
+        let flow = two_triangles_flow();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let node_plogp: f64 = flow.node_flows().iter().copied().map(plogp).sum();
+        let a = MapState::with_options(&flow, &p, node_plogp, TeleportMode::Unrecorded);
+        let b = MapState::with_options(&flow, &p, node_plogp, TeleportMode::Recorded { tau: 0.0 });
+        assert!((a.codelength() - b.codelength()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorded_teleport_raises_exit_flow() {
+        let flow = two_triangles_flow();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let node_plogp: f64 = flow.node_flows().iter().copied().map(plogp).sum();
+        let unrec = MapState::with_options(&flow, &p, node_plogp, TeleportMode::Unrecorded);
+        let rec =
+            MapState::with_options(&flow, &p, node_plogp, TeleportMode::Recorded { tau: 0.15 });
+        // Encoding teleport jumps adds exit probability to every module.
+        assert!(rec.total_exit() > unrec.total_exit());
+        assert!(rec.exit(0) > unrec.exit(0));
+        // And the per-module member counts are tracked.
+        assert_eq!(rec.nodes(0), 3);
+        assert_eq!(rec.nodes(1), 3);
+    }
+
+    #[test]
+    fn apply_move_keeps_state_consistent_both_modes() {
+        let flow = two_triangles_flow();
+        for mode in [TeleportMode::Unrecorded, TeleportMode::Recorded { tau: 0.2 }] {
+            let mut partition = Partition::from_labels(vec![0, 0, 1, 1, 2, 2]);
+            let node_plogp: f64 = flow.node_flows().iter().copied().map(plogp).sum();
+            let mut state = MapState::with_options(&flow, &partition, node_plogp, mode);
+            // Move vertex 2 into module 0 (its triangle).
+            let (u, old, new) = (2u32, 1u32, 0u32);
+            state.apply_move(
+                old,
+                new,
+                &flow.node_summary(u),
+                module_flows_of(&flow, &partition, u, old),
+                module_flows_of(&flow, &partition, u, new),
+            );
+            partition.assign(u, new);
+            let fresh = MapState::with_options(&flow, &partition, node_plogp, mode);
+            assert!(
+                (state.codelength() - fresh.codelength()).abs() < 1e-9,
+                "{mode:?} codelength drift"
+            );
+            assert!((state.total_exit() - fresh.total_exit()).abs() < 1e-12);
+            for m in 0..3 {
+                assert!((state.exit(m) - fresh.exit(m)).abs() < 1e-12);
+                assert!((state.flow(m) - fresh.flow(m)).abs() < 1e-12);
+                assert_eq!(state.nodes(m), fresh.nodes(m));
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_near_optimal_on_planted_graph() {
+        let (g, truth) = planted_partition(
+            &PlantedConfig {
+                communities: 4,
+                community_size: 30,
+                k_in: 12.0,
+                k_out: 1.0,
+            },
+            3,
+        );
+        let flow = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        let l_truth = codelength(&flow, &truth);
+        let l_single = codelength(&flow, &Partition::singletons(g.num_nodes()));
+        let l_uniform = codelength(&flow, &Partition::uniform(g.num_nodes()));
+        assert!(l_truth < l_single);
+        assert!(l_truth < l_uniform);
+    }
+}

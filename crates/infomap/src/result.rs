@@ -1,0 +1,124 @@
+//! Result and timing types.
+
+use std::time::Duration;
+
+use asa_graph::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock time per kernel, mirroring the paper's Fig. 2a breakdown.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct KernelTimings {
+    /// PageRank / flow-model construction.
+    pub pagerank: Duration,
+    /// All `FindBestCommunity` sweeps (vertex- and supernode-level).
+    pub find_best: Duration,
+    /// All `Convert2SuperNode` aggregations.
+    pub convert: Duration,
+    /// All `UpdateMembers` projections.
+    pub update: Duration,
+}
+
+impl KernelTimings {
+    /// Total across kernels.
+    pub fn total(&self) -> Duration {
+        self.pagerank + self.find_best + self.convert + self.update
+    }
+
+    /// Fraction of total time spent in `FindBestCommunity` (the paper
+    /// reports 70–90%).
+    pub fn find_best_share(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.find_best.as_secs_f64() / total
+        }
+    }
+}
+
+/// Statistics of one hierarchy level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelInfo {
+    /// Nodes (vertices or supernodes) at this level.
+    pub nodes: usize,
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Total moves applied.
+    pub moves: usize,
+    /// Codelength when the level started.
+    pub codelength_before: f64,
+    /// Codelength when the level converged.
+    pub codelength_after: f64,
+    /// Duration of each sweep, in seconds (Table III/IV's per-iteration
+    /// rows come from the level-0 entries).
+    pub sweep_seconds: Vec<f64>,
+    /// Active vertices per sweep.
+    pub sweep_active: Vec<usize>,
+    /// True for a fine-tuning pass over original vertices (as opposed to
+    /// a multilevel phase over vertices/supernodes).
+    pub refinement: bool,
+}
+
+/// Output of a full Infomap run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InfomapResult {
+    /// Final community assignment over the original vertices.
+    pub partition: Partition,
+    /// Final codelength `L(M)` in bits.
+    pub codelength: f64,
+    /// Codelength of the all-singletons partition (the starting point).
+    pub initial_codelength: f64,
+    /// Per-level statistics.
+    pub levels: Vec<LevelInfo>,
+    /// The module hierarchy: vertex→module assignment after each
+    /// aggregation level, coarsest last (equals [`InfomapResult::partition`]
+    /// when the final level applied no further merges). Empty when the
+    /// vertex level already failed to merge anything.
+    pub level_partitions: Vec<Partition>,
+    /// Wall-clock kernel breakdown.
+    pub timings: KernelTimings,
+}
+
+impl InfomapResult {
+    /// Number of detected communities.
+    pub fn num_communities(&self) -> usize {
+        self.partition.num_communities()
+    }
+
+    /// Number of aggregation levels that merged modules.
+    pub fn hierarchy_depth(&self) -> usize {
+        self.level_partitions.len()
+    }
+
+    /// Compression relative to singletons: `1 − L_final / L_initial`.
+    pub fn compression(&self) -> f64 {
+        if self.initial_codelength == 0.0 {
+            0.0
+        } else {
+            1.0 - self.codelength / self.initial_codelength
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_shares() {
+        let t = KernelTimings {
+            pagerank: Duration::from_millis(100),
+            find_best: Duration::from_millis(800),
+            convert: Duration::from_millis(50),
+            update: Duration::from_millis(50),
+        };
+        assert_eq!(t.total(), Duration::from_millis(1000));
+        assert!((t.find_best_share() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_timings_safe() {
+        let t = KernelTimings::default();
+        assert_eq!(t.find_best_share(), 0.0);
+    }
+}

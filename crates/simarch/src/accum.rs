@@ -1,0 +1,81 @@
+//! The accumulation interface shared by the software hash table and ASA.
+//!
+//! The paper's generalized ASA interface boils down to three calls used by
+//! `FindBestCommunity` (Algorithm 2): `accumulate(tid, hash(k), k, value)`,
+//! `gather_CAM(tid, ...)`, and `sort_and_merge(...)`. The software Baseline
+//! offers the same semantics through `std::unordered_map` operations
+//! (Algorithm 1). This trait captures the common contract so the Infomap
+//! kernel is written once and parameterized by the accumulation device.
+
+use crate::events::EventSink;
+
+/// A key→sum accumulator with device-specific cost behaviour.
+///
+/// Semantics contract (checked by property tests across implementations):
+/// after any sequence of `accumulate(k_i, v_i)` calls since the last
+/// `begin`, `gather` must produce exactly the set of distinct keys with
+/// their value sums, in unspecified order.
+pub trait FlowAccumulator {
+    /// Prepares for a new vertex's accumulation round, clearing state.
+    fn begin<S: EventSink>(&mut self, sink: &mut S);
+
+    /// Adds `value` to the running sum for `key`.
+    fn accumulate<S: EventSink>(&mut self, key: u32, value: f64, sink: &mut S);
+
+    /// Drains every `(key, sum)` pair into `out` and resets the device.
+    /// `out` is cleared first.
+    fn gather<S: EventSink>(&mut self, out: &mut Vec<(u32, f64)>, sink: &mut S);
+
+    /// Short device name for reports ("software-hash", "asa", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Reference accumulator with *no* modeled cost: a dense-key-friendly
+/// BTree-backed map. Used as the semantic oracle in tests and for pure
+/// algorithm runs where device behaviour is irrelevant.
+#[derive(Debug, Default)]
+pub struct OracleAccumulator {
+    map: std::collections::BTreeMap<u32, f64>,
+}
+
+impl FlowAccumulator for OracleAccumulator {
+    fn begin<S: EventSink>(&mut self, _sink: &mut S) {
+        self.map.clear();
+    }
+
+    fn accumulate<S: EventSink>(&mut self, key: u32, value: f64, _sink: &mut S) {
+        *self.map.entry(key).or_insert(0.0) += value;
+    }
+
+    fn gather<S: EventSink>(&mut self, out: &mut Vec<(u32, f64)>, _sink: &mut S) {
+        out.clear();
+        out.extend(self.map.iter().map(|(&k, &v)| (k, v)));
+        self.map.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+
+    #[test]
+    fn oracle_accumulates() {
+        let mut acc = OracleAccumulator::default();
+        let mut sink = NullSink;
+        acc.begin(&mut sink);
+        acc.accumulate(3, 1.0, &mut sink);
+        acc.accumulate(1, 2.0, &mut sink);
+        acc.accumulate(3, 0.5, &mut sink);
+        let mut out = Vec::new();
+        acc.gather(&mut out, &mut sink);
+        assert_eq!(out, vec![(1, 2.0), (3, 1.5)]);
+        // Gather resets.
+        acc.gather(&mut out, &mut sink);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Micro-event interface between instrumented components and the core model.
+//!
+//! Instrumented code (the software hash table, the ASA device model) calls
+//! these methods at the points where the real implementation would execute
+//! instructions, branch, or touch memory. The paper's ZSim setup does the
+//! same thing with Pin instrumentation and magic `xchg` instructions
+//! (Section II-E); here the instrumentation is explicit calls.
+
+/// Instruction classes with distinct issue costs in the core model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Integer ALU work (address math, comparisons outside branches).
+    Alu,
+    /// Floating-point add/mul (flow accumulation arithmetic).
+    Float,
+    /// Memory load (issue cost only; stall cycles come from the cache model).
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (issue cost; mispredict penalty from predictor).
+    Branch,
+    /// ASA `accumulate` custom instruction: one CAM lookup+add (the paper's
+    /// single-instruction hash lookup and accumulation).
+    AsaAccumulate,
+    /// ASA `gather_CAM` per-entry transfer back to memory.
+    AsaGather,
+}
+
+impl InstrClass {
+    /// All classes, for report tabulation.
+    pub const ALL: [InstrClass; 7] = [
+        InstrClass::Alu,
+        InstrClass::Float,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+        InstrClass::AsaAccumulate,
+        InstrClass::AsaGather,
+    ];
+
+    /// Dense index for per-class counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            InstrClass::Alu => 0,
+            InstrClass::Float => 1,
+            InstrClass::Load => 2,
+            InstrClass::Store => 3,
+            InstrClass::Branch => 4,
+            InstrClass::AsaAccumulate => 5,
+            InstrClass::AsaGather => 6,
+        }
+    }
+}
+
+/// Receiver for micro-events emitted by instrumented components.
+///
+/// `mem_read`/`mem_write` *include* the load/store instruction itself; do
+/// not emit a separate `instr(Load, 1)` alongside them. `branch` likewise
+/// counts the branch instruction.
+pub trait EventSink {
+    /// `count` instructions of class `class` executed (no memory side
+    /// effects).
+    fn instr(&mut self, class: InstrClass, count: u64);
+
+    /// A conditional branch at static site `site` resolved as `taken`.
+    fn branch(&mut self, site: u32, taken: bool);
+
+    /// A load from synthetic address `addr`.
+    fn mem_read(&mut self, addr: u64);
+
+    /// A store to synthetic address `addr`.
+    fn mem_write(&mut self, addr: u64);
+
+    /// Marks subsequent loads as serially dependent (pointer chasing, which
+    /// an out-of-order core cannot overlap) or independently issuable.
+    /// Sinks without a timing model ignore this.
+    fn set_dependent(&mut self, _dependent: bool) {}
+
+    /// Tags subsequent events with an attribution phase (see [`phase`]).
+    /// Timing sinks keep per-phase counters so the harness can report,
+    /// e.g., the share of `FindBestCommunity` spent in hash operations
+    /// (Fig. 2b) or ASA overflow handling (Section IV-C). Sinks without a
+    /// timing model ignore this.
+    fn set_phase(&mut self, _phase: usize) {}
+}
+
+/// Attribution phases for [`EventSink::set_phase`].
+pub mod phase {
+    /// Kernel computation outside the accumulation device (codelength
+    /// math, neighbour iteration, move bookkeeping).
+    pub const COMPUTE: usize = 0;
+    /// Accumulation-device work: hash insert/lookup/accumulate and gather —
+    /// the paper's "HashOperations" bar.
+    pub const HASH: usize = 1;
+    /// ASA overflow handling: the software `sort_and_merge` of
+    /// Algorithm 2 lines 10–12.
+    pub const OVERFLOW: usize = 2;
+    /// Number of phases.
+    pub const COUNT: usize = 3;
+}
+
+/// Sink that discards everything. Used for "native" runs (Table III/IV's
+/// native column measures wall-clock without simulation); all methods are
+/// empty so the optimizer removes instrumentation entirely in monomorphized
+/// code.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn instr(&mut self, _class: InstrClass, _count: u64) {}
+    #[inline(always)]
+    fn branch(&mut self, _site: u32, _taken: bool) {}
+    #[inline(always)]
+    fn mem_read(&mut self, _addr: u64) {}
+    #[inline(always)]
+    fn mem_write(&mut self, _addr: u64) {}
+}
+
+/// Sink that only counts event totals, with no timing model. Useful in tests
+/// asserting *what* was emitted independently of machine configuration.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    /// Total non-memory instructions by class index.
+    pub instr: [u64; 7],
+    /// Total branches observed.
+    pub branches: u64,
+    /// Branches that resolved taken.
+    pub taken: u64,
+    /// Loads observed.
+    pub reads: u64,
+    /// Stores observed.
+    pub writes: u64,
+}
+
+impl CountingSink {
+    /// Total instructions across all classes including memory and branches.
+    pub fn total_instructions(&self) -> u64 {
+        self.instr.iter().sum::<u64>() + self.branches + self.reads + self.writes
+    }
+}
+
+impl EventSink for CountingSink {
+    fn instr(&mut self, class: InstrClass, count: u64) {
+        self.instr[class.index()] += count;
+    }
+    fn branch(&mut self, _site: u32, taken: bool) {
+        self.branches += 1;
+        if taken {
+            self.taken += 1;
+        }
+    }
+    fn mem_read(&mut self, _addr: u64) {
+        self.reads += 1;
+    }
+    fn mem_write(&mut self, _addr: u64) {
+        self.writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut s = CountingSink::default();
+        s.instr(InstrClass::Alu, 3);
+        s.branch(1, true);
+        s.branch(1, false);
+        s.mem_read(0x40);
+        s.mem_write(0x80);
+        assert_eq!(s.instr[InstrClass::Alu.index()], 3);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.taken, 1);
+        assert_eq!(s.total_instructions(), 3 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn class_indices_dense_and_unique() {
+        let mut seen = [false; 7];
+        for c in InstrClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn null_sink_is_noop() {
+        let mut s = NullSink;
+        s.instr(InstrClass::Float, 1);
+        s.branch(0, true);
+        s.mem_read(0);
+        s.mem_write(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Multi-core machine model.
+
+use crate::config::MachineConfig;
+use crate::core::CoreModel;
+use crate::report::KernelReport;
+
+/// A set of simulated cores executing a bulk-synchronous parallel kernel.
+///
+/// HyPC-Map's shared-memory phase partitions vertices across OpenMP threads
+/// and barriers between iterations. The model mirrors that: the caller
+/// processes each core's vertex share against that core's [`CoreModel`]
+/// (safe to do from parallel host threads via [`MachineModel::cores_mut`]),
+/// then [`MachineModel::barrier_reports`] combines per-core counters with
+/// max-cycle semantics.
+#[derive(Debug)]
+pub struct MachineModel {
+    cfg: MachineConfig,
+    cores: Vec<CoreModel>,
+}
+
+impl MachineModel {
+    /// Builds `cfg.cores` simulated cores.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let cores = (0..cfg.cores).map(|_| CoreModel::new(cfg)).collect();
+        Self {
+            cfg: cfg.clone(),
+            cores,
+        }
+    }
+
+    /// Number of simulated cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to one core.
+    pub fn core_mut(&mut self, i: usize) -> &mut CoreModel {
+        &mut self.cores[i]
+    }
+
+    /// Mutable slice of all cores, for distributing to host worker threads
+    /// (e.g. `cores_mut().par_iter_mut()` with per-core vertex ranges).
+    pub fn cores_mut(&mut self) -> &mut [CoreModel] {
+        &mut self.cores
+    }
+
+    /// Collects and resets every core's counters, returning
+    /// `(per_core, combined)` where `combined` sums event counters and takes
+    /// the slowest core's cycles (barrier semantics).
+    pub fn barrier_reports(&mut self) -> (Vec<KernelReport>, KernelReport) {
+        let per_core: Vec<KernelReport> = self.cores.iter_mut().map(|c| c.take_report()).collect();
+        let combined = KernelReport::parallel(per_core.iter());
+        (per_core, combined)
+    }
+
+    /// Splits `n` items into contiguous per-core ranges (block
+    /// partitioning, the distribution HyPC-Map uses for its vertex loop).
+    pub fn partition(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        block_partition(n, self.num_cores())
+    }
+}
+
+/// Contiguous block partition of `0..n` into `parts` ranges whose sizes
+/// differ by at most one.
+pub fn block_partition(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventSink, InstrClass};
+
+    #[test]
+    fn partition_covers_everything() {
+        let ranges = block_partition(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn partition_handles_small_n() {
+        let ranges = block_partition(2, 4);
+        assert_eq!(ranges.iter().filter(|r| !r.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn barrier_takes_max() {
+        let mut m = MachineModel::new(&MachineConfig::baseline(2));
+        m.core_mut(0).instr(InstrClass::Alu, 100);
+        m.core_mut(1).instr(InstrClass::Alu, 1000);
+        let (per_core, combined) = m.barrier_reports();
+        assert_eq!(per_core.len(), 2);
+        assert_eq!(combined.instructions, 1100);
+        assert!((combined.cycles - per_core[1].cycles).abs() < 1e-9);
+        // Counters were reset.
+        let (_, empty) = m.barrier_reports();
+        assert_eq!(empty.instructions, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Aggregated simulation counters — the quantities the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one kernel run on one core (or merged across cores).
+///
+/// These are exactly the metrics in the paper's evaluation: total
+/// instructions (Fig. 8a, 9), mispredicted branches (Fig. 8b, 10), CPI
+/// (Fig. 8c, 11), and cycle-derived runtimes (Tables III–V).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredictions: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 misses (DRAM accesses).
+    pub l3_misses: u64,
+    /// Total cycles charged.
+    pub cycles: f64,
+}
+
+impl KernelReport {
+    /// Cycles per instruction; 0 when no instructions retired.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles / self.instructions as f64
+        }
+    }
+
+    /// Wall-clock seconds at `freq_ghz`.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        self.cycles / (freq_ghz * 1e9)
+    }
+
+    /// Branch misprediction rate in `[0,1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Element-wise accumulation (summing two cores or two phases).
+    pub fn merge(&mut self, other: &KernelReport) {
+        self.instructions += other.instructions;
+        self.branches += other.branches;
+        self.mispredictions += other.mispredictions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_misses += other.l1_misses;
+        self.l2_misses += other.l2_misses;
+        self.l3_misses += other.l3_misses;
+        self.cycles += other.cycles;
+    }
+
+    /// Sum of many reports.
+    pub fn sum<'a, I: IntoIterator<Item = &'a KernelReport>>(reports: I) -> KernelReport {
+        let mut total = KernelReport::default();
+        for r in reports {
+            total.merge(r);
+        }
+        total
+    }
+
+    /// Parallel combination: counters add, cycles take the maximum (bulk-
+    /// synchronous cores finish together at the slowest core's time).
+    pub fn parallel<'a, I: IntoIterator<Item = &'a KernelReport>>(reports: I) -> KernelReport {
+        let mut total = KernelReport::default();
+        let mut max_cycles = 0f64;
+        for r in reports {
+            let cycles = r.cycles;
+            total.merge(r);
+            max_cycles = max_cycles.max(cycles);
+        }
+        total.cycles = max_cycles;
+        total
+    }
+}
+
+/// A Baseline-vs-ASA comparison row, as printed by the harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Workload label (network name).
+    pub label: String,
+    /// Software-hash (Baseline) counters.
+    pub baseline: KernelReport,
+    /// ASA counters.
+    pub asa: KernelReport,
+}
+
+impl ComparisonRow {
+    /// Baseline/ASA cycle ratio — the paper's headline "speedup".
+    pub fn speedup(&self) -> f64 {
+        if self.asa.cycles == 0.0 {
+            0.0
+        } else {
+            self.baseline.cycles / self.asa.cycles
+        }
+    }
+
+    /// Fractional reduction in instruction count (Fig. 8a): positive when
+    /// ASA executes fewer instructions.
+    pub fn instruction_reduction(&self) -> f64 {
+        reduction(self.baseline.instructions as f64, self.asa.instructions as f64)
+    }
+
+    /// Fractional reduction in branch mispredictions (Fig. 8b).
+    pub fn mispredict_reduction(&self) -> f64 {
+        reduction(
+            self.baseline.mispredictions as f64,
+            self.asa.mispredictions as f64,
+        )
+    }
+
+    /// Fractional reduction in CPI (Fig. 8c).
+    pub fn cpi_reduction(&self) -> f64 {
+        reduction(self.baseline.cpi(), self.asa.cpi())
+    }
+}
+
+fn reduction(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        (before - after) / before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycles: f64, instr: u64) -> KernelReport {
+        KernelReport {
+            instructions: instr,
+            branches: instr / 5,
+            mispredictions: instr / 50,
+            loads: instr / 4,
+            stores: instr / 10,
+            l1_misses: instr / 20,
+            l2_misses: instr / 40,
+            l3_misses: instr / 80,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn cpi_and_seconds() {
+        let r = sample(2000.0, 1000);
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.seconds(2.0) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = sample(100.0, 50);
+        a.merge(&sample(50.0, 25));
+        assert_eq!(a.instructions, 75);
+        assert!((a.cycles - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_takes_max_cycles() {
+        let cores = [sample(100.0, 50), sample(300.0, 50), sample(200.0, 50)];
+        let combined = KernelReport::parallel(cores.iter());
+        assert_eq!(combined.instructions, 150);
+        assert!((combined.cycles - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_metrics() {
+        let row = ComparisonRow {
+            label: "pokec".into(),
+            baseline: sample(5000.0, 2000),
+            asa: sample(1000.0, 1500),
+        };
+        assert!((row.speedup() - 5.0).abs() < 1e-12);
+        assert!((row.instruction_reduction() - 0.25).abs() < 1e-12);
+        assert!(row.cpi_reduction() > 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = KernelReport::default();
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.mispredict_rate(), 0.0);
+    }
+}

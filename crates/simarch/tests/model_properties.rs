@@ -1,0 +1,120 @@
+//! Property tests pinning the micro-architecture models to reference
+//! implementations.
+
+use asa_simarch::branch::{BranchPredictor, PredictorKind};
+use asa_simarch::cache::SetAssocCache;
+use asa_simarch::events::{EventSink, InstrClass};
+use asa_simarch::{CoreModel, MachineConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference fully-specified LRU set model: per set, a recency queue.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    queues: Vec<VecDeque<u64>>,
+}
+
+impl RefCache {
+    fn new(capacity: usize, ways: usize, line: usize) -> Self {
+        let sets = capacity / line / ways;
+        Self {
+            sets,
+            ways,
+            line_shift: line.trailing_zeros(),
+            queues: vec![VecDeque::new(); sets],
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line as usize) & (self.sets - 1);
+        let q = &mut self.queues[set];
+        if let Some(pos) = q.iter().position(|&t| t == line) {
+            q.remove(pos);
+            q.push_back(line);
+            true
+        } else {
+            if q.len() == self.ways {
+                q.pop_front();
+            }
+            q.push_back(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..600),
+        ways in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let capacity = 64 * ways * 8; // 8 sets
+        let mut model = SetAssocCache::new(capacity, ways, 64);
+        let mut reference = RefCache::new(capacity, ways, 64);
+        for &a in &addrs {
+            prop_assert_eq!(model.access(a), reference.access(a), "addr {:#x}", a);
+        }
+        prop_assert_eq!(model.accesses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn predictor_totals_consistent(
+        outcomes in prop::collection::vec((0u32..64, any::<bool>()), 1..500),
+    ) {
+        for kind in [PredictorKind::Bimodal, PredictorKind::Gshare] {
+            let mut p = BranchPredictor::new(kind, 10, 4);
+            let mut misses = 0u64;
+            for &(site, taken) in &outcomes {
+                if p.resolve(site, taken) {
+                    misses += 1;
+                }
+            }
+            prop_assert_eq!(p.predictions(), outcomes.len() as u64);
+            prop_assert_eq!(p.mispredictions(), misses);
+            prop_assert!(p.miss_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn predictor_deterministic(
+        outcomes in prop::collection::vec((0u32..64, any::<bool>()), 1..300),
+    ) {
+        let run = || {
+            let mut p = BranchPredictor::default_gshare();
+            outcomes
+                .iter()
+                .map(|&(s, t)| p.resolve(s, t))
+                .collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn core_cycles_monotone_in_events(
+        events in prop::collection::vec(0u8..4, 1..400),
+    ) {
+        // Cycles strictly increase with every event; instruction counts
+        // match the event stream exactly.
+        let mut core = CoreModel::new(&MachineConfig::baseline(1));
+        let mut last = 0.0f64;
+        let mut x = 7u64;
+        for (i, &e) in events.iter().enumerate() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match e {
+                0 => core.instr(InstrClass::Alu, 1),
+                1 => core.branch(i as u32 % 16, x & 1 == 1),
+                2 => core.mem_read(x % (1 << 20)),
+                _ => core.mem_write(x % (1 << 20)),
+            }
+            let now = core.report().cycles;
+            prop_assert!(now > last, "cycles must advance");
+            last = now;
+        }
+        prop_assert_eq!(core.report().instructions, events.len() as u64);
+    }
+}

@@ -1,0 +1,23 @@
+//! Sparse general matrix-matrix multiplication (SpGEMM) over the
+//! generalized ASA accumulation interface.
+//!
+//! ASA (Chao et al., TACO 2022) was designed to accelerate the *sparse
+//! accumulation* inside column-wise SpGEMM. The paper reproduced by this
+//! workspace generalizes ASA's interface so any hash-accumulation-heavy
+//! application can use it, and demonstrates that with Infomap. This crate
+//! closes the loop from the other side: it implements ASA's **original**
+//! workload — Gustavson-style row-wise SpGEMM — against the *same*
+//! [`FlowAccumulator`](asa_simarch::FlowAccumulator) contract the Infomap
+//! kernel uses. One device model, two applications; exactly the
+//! generalization the paper claims.
+//!
+//! The row-formulation used here is the transpose-dual of the paper's
+//! column-wise formulation (identical accumulation stream per output
+//! row/column), and each output row is one `begin → accumulate* → gather`
+//! round — the same device lifecycle as one Infomap vertex.
+
+pub mod matrix;
+pub mod multiply;
+
+pub use matrix::CsrMatrix;
+pub use multiply::{spgemm, spgemm_flops, spgemm_parallel, spmv};

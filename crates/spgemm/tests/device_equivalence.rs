@@ -1,0 +1,105 @@
+//! SpGEMM × device matrix: every accumulation device must produce the
+//! same product, and the ASA device must beat the software hash on the
+//! simulated machine — reproducing the accelerator's original use case.
+
+use asa_accel::{AsaAccumulator, AsaConfig};
+use asa_graph::generators::barabasi_albert;
+use asa_hashsim::ChainedAccumulator;
+use asa_simarch::accum::OracleAccumulator;
+use asa_simarch::events::NullSink;
+use asa_simarch::{CoreModel, MachineConfig};
+use asa_spgemm::{spgemm, spgemm_flops, CsrMatrix};
+use proptest::prelude::*;
+
+#[test]
+fn all_devices_agree_on_a_squared() {
+    // A² of a scale-free adjacency matrix: skewed row lengths, the classic
+    // SpGEMM stress case.
+    let g = barabasi_albert(300, 3, 11);
+    let a = CsrMatrix::from_graph(&g);
+    let mut sink = NullSink;
+
+    let oracle = spgemm(&a, &a, &mut OracleAccumulator::default(), &mut sink);
+    let chained = spgemm(&a, &a, &mut ChainedAccumulator::new(), &mut sink);
+    let asa = spgemm(
+        &a,
+        &a,
+        &mut AsaAccumulator::new(AsaConfig::paper_default()),
+        &mut sink,
+    );
+    // Tiny CAM: heavy overflow, same answer.
+    let tiny = spgemm(
+        &a,
+        &a,
+        &mut AsaAccumulator::new(AsaConfig {
+            cam_bytes: 8 * 16,
+            entry_bytes: 16,
+            ..AsaConfig::paper_default()
+        }),
+        &mut sink,
+    );
+
+    assert_eq!(oracle, chained);
+    assert_eq!(oracle, asa);
+    assert_eq!(oracle, tiny);
+    assert!(oracle.nnz() > a.nnz(), "A^2 of a connected graph fans out");
+    assert!(spgemm_flops(&a, &a) as usize >= oracle.nnz());
+}
+
+#[test]
+fn asa_speeds_up_spgemm_on_the_simulated_machine() {
+    let g = barabasi_albert(400, 4, 3);
+    let a = CsrMatrix::from_graph(&g);
+    let mcfg = MachineConfig::baseline(1);
+
+    let mut base_core = CoreModel::new(&mcfg);
+    let baseline = spgemm(&a, &a, &mut ChainedAccumulator::new(), &mut base_core);
+    let base_report = base_core.take_report();
+
+    let mut asa_core = CoreModel::new(&mcfg);
+    let accel = spgemm(
+        &a,
+        &a,
+        &mut AsaAccumulator::new(AsaConfig::paper_default()),
+        &mut asa_core,
+    );
+    let asa_report = asa_core.take_report();
+
+    assert_eq!(baseline, accel);
+    let speedup = base_report.cycles / asa_report.cycles;
+    assert!(
+        speedup > 1.5,
+        "ASA should clearly accelerate its original workload: {speedup:.2}x"
+    );
+    assert!(base_report.mispredictions > asa_report.mispredictions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spgemm_devices_agree_on_random_matrices(
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+        cam_entries in 1usize..32,
+    ) {
+        let a = CsrMatrix::random(18, 22, 0.18, seed_a);
+        let b = CsrMatrix::random(22, 15, 0.22, seed_b);
+        let mut sink = NullSink;
+        let oracle = spgemm(&a, &b, &mut OracleAccumulator::default(), &mut sink);
+        let mut asa = AsaAccumulator::new(AsaConfig {
+            cam_bytes: cam_entries * 16,
+            entry_bytes: 16,
+            ..AsaConfig::paper_default()
+        });
+        let got = spgemm(&a, &b, &mut asa, &mut sink);
+        // Floating-point sums may associate differently through the
+        // overflow merge; compare densely with tolerance.
+        let (dl, dr) = (oracle.to_dense(), got.to_dense());
+        for (rl, rr) in dl.iter().zip(dr.iter()) {
+            for (x, y) in rl.iter().zip(rr.iter()) {
+                prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+            }
+        }
+    }
+}

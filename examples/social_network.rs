@@ -1,0 +1,67 @@
+//! Social-network scenario: community detection on a scale-free network
+//! with power-law degree distribution, plus the CAM-coverage analysis that
+//! motivates the ASA accelerator (paper Figures 4 & 5).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use infomap_asa::baselines::{louvain, modularity, LouvainConfig};
+use infomap_asa::graph::degree::{cam_coverage, DegreeHistogram, DegreeKind};
+use infomap_asa::graph::generators::{synth_network, PaperNetwork};
+use infomap_asa::graph::GraphStats;
+use infomap_asa::infomap::{detect_communities, InfomapConfig};
+
+fn main() {
+    // A YouTube-like social network at 1/256 of the paper's scale.
+    let (network, _truth) = synth_network(PaperNetwork::YouTube, 256);
+    println!("{}", GraphStats::of(&network));
+
+    // --- Degree distribution (paper Fig. 4): a few hubs, many leaves.
+    let hist = DegreeHistogram::of(&network, DegreeKind::Out);
+    println!(
+        "\ndegree distribution: mean {:.1}, max {}, power-law alpha {:?}",
+        hist.mean(),
+        hist.max_degree(),
+        hist.power_law_alpha((2.0 * hist.mean()) as usize)
+    );
+    for (deg, count) in hist.log_binned(4.0) {
+        let bar = "#".repeat(((count.ln().max(0.0)) * 4.0) as usize);
+        println!("  deg ~{deg:>7.1}: {count:>10.1}  {bar}");
+    }
+
+    // --- CAM coverage (paper Fig. 5): how much on-chip memory does a
+    // per-core accumulator need?
+    println!("\nCAM coverage (16-byte entries):");
+    for row in cam_coverage(&network, &[1024, 2048, 4096, 8192], 16, DegreeKind::Out) {
+        println!(
+            "  {:>4} KB ({:>4} entries): {:.2}% of vertices fit",
+            row.capacity_bytes / 1024,
+            row.entries,
+            row.fraction_covered * 100.0
+        );
+    }
+
+    // --- Communities: Infomap vs the Louvain modularity baseline.
+    let infomap = detect_communities(&network, &InfomapConfig::default());
+    let louv = louvain(&network, &LouvainConfig::default());
+    println!(
+        "\nInfomap:  {} communities, codelength {:.4} bits, modularity {:.4}",
+        infomap.num_communities(),
+        infomap.codelength,
+        modularity(&network, &infomap.partition)
+    );
+    println!(
+        "Louvain:  {} communities, modularity {:.4}",
+        louv.partition.num_communities(),
+        louv.modularity
+    );
+
+    let mut sizes = infomap.partition.community_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "largest Infomap communities: {:?}",
+        &sizes[..sizes.len().min(10)]
+    );
+}

@@ -1,0 +1,396 @@
+//! `infomap-asa` — command-line community detection and ASA simulation.
+//!
+//! ```text
+//! infomap-asa stats    <edge-list>                      graph statistics
+//! infomap-asa detect   <edge-list> [options]            community detection
+//! infomap-asa generate <network> [options]              synthesize a Table I stand-in
+//! infomap-asa simulate <edge-list> [options]            Baseline/ASA kernel simulation
+//! ```
+//!
+//! Run `infomap-asa help` for the full option list. Edge lists are
+//! SNAP-format: whitespace-separated `u v [w]` with `#` comments.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use infomap_asa::asa::AsaConfig;
+use infomap_asa::baselines::{label_propagation, louvain, modularity, LouvainConfig};
+use infomap_asa::graph::connectivity::connected_components;
+use infomap_asa::graph::degree::{cam_coverage, DegreeKind};
+use infomap_asa::graph::generators::{synth_network, PaperNetwork};
+use infomap_asa::graph::io::{read_edge_list_file, write_edge_list, ReadOptions};
+use infomap_asa::graph::{CsrGraph, GraphStats, Partition};
+use infomap_asa::infomap::instrumented::{simulate_infomap, Device};
+use infomap_asa::infomap::{detect_communities, InfomapConfig};
+use infomap_asa::simarch::MachineConfig;
+
+const HELP: &str = "\
+infomap-asa: community detection with Infomap and an ASA accelerator model
+
+USAGE:
+  infomap-asa stats    <edge-list> [--directed]
+  infomap-asa detect   <edge-list> [--directed] [--algorithm infomap|louvain|labelprop]
+                       [--recorded-teleport] [--output FILE]
+  infomap-asa generate <amazon|dblp|youtube|soc-pokec|livejournal|orkut>
+                       [--scale-div N] [--output FILE]
+  infomap-asa simulate <edge-list> [--directed] [--device baseline|asa|probe]
+                       [--cores N] [--cam-kb K]
+  infomap-asa help
+
+Edge lists are SNAP format (whitespace-separated `u v [weight]`, `#` comments).
+`detect --output` writes one `vertex<TAB>community` line per vertex.
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if it
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                    && takes_value(name)
+                {
+                    Some(it.next().unwrap().clone())
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn takes_value(flag: &str) -> bool {
+    matches!(
+        flag,
+        "algorithm" | "output" | "scale-div" | "device" | "cores" | "cam-kb"
+    )
+}
+
+fn load(path: &str, directed: bool) -> Result<CsrGraph, String> {
+    let opts = ReadOptions {
+        directed,
+        ..Default::default()
+    };
+    read_edge_list_file(path, &opts)
+        .map(|(g, _)| g)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("stats: missing <edge-list>")?;
+    let graph = load(path, args.has("directed"))?;
+    println!("{}", GraphStats::of(&graph));
+    let comps = connected_components(&graph);
+    println!(
+        "components: {} (largest {} = {:.1}%)",
+        comps.count,
+        comps.largest,
+        100.0 * comps.largest as f64 / graph.num_nodes().max(1) as f64
+    );
+    println!("CAM coverage (16B entries):");
+    for row in cam_coverage(&graph, &[1024, 2048, 4096, 8192], 16, DegreeKind::Out) {
+        println!(
+            "  {:>2} KB: {:.2}% of vertices fit",
+            row.capacity_bytes / 1024,
+            row.fraction_covered * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn write_partition(path: &str, partition: &Partition) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    for (u, &c) in partition.labels().iter().enumerate() {
+        writeln!(out, "{u}\t{c}").map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("detect: missing <edge-list>")?;
+    let graph = load(path, args.has("directed"))?;
+    let algorithm = args.value("algorithm").unwrap_or("infomap");
+
+    let partition = match algorithm {
+        "infomap" => {
+            let cfg = InfomapConfig {
+                recorded_teleport: args.has("recorded-teleport"),
+                ..Default::default()
+            };
+            let result = detect_communities(&graph, &cfg);
+            println!(
+                "infomap: {} communities, codelength {:.4} bits ({:.1}% compression), {:.3}s",
+                result.num_communities(),
+                result.codelength,
+                result.compression() * 100.0,
+                result.timings.total().as_secs_f64()
+            );
+            result.partition
+        }
+        "louvain" => {
+            if graph.is_directed() {
+                return Err("louvain requires an undirected graph".into());
+            }
+            let result = louvain(&graph, &LouvainConfig::default());
+            println!(
+                "louvain: {} communities, modularity {:.4}",
+                result.partition.num_communities(),
+                result.modularity
+            );
+            result.partition
+        }
+        "labelprop" => {
+            let p = label_propagation(&graph, 30, 42);
+            println!("label propagation: {} communities", p.num_communities());
+            p
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    if !graph.is_directed() {
+        println!("modularity: {:.4}", modularity(&graph, &partition));
+    }
+    let mut sizes = partition.community_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("largest communities: {:?}", &sizes[..sizes.len().min(10)]);
+
+    // Flow summary of the biggest modules.
+    let flow = infomap_asa::infomap::flow::FlowNetwork::from_graph(
+        &graph,
+        &InfomapConfig::default(),
+    );
+    let stats = infomap_asa::infomap::module_stats::module_statistics(&flow, &partition);
+    println!("\n{:<8} {:>8} {:>10} {:>10} {:>9}", "module", "size", "flow", "exit", "leakage");
+    for s in stats.iter().take(8) {
+        println!(
+            "{:<8} {:>8} {:>10.5} {:>10.5} {:>8.2}%",
+            s.module,
+            s.size,
+            s.flow,
+            s.exit,
+            s.leakage * 100.0
+        );
+    }
+
+    if let Some(out) = args.value("output") {
+        write_partition(out, &partition)?;
+        println!("wrote {} assignments to {out}", partition.len());
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("generate: missing <network>")?;
+    let network = PaperNetwork::all()
+        .into_iter()
+        .find(|n| n.name() == name)
+        .ok_or_else(|| format!("unknown network {name:?}; expected one of amazon, dblp, youtube, soc-pokec, livejournal, orkut"))?;
+    let scale_div: usize = args
+        .value("scale-div")
+        .map(|v| v.parse().map_err(|_| format!("bad --scale-div {v:?}")))
+        .transpose()?
+        .unwrap_or(64);
+    let (graph, truth) = synth_network(network, scale_div);
+    println!(
+        "{} stand-in at 1/{scale_div} scale: {}",
+        network.name(),
+        GraphStats::of(&graph)
+    );
+    println!("planted communities: {}", truth.num_communities());
+    if let Some(out) = args.value("output") {
+        let file =
+            std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        write_edge_list(&graph, file).map_err(|e| e.to_string())?;
+        println!("wrote edge list to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("simulate: missing <edge-list>")?;
+    let graph = load(path, args.has("directed"))?;
+    let cores: usize = args
+        .value("cores")
+        .map(|v| v.parse().map_err(|_| format!("bad --cores {v:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let cam_kb: usize = args
+        .value("cam-kb")
+        .map(|v| v.parse().map_err(|_| format!("bad --cam-kb {v:?}")))
+        .transpose()?
+        .unwrap_or(8);
+    let device = match args.value("device").unwrap_or("asa") {
+        "baseline" => Device::SoftwareHash,
+        "probe" => Device::LinearProbe,
+        "asa" => Device::Asa(AsaConfig::with_cam_kb(cam_kb)),
+        other => return Err(format!("unknown device {other:?}")),
+    };
+
+    let run = simulate_infomap(
+        &graph,
+        &InfomapConfig::default(),
+        &MachineConfig::baseline(cores),
+        device,
+    );
+    println!(
+        "device {} on {} simulated core(s):",
+        run.device, run.machine.cores
+    );
+    println!("  kernel time       {:.6} s", run.kernel_seconds());
+    println!(
+        "  hash-ops time     {:.6} s ({:.1}% of kernel)",
+        run.hash_seconds(),
+        run.hash_share() * 100.0
+    );
+    println!("  instructions      {}", run.total.instructions);
+    println!(
+        "  branches          {} ({} mispredicted, {:.2}%)",
+        run.total.branches,
+        run.total.mispredictions,
+        run.total.mispredict_rate() * 100.0
+    );
+    println!("  CPI               {:.3}", run.total.cpi());
+    println!(
+        "  L1/L2/L3 misses   {} / {} / {}",
+        run.total.l1_misses, run.total.l2_misses, run.total.l3_misses
+    );
+    if let Some(stats) = run.asa_stats {
+        println!(
+            "  ASA: {} accumulates, {} evictions, {:.2}% of gathers overflowed, overflow {:.1}% of hash time",
+            stats.accumulates,
+            stats.evictions,
+            stats.overflow_rate * 100.0,
+            run.overflow_share() * 100.0
+        );
+    }
+    println!(
+        "  communities       {} (codelength {:.4})",
+        run.partition.num_communities(),
+        run.codelength
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        print!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(&args),
+        "detect" => cmd_detect(&args),
+        "generate" => cmd_generate(&args),
+        "simulate" => cmd_simulate(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `infomap-asa help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["graph.txt", "--directed", "--algorithm", "louvain"]);
+        assert_eq!(a.positional, vec!["graph.txt"]);
+        assert!(a.has("directed"));
+        assert_eq!(a.value("algorithm"), Some("louvain"));
+        assert!(!a.has("output"));
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_positional() {
+        // --directed takes no value, so the path after it stays positional.
+        let a = parse(&["--directed", "graph.txt"]);
+        assert!(a.has("directed"));
+        assert_eq!(a.positional, vec!["graph.txt"]);
+    }
+
+    #[test]
+    fn value_flags_consume_next_token() {
+        let a = parse(&["g.txt", "--cores", "4", "--cam-kb", "2"]);
+        assert_eq!(a.value("cores"), Some("4"));
+        assert_eq!(a.value("cam-kb"), Some("2"));
+        assert_eq!(a.positional, vec!["g.txt"]);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse(&["--output", "--directed"]);
+        // --output expects a value but the next token is a flag: no value.
+        assert!(a.has("output"));
+        assert_eq!(a.value("output"), None);
+        assert!(a.has("directed"));
+    }
+
+    #[test]
+    fn detect_writes_partition_file() {
+        let dir = std::env::temp_dir().join("asa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("part.tsv");
+        let partition = Partition::from_labels(vec![0, 1, 0]);
+        write_partition(p.to_str().unwrap(), &partition).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "0\t0\n1\t1\n2\t0\n");
+    }
+}

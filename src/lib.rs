@@ -1,0 +1,47 @@
+//! # infomap-asa
+//!
+//! A reproduction of *"Fast Community Detection in Graphs with Infomap
+//! Method using Accelerated Sparse Accumulation"* (Faysal et al., IPDPS
+//! 2023): parallel information-theoretic community detection whose hot
+//! hash-accumulation kernel can run either on a modeled software hash table
+//! (the paper's Baseline, `std::unordered_map`-style) or on a simulated ASA
+//! hardware accelerator (a per-core content-addressable memory with LRU
+//! spill, Chao et al., TACO 2022).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`graph`] — CSR graphs, SNAP I/O, scale-free/LFR generators, degree
+//!   and CAM-coverage analytics,
+//! * [`infomap`] — the map equation, PageRank, `FindBestCommunity`,
+//!   coarsening, the multi-level driver, and the simulated (ZSim-style)
+//!   driver,
+//! * [`hashsim`] — the instrumented software hash tables (Baseline),
+//! * [`asa`] — the ASA accelerator model,
+//! * [`simarch`] — the micro-architecture timing model (branch predictor,
+//!   caches, cores, machine),
+//! * [`baselines`] — Louvain, label propagation, NMI/ARI/modularity.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use infomap_asa::graph::generators::{planted_partition, PlantedConfig};
+//! use infomap_asa::infomap::{detect_communities, InfomapConfig};
+//!
+//! let (network, truth) = planted_partition(
+//!     &PlantedConfig { communities: 4, community_size: 25, k_in: 10.0, k_out: 0.5 },
+//!     7,
+//! );
+//! let result = detect_communities(&network, &InfomapConfig::default());
+//! assert_eq!(result.num_communities(), 4);
+//! assert_eq!(truth.num_communities(), 4);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-table/figure experiment harness.
+
+pub use asa_accel as asa;
+pub use asa_baselines as baselines;
+pub use asa_graph as graph;
+pub use asa_hashsim as hashsim;
+pub use asa_infomap as infomap;
+pub use asa_simarch as simarch;
