@@ -98,11 +98,7 @@ impl AsaAccumulator {
 
     /// Software sort-and-merge of gathered + overflowed pairs
     /// (Algorithm 2, lines 10–12), with instrumentation.
-    fn sort_and_merge<S: EventSink>(
-        &mut self,
-        pairs: &mut Vec<(u32, f64)>,
-        sink: &mut S,
-    ) {
+    fn sort_and_merge<S: EventSink>(&mut self, pairs: &mut Vec<(u32, f64)>, sink: &mut S) {
         sink.set_phase(phase::OVERFLOW);
         self.stats.merged_pairs += pairs.len() as u64;
 
@@ -345,9 +341,12 @@ mod tests {
         acc.begin(&mut sink);
         acc.accumulate(7, 1.0, &mut sink); // insert: no memory traffic
         acc.accumulate(7, 1.0, &mut sink); // hit
-        // One AsaAccumulate per call plus the software hash(k) ALU work; no
-        // branches, no loads, no stores while the key is CAM-resident.
-        assert_eq!(sink.instr[asa_simarch::InstrClass::AsaAccumulate.index()], 2);
+                                           // One AsaAccumulate per call plus the software hash(k) ALU work; no
+                                           // branches, no loads, no stores while the key is CAM-resident.
+        assert_eq!(
+            sink.instr[asa_simarch::InstrClass::AsaAccumulate.index()],
+            2
+        );
         assert_eq!(sink.branches, 0);
         assert_eq!(sink.reads, 0);
         assert_eq!(sink.writes, 0);

@@ -56,8 +56,7 @@ pub fn edge_betweenness(graph: &CsrGraph) -> FxHashMap<(NodeId, NodeId), f64> {
         }
         // Dependency accumulation, reverse BFS order.
         for &w in order.iter().rev() {
-            for i in 0..preds[w as usize].len() {
-                let u = preds[w as usize][i];
+            for &u in &preds[w as usize] {
                 let share = sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
                 delta[u as usize] += share;
                 let key = (u.min(w), u.max(w));
@@ -89,11 +88,11 @@ pub struct GirvanNewmanResult {
 /// # Panics
 /// Panics on directed graphs.
 pub fn girvan_newman(graph: &CsrGraph, max_removals: Option<usize>) -> GirvanNewmanResult {
-    assert!(!graph.is_directed(), "girvan-newman expects an undirected graph");
-    let mut edges: Vec<(NodeId, NodeId, f64)> = graph
-        .arcs()
-        .filter(|&(u, v, _)| u <= v)
-        .collect();
+    assert!(
+        !graph.is_directed(),
+        "girvan-newman expects an undirected graph"
+    );
+    let mut edges: Vec<(NodeId, NodeId, f64)> = graph.arcs().filter(|&(u, v, _)| u <= v).collect();
     let budget = max_removals.unwrap_or(edges.len()).min(edges.len());
 
     let mut best_partition = connected_components(graph).partition;
@@ -160,10 +159,7 @@ mod tests {
         let bridge = c[&(2, 3)];
         for (&e, &v) in c.iter() {
             if e != (2, 3) {
-                assert!(
-                    bridge > v,
-                    "bridge {bridge} must exceed edge {e:?} = {v}"
-                );
+                assert!(bridge > v, "bridge {bridge} must exceed edge {e:?} = {v}");
             }
         }
         // The bridge carries all 9 cross pairs of shortest paths.

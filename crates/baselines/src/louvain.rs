@@ -218,8 +218,8 @@ pub fn louvain(graph: &CsrGraph, cfg: &LouvainConfig) -> LouvainResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asa_graph::generators::{planted_partition, PlantedConfig};
     use crate::metrics::normalized_mutual_information;
+    use asa_graph::generators::{planted_partition, PlantedConfig};
 
     fn two_triangles() -> CsrGraph {
         let mut b = GraphBuilder::undirected(6);

@@ -40,7 +40,14 @@ fn bench_simulation(c: &mut Criterion) {
         b.iter(|| simulate_infomap(&graph, &icfg, &mcfg, Device::SoftwareHash))
     });
     group.bench_function("asa_device", |b| {
-        b.iter(|| simulate_infomap(&graph, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default())))
+        b.iter(|| {
+            simulate_infomap(
+                &graph,
+                &icfg,
+                &mcfg,
+                Device::Asa(AsaConfig::paper_default()),
+            )
+        })
     });
     group.finish();
 }

@@ -36,9 +36,7 @@ fn bench_mapeq(c: &mut Criterion) {
     let (_, flow, truth) = workload();
     let state = MapState::new(&flow, &truth);
     let mut group = c.benchmark_group("map_equation");
-    group.bench_function("full_codelength", |b| {
-        b.iter(|| codelength(&flow, &truth))
-    });
+    group.bench_function("full_codelength", |b| b.iter(|| codelength(&flow, &truth)));
     group.bench_function("delta_move", |b| {
         let u = 0u32;
         let old = truth.community_of(u);
@@ -66,8 +64,15 @@ fn bench_find_best(c: &mut Criterion) {
         b.iter(|| {
             let mut moves = 0usize;
             for u in 0..flow.num_nodes() as u32 {
-                let d =
-                    find_best_community(&flow, &labels, &state, u, &mut acc, &mut sink, &mut scratch);
+                let d = find_best_community(
+                    &flow,
+                    &labels,
+                    &state,
+                    u,
+                    &mut acc,
+                    &mut sink,
+                    &mut scratch,
+                );
                 moves += usize::from(d.best_module != labels[u as usize]);
             }
             moves

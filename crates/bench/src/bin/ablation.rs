@@ -26,7 +26,12 @@ fn main() {
     let base = simulate_infomap(&graph, &icfg, &mcfg, Device::SoftwareHash);
     let mut rows = Vec::new();
     for kb in [1usize, 2, 4, 8, 16] {
-        let asa = simulate_infomap(&graph, &icfg, &mcfg, Device::Asa(AsaConfig::with_cam_kb(kb)));
+        let asa = simulate_infomap(
+            &graph,
+            &icfg,
+            &mcfg,
+            Device::Asa(AsaConfig::with_cam_kb(kb)),
+        );
         let stats = asa.asa_stats.expect("asa stats");
         rows.push(vec![
             format!("{kb} KB"),
@@ -40,7 +45,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation 1: CAM capacity vs speedup (soc-pokec-like, 1 core)",
-            &["CAM", "ASA hash (s)", "speedup vs baseline", "overflow time share", "gathers overflowed"],
+            &[
+                "CAM",
+                "ASA hash (s)",
+                "speedup vs baseline",
+                "overflow time share",
+                "gathers overflowed"
+            ],
             &rows,
         )
     );
@@ -74,7 +85,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation 2: predictor organization (mispredictions, Baseline vs ASA)",
-            &["predictor", "Baseline mispredicts", "ASA mispredicts", "reduction", "hash speedup"],
+            &[
+                "predictor",
+                "Baseline mispredicts",
+                "ASA mispredicts",
+                "reduction",
+                "hash speedup"
+            ],
             &rows,
         )
     );
@@ -82,7 +99,11 @@ fn main() {
 
     // --- 3. Next-line prefetcher.
     let mut rows = Vec::new();
-    for device in [Device::SoftwareHash, Device::LinearProbe, Device::Asa(AsaConfig::paper_default())] {
+    for device in [
+        Device::SoftwareHash,
+        Device::LinearProbe,
+        Device::Asa(AsaConfig::paper_default()),
+    ] {
         let off = simulate_infomap(&graph, &icfg, &mcfg, device);
         let pf_cfg = MachineConfig {
             prefetch_next_line: true,
@@ -93,8 +114,10 @@ fn main() {
             device.name().to_string(),
             fmt_count(off.total.l1_misses),
             fmt_count(on.total.l1_misses),
-            fmt_pct((off.total.l1_misses.saturating_sub(on.total.l1_misses)) as f64
-                / off.total.l1_misses.max(1) as f64),
+            fmt_pct(
+                (off.total.l1_misses.saturating_sub(on.total.l1_misses)) as f64
+                    / off.total.l1_misses.max(1) as f64,
+            ),
             fmt_pct((off.total.cycles - on.total.cycles) / off.total.cycles),
         ]);
     }
@@ -102,7 +125,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation 3: next-line prefetcher (L1 misses and cycles saved)",
-            &["device", "L1 misses (no pf)", "L1 misses (pf)", "miss reduction", "cycle reduction"],
+            &[
+                "device",
+                "L1 misses (no pf)",
+                "L1 misses (pf)",
+                "miss reduction",
+                "cycle reduction"
+            ],
             &rows,
         )
     );
@@ -137,7 +166,11 @@ fn main() {
 
     // --- 4. Table organization.
     let mut rows = Vec::new();
-    for device in [Device::SoftwareHash, Device::LinearProbe, Device::Asa(AsaConfig::paper_default())] {
+    for device in [
+        Device::SoftwareHash,
+        Device::LinearProbe,
+        Device::Asa(AsaConfig::paper_default()),
+    ] {
         let run = simulate_infomap(&graph, &icfg, &mcfg, device);
         rows.push(vec![
             device.name().to_string(),

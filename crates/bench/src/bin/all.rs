@@ -10,8 +10,21 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let bins = [
-        "table1", "table2", "fig2", "fig4", "fig5", "table3_4", "table5", "fig7", "fig8",
-        "fig9_10_11", "quality", "ablation", "distributed", "spgemm", "hierarchy",
+        "table1",
+        "table2",
+        "fig2",
+        "fig4",
+        "fig5",
+        "table3_4",
+        "table5",
+        "fig7",
+        "fig8",
+        "fig9_10_11",
+        "quality",
+        "ablation",
+        "distributed",
+        "spgemm",
+        "hierarchy",
     ];
     for bin in bins {
         println!("\n{}", "=".repeat(72));

@@ -32,7 +32,10 @@ fn main() {
             .build()
             .expect("single-thread pool");
         let best = (0..3)
-            .map(|_| pool.install(|| Infomap::new(infomap_config()).run(&graph)).timings)
+            .map(|_| {
+                pool.install(|| Infomap::new(infomap_config()).run(&graph))
+                    .timings
+            })
             .min_by(|a, b| {
                 a.total()
                     .partial_cmp(&b.total())
@@ -113,5 +116,7 @@ fn main() {
             &rows_b,
         )
     );
-    println!("\npaper expectation: FindBestCommunity 70-90% of total; hash ops 50-65% of the kernel");
+    println!(
+        "\npaper expectation: FindBestCommunity 70-90% of total; hash ops 50-65% of the kernel"
+    );
 }

@@ -32,7 +32,13 @@ fn main() {
         "{}",
         render_table(
             "Fig 5: fraction of vertices whose neighbour list fits in the CAM",
-            &["network", "1KB (64 ent)", "2KB (128)", "4KB (256)", "8KB (512)"],
+            &[
+                "network",
+                "1KB (64 ent)",
+                "2KB (128)",
+                "4KB (256)",
+                "8KB (512)"
+            ],
             &rows,
         )
     );

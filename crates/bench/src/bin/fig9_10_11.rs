@@ -27,7 +27,10 @@ fn main() {
                 format!("{cores}"),
                 fmt_count(base.instructions_per_core() as u64),
                 fmt_count(asa.instructions_per_core() as u64),
-                fmt_pct(red(base.instructions_per_core(), asa.instructions_per_core())),
+                fmt_pct(red(
+                    base.instructions_per_core(),
+                    asa.instructions_per_core(),
+                )),
             ]);
             rows10.push(vec![
                 format!("{cores}"),
@@ -58,7 +61,10 @@ fn main() {
         print!(
             "{}",
             render_table(
-                &format!("Fig 10: avg branch mispredictions per core, {}-like", net.name()),
+                &format!(
+                    "Fig 10: avg branch mispredictions per core, {}-like",
+                    net.name()
+                ),
                 &["cores", "Baseline", "ASA", "reduction"],
                 &rows10,
             )

@@ -37,8 +37,11 @@ fn nested_demo() -> (asa_graph::CsrGraph, Partition, Partition) {
         b.add_edge(a as u32, d as u32, 0.25);
     }
     let fine = Partition::from_labels((0..n as u32).map(|u| u / clique as u32).collect());
-    let coarse =
-        Partition::from_labels((0..n as u32).map(|u| u / (clique * per_super) as u32).collect());
+    let coarse = Partition::from_labels(
+        (0..n as u32)
+            .map(|u| u / (clique * per_super) as u32)
+            .collect(),
+    );
     (b.build(), fine, coarse)
 }
 
@@ -49,11 +52,17 @@ fn main() {
     let rows = vec![
         vec![
             "flat, clique level".into(),
-            format!("{:.4}", hierarchical_codelength(&flow, &Hierarchy::flat(fine.clone()))),
+            format!(
+                "{:.4}",
+                hierarchical_codelength(&flow, &Hierarchy::flat(fine.clone()))
+            ),
         ],
         vec![
             "flat, super level".into(),
-            format!("{:.4}", hierarchical_codelength(&flow, &Hierarchy::flat(coarse.clone()))),
+            format!(
+                "{:.4}",
+                hierarchical_codelength(&flow, &Hierarchy::flat(coarse.clone()))
+            ),
         ],
         vec![
             "two-level nested".into(),
@@ -83,7 +92,10 @@ fn main() {
     let net_flow = FlowNetwork::from_graph(&net, &cfg);
     let h = hierarchy_from_levels(&result.level_partitions);
     let rows = vec![
-        vec!["flat (final partition)".into(), format!("{:.4}", result.codelength)],
+        vec![
+            "flat (final partition)".into(),
+            format!("{:.4}", result.codelength),
+        ],
         vec![
             format!("hierarchical ({} levels)", h.depth()),
             format!("{:.4}", hierarchical_codelength(&net_flow, &h)),

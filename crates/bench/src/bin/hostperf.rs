@@ -1,0 +1,145 @@
+//! Host-engine performance: SPA fast path vs the hash reference path.
+//!
+//! Times the three host kernels (PageRank, the `FindBestCommunity` sweeps,
+//! and `Convert2SuperNode`) on the dblp-like and pokec-like stand-ins with
+//! the accumulator forced to each path. Both paths produce the identical
+//! decision stream, so partitions and codelengths must match bit-for-bit;
+//! the run asserts that before reporting the sweep-phase speedup.
+//!
+//! Writes `BENCH_hostperf.json` into the working directory (override with
+//! `ASA_HOSTPERF_OUT`); repetitions via `ASA_HOSTPERF_REPS` (default 5,
+//! best-of reported).
+
+use asa_bench::{fmt_secs, infomap_config, load_network, render_table, scale_div};
+use asa_graph::generators::PaperNetwork;
+use asa_infomap::config::AccumulatorKind;
+use asa_infomap::{detect_communities, InfomapConfig, InfomapResult};
+
+fn reps() -> usize {
+    std::env::var("ASA_HOSTPERF_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5)
+}
+
+/// Best-of-`reps` timings for one accumulator path (all repetitions agree
+/// on the answer; the fastest sweep phase is reported).
+struct PathTiming {
+    result: InfomapResult,
+    pagerank: f64,
+    find_best: f64,
+    convert: f64,
+}
+
+fn run_path(graph: &asa_graph::CsrGraph, kind: AccumulatorKind, reps: usize) -> PathTiming {
+    let cfg = InfomapConfig {
+        accumulator: kind,
+        ..infomap_config()
+    };
+    let mut best: Option<PathTiming> = None;
+    for _ in 0..reps {
+        let result = detect_communities(graph, &cfg);
+        let t = result.timings;
+        let cur = PathTiming {
+            pagerank: t.pagerank.as_secs_f64(),
+            find_best: t.find_best.as_secs_f64(),
+            convert: t.convert.as_secs_f64(),
+            result,
+        };
+        match &best {
+            Some(b) => {
+                assert_eq!(
+                    b.result.partition.labels(),
+                    cur.result.partition.labels(),
+                    "{kind:?} path must be deterministic across repetitions"
+                );
+                if cur.find_best < b.find_best {
+                    best = Some(cur);
+                }
+            }
+            None => best = Some(cur),
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let reps = reps();
+    let networks = [PaperNetwork::Dblp, PaperNetwork::Pokec];
+    let mut rows = Vec::new();
+    let mut docs = Vec::new();
+
+    for network in networks {
+        let (graph, _) = load_network(network);
+        let hash = run_path(&graph, AccumulatorKind::Hash, reps);
+        let spa = run_path(&graph, AccumulatorKind::Spa, reps);
+
+        // Semantics first: the SPA fast path is a pure perf substitution.
+        assert_eq!(
+            hash.result.partition.labels(),
+            spa.result.partition.labels(),
+            "{} partitions diverged between accumulator paths",
+            network.name()
+        );
+        assert_eq!(
+            hash.result.codelength.to_bits(),
+            spa.result.codelength.to_bits(),
+            "{} codelengths diverged between accumulator paths",
+            network.name()
+        );
+
+        let speedup = hash.find_best / spa.find_best;
+        rows.push(vec![
+            format!("{}-like", network.name()),
+            format!("{}", graph.num_nodes()),
+            format!("{}", graph.num_arcs()),
+            fmt_secs(spa.pagerank),
+            fmt_secs(hash.find_best),
+            fmt_secs(spa.find_best),
+            fmt_secs(spa.convert),
+            format!("{speedup:.2}x"),
+        ]);
+        docs.push(serde_json::json!({
+            "network": format!("{}-like", network.name()),
+            "nodes": graph.num_nodes(),
+            "arcs": graph.num_arcs(),
+            "codelength": spa.result.codelength,
+            "communities": spa.result.num_communities(),
+            "identical_paths": true,
+            "pagerank_seconds": spa.pagerank,
+            "sweep_seconds": serde_json::json!({ "hash": hash.find_best, "spa": spa.find_best }),
+            "convert_seconds": serde_json::json!({ "hash": hash.convert, "spa": spa.convert }),
+            "sweep_speedup_spa_over_hash": speedup,
+        }));
+    }
+
+    print!(
+        "{}",
+        render_table(
+            "Host engine: SPA fast path vs hash path (best of reps)",
+            &[
+                "network",
+                "nodes",
+                "arcs",
+                "PageRank",
+                "sweeps (hash)",
+                "sweeps (SPA)",
+                "Convert2SuperNode",
+                "sweep speedup",
+            ],
+            &rows,
+        )
+    );
+
+    let out = std::env::var("ASA_HOSTPERF_OUT").unwrap_or_else(|_| "BENCH_hostperf.json".into());
+    let doc = serde_json::json!({
+        "bench": "hostperf",
+        "scale_div": scale_div(),
+        "reps": reps,
+        "threads": "rayon default",
+        "networks": docs,
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
+    println!("\nwrote {out}");
+}

@@ -45,7 +45,10 @@ fn main() {
                 "{:.3}",
                 normalized_mutual_information(&plain.partition, truth)
             ),
-            format!("{:.3}", normalized_mutual_information(&louv.partition, truth)),
+            format!(
+                "{:.3}",
+                normalized_mutual_information(&louv.partition, truth)
+            ),
             format!("{:.3}", normalized_mutual_information(&lp, truth)),
             format!("{}", infomap.num_communities()),
             format!("{}", truth.num_communities()),

@@ -38,12 +38,7 @@ fn main() {
         let base = base_core.take_report();
 
         let mut asa_core = CoreModel::new(&mcfg);
-        let c2 = spgemm(
-            a,
-            a,
-            &mut asa_core_device(),
-            &mut asa_core,
-        );
+        let c2 = spgemm(a, a, &mut asa_core_device(), &mut asa_core);
         let asa = asa_core.take_report();
         assert_eq!(c1, c2, "devices disagree on {name}");
 

@@ -69,7 +69,13 @@ fn main() {
         "{}",
         render_table(
             "Stand-in structure (clustering / mixing / connectivity)",
-            &["network", "max degree", "avg clustering", "assortativity", "components"],
+            &[
+                "network",
+                "max degree",
+                "avg clustering",
+                "assortativity",
+                "components"
+            ],
             &struct_rows,
         )
     );

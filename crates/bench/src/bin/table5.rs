@@ -25,11 +25,7 @@ fn main() {
         );
 
         let (tb, ta) = (base.hash_seconds(), asa.hash_seconds());
-        rows.push(vec![
-            net.name().to_string(),
-            fmt_secs(tb),
-            fmt_secs(ta),
-        ]);
+        rows.push(vec![net.name().to_string(), fmt_secs(tb), fmt_secs(ta)]);
         fig6.push(vec![net.name().to_string(), format!("{:.2}x", tb / ta)]);
         overflow_rows.push(vec![
             net.name().to_string(),
@@ -62,7 +58,11 @@ fn main() {
         "{}",
         render_table(
             "Overflow handling within ASA time (Section IV-C)",
-            &["network", "overflow share of hash time", "gathers overflowed"],
+            &[
+                "network",
+                "overflow share of hash time",
+                "gathers overflowed"
+            ],
             &overflow_rows,
         )
     );

@@ -55,8 +55,9 @@ pub fn load_network(network: PaperNetwork) -> (CsrGraph, Partition) {
     if std::fs::create_dir_all(&dir).is_ok() {
         let _ = std::fs::File::create(&graph_path)
             .and_then(|f| asa_graph::binio::write_graph(&graph, std::io::BufWriter::new(f)));
-        let _ = std::fs::File::create(&part_path)
-            .and_then(|f| asa_graph::binio::write_partition(&partition, std::io::BufWriter::new(f)));
+        let _ = std::fs::File::create(&part_path).and_then(|f| {
+            asa_graph::binio::write_partition(&partition, std::io::BufWriter::new(f))
+        });
     }
     (graph, partition)
 }
@@ -99,7 +100,13 @@ fn save_json(
     std::fs::create_dir_all(dir)?;
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect::<String>()
         .split('-')
         .filter(|s| !s.is_empty())

@@ -86,7 +86,10 @@ pub fn read_graph<R: Read>(mut reader: R) -> io::Result<CsrGraph> {
     reader.read_to_end(&mut raw)?;
     let mut buf = Bytes::from(raw);
     if buf.remaining() < 13 || &buf.copy_to_bytes(4)[..] != GRAPH_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad graph magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad graph magic",
+        ));
     }
     let version = buf.get_u32_le();
     if version != VERSION {

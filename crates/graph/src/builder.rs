@@ -83,7 +83,10 @@ impl GraphBuilder {
     /// Panics if either endpoint is out of range or the weight is not finite
     /// and positive.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) {
-        assert!(u < self.num_nodes && v < self.num_nodes, "endpoint out of range");
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "endpoint out of range"
+        );
         assert!(
             weight.is_finite() && weight > 0.0,
             "edge weight must be finite and positive"
@@ -108,8 +111,7 @@ impl GraphBuilder {
     /// Compiles the accumulated edges into an immutable [`CsrGraph`].
     pub fn build(mut self) -> CsrGraph {
         // Merge parallel edges: sort by (u, v) and fold equal keys.
-        self.edges
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges.drain(..) {
             match merged.last_mut() {
@@ -119,9 +121,8 @@ impl GraphBuilder {
         }
 
         // Expand to arcs.
-        let mut arcs: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(
-            merged.len() * if self.directed { 1 } else { 2 },
-        );
+        let mut arcs: Vec<(NodeId, NodeId, f64)> =
+            Vec::with_capacity(merged.len() * if self.directed { 1 } else { 2 });
         for &(u, v, w) in &merged {
             arcs.push((u, v, w));
             if !self.directed && u != v {
@@ -131,10 +132,8 @@ impl GraphBuilder {
 
         let (out_offsets, out_targets, out_weights) =
             arcs_to_csr(self.num_nodes, arcs.iter().copied());
-        let (in_offsets, in_targets, in_weights) = arcs_to_csr(
-            self.num_nodes,
-            arcs.iter().map(|&(u, v, w)| (v, u, w)),
-        );
+        let (in_offsets, in_targets, in_weights) =
+            arcs_to_csr(self.num_nodes, arcs.iter().map(|&(u, v, w)| (v, u, w)));
 
         CsrGraph::from_csr_parts(
             self.num_nodes,

@@ -27,11 +27,7 @@ pub fn local_clustering(graph: &CsrGraph, u: NodeId) -> f64 {
     for &v in &neighbors {
         // Count neighbours of v that are also neighbours of u (merge walk;
         // both adjacency lists are sorted by construction).
-        let vs: Vec<NodeId> = graph
-            .out_neighbors(v)
-            .iter()
-            .map(|e| e.target)
-            .collect();
+        let vs: Vec<NodeId> = graph.out_neighbors(v).iter().map(|e| e.target).collect();
         let (mut i, mut j) = (0usize, 0usize);
         while i < neighbors.len() && j < vs.len() {
             match neighbors[i].cmp(&vs[j]) {

@@ -101,14 +101,8 @@ mod tests {
         let c = connected_components(&b.build());
         assert_eq!(c.count, 2);
         assert_eq!(c.largest, 3);
-        assert_eq!(
-            c.partition.community_of(0),
-            c.partition.community_of(2)
-        );
-        assert_ne!(
-            c.partition.community_of(0),
-            c.partition.community_of(3)
-        );
+        assert_eq!(c.partition.community_of(0), c.partition.community_of(2));
+        assert_ne!(c.partition.community_of(0), c.partition.community_of(3));
     }
 
     #[test]
@@ -133,7 +127,10 @@ mod tests {
     fn ba_graph_is_connected() {
         let g = barabasi_albert(1000, 2, 3);
         let c = connected_components(&g);
-        assert_eq!(c.count, 1, "preferential attachment builds connected graphs");
+        assert_eq!(
+            c.count, 1,
+            "preferential attachment builds connected graphs"
+        );
     }
 
     #[test]

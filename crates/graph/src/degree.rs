@@ -93,12 +93,7 @@ impl DegreeHistogram {
         while lo <= self.max_degree() {
             let hi = ((lo as f64 * base).ceil() as usize).max(lo + 1);
             let span = hi - lo;
-            let total: u64 = self
-                .counts
-                .iter()
-                .skip(lo)
-                .take(span)
-                .sum();
+            let total: u64 = self.counts.iter().skip(lo).take(span).sum();
             if total > 0 {
                 let centre = (lo as f64 * (hi - 1) as f64).sqrt();
                 out.push((centre, total as f64 / span as f64));

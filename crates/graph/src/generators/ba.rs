@@ -73,20 +73,14 @@ mod tests {
     fn deterministic() {
         let a = barabasi_albert(200, 2, 7);
         let b = barabasi_albert(200, 2, 7);
-        assert_eq!(
-            a.arcs().collect::<Vec<_>>(),
-            b.arcs().collect::<Vec<_>>()
-        );
+        assert_eq!(a.arcs().collect::<Vec<_>>(), b.arcs().collect::<Vec<_>>());
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = barabasi_albert(200, 2, 7);
         let b = barabasi_albert(200, 2, 8);
-        assert_ne!(
-            a.arcs().collect::<Vec<_>>(),
-            b.arcs().collect::<Vec<_>>()
-        );
+        assert_ne!(a.arcs().collect::<Vec<_>>(), b.arcs().collect::<Vec<_>>());
     }
 
     #[test]
@@ -101,6 +95,9 @@ mod tests {
     fn min_degree_is_m() {
         let g = barabasi_albert(300, 3, 9);
         let min_deg = g.nodes().map(|u| g.out_degree(u)).min().unwrap();
-        assert!(min_deg >= 2, "every vertex attaches with >= m-1 distinct edges");
+        assert!(
+            min_deg >= 2,
+            "every vertex attaches with >= m-1 distinct edges"
+        );
     }
 }

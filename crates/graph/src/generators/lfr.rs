@@ -92,11 +92,7 @@ pub fn lfr_benchmark(cfg: &LfrConfig, seed: u64) -> LfrGraph {
     }
 
     // 2. Community sizes covering all vertices.
-    let size_dist = PowerLaw::new(
-        cfg.community_exponent,
-        cfg.min_community,
-        cfg.max_community,
-    );
+    let size_dist = PowerLaw::new(cfg.community_exponent, cfg.min_community, cfg.max_community);
     let mut sizes: Vec<usize> = Vec::new();
     let mut covered = 0usize;
     while covered < cfg.n {

@@ -200,8 +200,8 @@ mod tests {
 
     #[test]
     fn bad_line_reports_position() {
-        let err = read_edge_list("0 1\nnot numbers\n".as_bytes(), &ReadOptions::default())
-            .unwrap_err();
+        let err =
+            read_edge_list("0 1\nnot numbers\n".as_bytes(), &ReadOptions::default()).unwrap_err();
         match err {
             IoError::Parse(2, _) => {}
             other => panic!("expected parse error on line 2, got {other}"),

@@ -51,7 +51,11 @@ impl std::fmt::Display for GraphStats {
             "|V|={} |E|={} ({}) avg_deg={:.2} max_deg={} dangling={}",
             self.num_nodes,
             self.num_edges,
-            if self.directed { "directed" } else { "undirected" },
+            if self.directed {
+                "directed"
+            } else {
+                "undirected"
+            },
             self.avg_degree,
             self.max_degree,
             self.dangling,

@@ -5,8 +5,8 @@
 //! or inspecting a protein module). These helpers materialize induced
 //! subgraphs with an id mapping back to the parent graph.
 
-use crate::csr::{CsrGraph, NodeId};
 use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
 use crate::partition::Partition;
 
 /// An induced subgraph plus the mapping from its dense vertex ids back to
@@ -143,6 +143,9 @@ mod tests {
         b.add_edge(1, 2, 4.0);
         let g = b.build();
         let sub = induced_subgraph(&g, &[0, 1]);
-        assert_eq!(sub.graph.out_neighbors(0).iter().next().unwrap().weight, 2.5);
+        assert_eq!(
+            sub.graph.out_neighbors(0).iter().next().unwrap().weight,
+            2.5
+        );
     }
 }

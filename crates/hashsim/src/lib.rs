@@ -58,6 +58,10 @@ mod tests {
         let mask = 15u64;
         let buckets: std::collections::HashSet<u64> =
             (0..16u32).map(|k| hash_key(k) & mask).collect();
-        assert!(buckets.len() >= 8, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() >= 8,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 }

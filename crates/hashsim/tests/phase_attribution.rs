@@ -26,8 +26,14 @@ fn chained_work_lands_in_hash_phase() {
     let mut core = drive(&mut ChainedAccumulator::new());
     let hash = *core.phase_report(phase::HASH);
     let compute = *core.phase_report(phase::COMPUTE);
-    assert!(hash.instructions > 500, "device work missing from HASH phase");
-    assert!(hash.cycles > compute.cycles, "hash must dominate this kernel");
+    assert!(
+        hash.instructions > 500,
+        "device work missing from HASH phase"
+    );
+    assert!(
+        hash.cycles > compute.cycles,
+        "hash must dominate this kernel"
+    );
     // The two explicit compute bursts (150 instructions) are attributed to
     // COMPUTE, not to the device.
     assert_eq!(compute.instructions, 150);

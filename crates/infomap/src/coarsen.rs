@@ -48,8 +48,8 @@ mod tests {
         let (coarse, compact) = convert_to_supernodes(&flow, &partition);
         assert_eq!(coarse.num_nodes(), 2);
         assert_eq!(compact.num_communities(), 2);
-        let l_coarse = MapState::with_node_term(&coarse, &Partition::singletons(2), node_term)
-            .codelength();
+        let l_coarse =
+            MapState::with_node_term(&coarse, &Partition::singletons(2), node_term).codelength();
         assert!(
             (l_fine - l_coarse).abs() < 1e-12,
             "codelength changed across coarsening: {l_fine} vs {l_coarse}"

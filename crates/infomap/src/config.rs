@@ -2,6 +2,20 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which flow accumulator the host decision phase uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AccumulatorKind {
+    /// SPA when the level's node count fits `spa_budget`, hash otherwise.
+    #[default]
+    Auto,
+    /// Always the sparse-accumulator fast path
+    /// ([`crate::local_move::SpaAccumulator`]).
+    Spa,
+    /// Always the hash path ([`crate::local_move::FastAccumulator`]) — the
+    /// pre-SPA reference used for benchmarking.
+    Hash,
+}
+
 /// Parameters of the Infomap run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InfomapConfig {
@@ -33,6 +47,14 @@ pub struct InfomapConfig {
     /// to the host, native, and simulated drivers (they share the
     /// schedule).
     pub outer_loops: usize,
+    /// Accumulator selection for the host decision phase. Semantics are
+    /// identical across kinds; only wall-clock cost differs.
+    pub accumulator: AccumulatorKind,
+    /// Largest per-level node count the SPA fast path accepts under
+    /// [`AccumulatorKind::Auto`]. Each worker's dense arrays (one value +
+    /// one stamp array per flow direction) cost 24 bytes per node at this
+    /// size.
+    pub spa_budget: usize,
 }
 
 impl InfomapConfig {
@@ -58,6 +80,8 @@ impl Default for InfomapConfig {
             threads: 0,
             recorded_teleport: false,
             outer_loops: 2,
+            accumulator: AccumulatorKind::default(),
+            spa_budget: 1 << 22,
         }
     }
 }

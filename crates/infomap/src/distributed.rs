@@ -266,7 +266,10 @@ mod tests {
             let d = result.partition.community_of(u);
             let t = truth.community_of(u);
             let entry = seen.entry(d).or_insert(t);
-            assert_eq!(*entry, t, "detected community {d} mixes planted communities");
+            assert_eq!(
+                *entry, t,
+                "detected community {d} mixes planted communities"
+            );
         }
     }
 

@@ -7,20 +7,48 @@ use std::time::Instant;
 
 use asa_graph::CsrGraph;
 
-use crate::config::InfomapConfig;
+use crate::config::{AccumulatorKind, InfomapConfig};
 use crate::find_best::MoveDecision;
 use crate::flow::FlowNetwork;
-use crate::local_move::parallel_decide;
+use crate::local_move::{parallel_decide_with, ScratchPool};
 use crate::result::InfomapResult;
 use crate::schedule::{optimize_multilevel, DecideEngine, SweepCtx};
 
-/// The host-parallel decision engine: rayon work-stealing over the active
-/// set with per-worker [`crate::local_move::FastAccumulator`]s.
-pub struct HostEngine;
+/// The host-parallel decision engine: rayon work over the active set with
+/// pooled per-worker scratch. Depending on the configured
+/// [`AccumulatorKind`] and budget, each sweep runs either the
+/// [`crate::local_move::SpaAccumulator`] fast path or the
+/// [`crate::local_move::FastAccumulator`] hash path — both produce the
+/// identical decision stream.
+#[derive(Debug, Default)]
+pub struct HostEngine {
+    kind: AccumulatorKind,
+    spa_budget: usize,
+    scratch: ScratchPool,
+}
+
+impl HostEngine {
+    /// An engine following `cfg`'s accumulator selection.
+    pub fn from_config(cfg: &InfomapConfig) -> Self {
+        Self {
+            kind: cfg.accumulator,
+            spa_budget: cfg.spa_budget,
+            scratch: ScratchPool::new(),
+        }
+    }
+}
 
 impl DecideEngine for HostEngine {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
-        parallel_decide(ctx.flow, ctx.labels, ctx.state, ctx.active)
+        parallel_decide_with(
+            ctx.flow,
+            ctx.labels,
+            ctx.state,
+            ctx.active,
+            self.kind,
+            self.spa_budget,
+            &self.scratch,
+        )
     }
 }
 
@@ -49,7 +77,8 @@ impl Infomap {
         let flow = FlowNetwork::from_graph(graph, &self.cfg);
         let pagerank = t.elapsed();
 
-        let outcome = optimize_multilevel(&flow, &self.cfg, &mut HostEngine);
+        let mut engine = HostEngine::from_config(&self.cfg);
+        let outcome = optimize_multilevel(&flow, &self.cfg, &mut engine);
         let mut timings = outcome.timings;
         timings.pagerank = pagerank;
 

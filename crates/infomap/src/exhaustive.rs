@@ -92,7 +92,10 @@ pub fn exhaustive_best_with_mode(
     mode: TeleportMode,
 ) -> ExhaustiveResult {
     let n = flow.num_nodes();
-    assert!(n <= max_nodes && n <= 14, "network too large for brute force");
+    assert!(
+        n <= max_nodes && n <= 14,
+        "network too large for brute force"
+    );
     let node_plogp: f64 = flow
         .node_flows()
         .iter()
@@ -203,7 +206,9 @@ mod tests {
             let mut b = GraphBuilder::undirected(n);
             let mut added = 0;
             while added < n + 3 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = ((x >> 33) % n as u64) as u32;
                 let v = ((x >> 13) % n as u64) as u32;
                 if u != v {

@@ -80,7 +80,7 @@ pub fn find_best_community<A: FlowAccumulator, S: EventSink>(
     acc.begin(sink);
     for (v, f) in flow.out_arcs(u) {
         sink.branch(SITE_OUT_LOOP, true); // loop continues
-        // `node.at(link.first).modId`: one load into the node table.
+                                          // `node.at(link.first).modId`: one load into the node table.
         sink.mem_read(MODID_BASE + v as u64 * 4);
         sink.instr(InstrClass::Alu, 2); // index math + loop overhead
         acc.accumulate(labels[v as usize], f, sink);

@@ -10,7 +10,7 @@
 //! aggregation.
 
 use asa_graph::{CsrGraph, NodeId, Partition};
-use rustc_hash::FxHashMap;
+use rayon::prelude::*;
 
 use crate::config::InfomapConfig;
 use crate::pagerank::{pagerank, undirected_stationary};
@@ -37,6 +37,10 @@ pub struct FlowNetwork {
     out_total: Vec<f64>,
     /// Σ of in-arc flows per node.
     in_total: Vec<f64>,
+    /// True when the in-CSR is byte-identical to the out-CSR (undirected
+    /// flow models and their coarsenings). Lets kernels accumulate one
+    /// direction and reuse the sums for the other.
+    symmetric: bool,
 }
 
 impl FlowNetwork {
@@ -49,7 +53,13 @@ impl FlowNetwork {
     pub fn from_graph(graph: &CsrGraph, cfg: &InfomapConfig) -> Self {
         let n = graph.num_nodes();
         let node_flow = if graph.is_directed() {
-            pagerank(graph, cfg.teleport, cfg.pagerank_tol, cfg.pagerank_max_iters).rank
+            pagerank(
+                graph,
+                cfg.teleport,
+                cfg.pagerank_tol,
+                cfg.pagerank_max_iters,
+            )
+            .rank
         } else {
             undirected_stationary(graph)
         };
@@ -112,6 +122,13 @@ impl FlowNetwork {
                 .sum();
         }
 
+        let symmetric = out_offsets == in_offsets
+            && out_targets == in_targets
+            && out_flows
+                .iter()
+                .zip(in_flows.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+
         Self {
             num_nodes,
             out_offsets,
@@ -124,6 +141,7 @@ impl FlowNetwork {
             node_weight,
             out_total,
             in_total,
+            symmetric,
         }
     }
 
@@ -143,22 +161,43 @@ impl FlowNetwork {
             node_flow[c] += self.node_flow[u];
             node_weight[c] += self.node_weight[u];
         }
-        // Accumulate super-arcs with a hash map keyed by (src, dst). This is
-        // host bookkeeping; the simulated cost of Convert2SuperNode is not
+        // Sort-based super-arc aggregation: each fixed-size node chunk
+        // collects its cross-module (src, dst, flow) triples, sorts them,
+        // and pre-merges duplicates locally in parallel; the counting-sort
+        // CSR build in `from_arcs_weighted` completes the global merge.
+        // Chunk boundaries depend only on the node count, so the arc
+        // stream — and hence flow summation order — is independent of
+        // thread count. The simulated cost of Convert2SuperNode is not
         // part of the paper's hash-operation measurements (Fig. 2 charges
         // hash time inside FindBestCommunity only).
-        let mut acc: FxHashMap<(u32, u32), f64> = FxHashMap::default();
-        for u in 0..self.num_nodes {
-            let cu = partition.community_of(u);
-            for (v, f) in self.out_arcs(u) {
-                let cv = partition.community_of(v);
-                if cu != cv {
-                    *acc.entry((cu, cv)).or_insert(0.0) += f;
+        const CHUNK: usize = 8192;
+        let n = self.num_nodes as usize;
+        let arcs: Vec<(NodeId, NodeId, f64)> = (0..n.div_ceil(CHUNK))
+            .into_par_iter()
+            .map(|ci| {
+                let (lo, hi) = (ci * CHUNK, ((ci + 1) * CHUNK).min(n));
+                let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::new();
+                for u in lo as u32..hi as u32 {
+                    let cu = partition.community_of(u);
+                    for (v, f) in self.out_arcs(u) {
+                        let cv = partition.community_of(v);
+                        if cu != cv {
+                            triples.push((cu, cv, f));
+                        }
+                    }
                 }
-            }
-        }
-        let arcs: Vec<(NodeId, NodeId, f64)> =
-            acc.into_iter().map(|((u, v), f)| (u, v, f)).collect();
+                triples.sort_unstable_by_key(|&(s, t, _)| (s, t));
+                let mut merged: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(triples.len());
+                for (s, t, f) in triples {
+                    match merged.last_mut() {
+                        Some(last) if last.0 == s && last.1 == t => last.2 += f,
+                        _ => merged.push((s, t, f)),
+                    }
+                }
+                merged
+            })
+            .flatten()
+            .collect();
         FlowNetwork::from_arcs_weighted(m as u32, node_flow, node_weight, arcs)
     }
 
@@ -172,6 +211,13 @@ impl FlowNetwork {
     #[inline]
     pub fn num_arcs(&self) -> usize {
         self.out_targets.len()
+    }
+
+    /// True when in-arcs mirror out-arcs exactly (undirected flow models),
+    /// so per-module in-flow sums equal the out-flow sums bit-for-bit.
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     /// Visit rate of node `u`.

@@ -224,9 +224,7 @@ mod tests {
             let d = ((s + 1) % supers) * per_super * clique;
             b.add_edge(a as u32, d as u32, 0.25);
         }
-        let fine = Partition::from_labels(
-            (0..n as u32).map(|u| u / clique as u32).collect(),
-        );
+        let fine = Partition::from_labels((0..n as u32).map(|u| u / clique as u32).collect());
         let coarse = Partition::from_labels(
             (0..n as u32)
                 .map(|u| u / (clique * per_super) as u32)
@@ -255,9 +253,7 @@ mod tests {
     fn nesting_validated() {
         let fine = Partition::from_labels(vec![0, 0, 1, 1]);
         let not_coarser = Partition::from_labels(vec![0, 1, 1, 1]);
-        let result = std::panic::catch_unwind(|| {
-            Hierarchy::new(vec![fine, not_coarser])
-        });
+        let result = std::panic::catch_unwind(|| Hierarchy::new(vec![fine, not_coarser]));
         assert!(result.is_err(), "non-nested levels must be rejected");
     }
 

@@ -22,10 +22,23 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::config::InfomapConfig;
-use crate::find_best::MoveDecision;
+use crate::find_best::{FindBestScratch, MoveDecision};
 use crate::flow::FlowNetwork;
 use crate::local_move::decide_range;
 use crate::schedule::{optimize_multilevel, DecideEngine, SweepCtx};
+
+/// Concatenates per-rank decision buffers in rank order. The ranks hold
+/// contiguous slices of the (sorted) active set, so concatenation keeps
+/// the stream ordered by vertex — identical to the flatten-collect it
+/// replaces, without freeing the buffers.
+fn concat_decisions(outs: &mut [Vec<MoveDecision>]) -> Vec<MoveDecision> {
+    let total = outs.iter().map(Vec::len).sum();
+    let mut all = Vec::with_capacity(total);
+    for out in outs {
+        all.append(out);
+    }
+    all
+}
 
 /// Which accumulation device the simulated cores use.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,8 +146,8 @@ impl SimulatedRun {
     /// the average per-core hash time the paper's multi-core breakdowns
     /// plot.
     pub fn hash_seconds(&self) -> f64 {
-        let cycles = self.phase_totals[phase::HASH].cycles
-            + self.phase_totals[phase::OVERFLOW].cycles;
+        let cycles =
+            self.phase_totals[phase::HASH].cycles + self.phase_totals[phase::OVERFLOW].cycles;
         cycles / self.machine.cores as f64 / (self.machine.freq_ghz * 1e9)
     }
 
@@ -152,8 +165,8 @@ impl SimulatedRun {
     /// Share of overflow-handling cycles within hash operations
     /// (the paper: 9.86% for Pokec, 13.31% for Orkut).
     pub fn overflow_share(&self) -> f64 {
-        let hash = self.phase_totals[phase::HASH].cycles
-            + self.phase_totals[phase::OVERFLOW].cycles;
+        let hash =
+            self.phase_totals[phase::HASH].cycles + self.phase_totals[phase::OVERFLOW].cycles;
         if hash == 0.0 {
             0.0
         } else {
@@ -242,7 +255,6 @@ pub struct NativeRun {
     pub codelength: f64,
 }
 
-
 /// Runs the identical kernel schedule *natively*: the same per-core device
 /// data structures but a [`asa_simarch::NullSink`], measured with
 /// wall-clock timers on `cores` host threads. This is the "Native" column
@@ -282,6 +294,8 @@ pub fn native_infomap(
 struct NativeEngine<A> {
     pool: rayon::ThreadPool,
     accs: Vec<A>,
+    scratches: Vec<FindBestScratch>,
+    outs: Vec<Vec<MoveDecision>>,
     sweep_seconds: Vec<f64>,
     sweep_active: Vec<usize>,
 }
@@ -290,12 +304,14 @@ impl<A: FlowAccumulator + Send> DecideEngine for NativeEngine<A> {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
         let ranges = block_partition(ctx.active.len(), self.accs.len());
         let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+        let (accs, scratches, outs) = (&mut self.accs, &mut self.scratches, &mut self.outs);
         self.pool.install(|| {
-            self.accs
-                .par_iter_mut()
+            accs.par_iter_mut()
+                .zip(scratches.par_iter_mut())
+                .zip(outs.par_iter_mut())
                 .enumerate()
-                .map(|(i, acc)| {
-                    let mut out = Vec::new();
+                .for_each(|(i, ((acc, scratch), out))| {
+                    out.clear();
                     let mut sink = asa_simarch::events::NullSink;
                     decide_range(
                         flow,
@@ -304,13 +320,12 @@ impl<A: FlowAccumulator + Send> DecideEngine for NativeEngine<A> {
                         &active[ranges[i].clone()],
                         acc,
                         &mut sink,
-                        &mut out,
+                        scratch,
+                        out,
                     );
-                    out
-                })
-                .flatten()
-                .collect()
-        })
+                });
+        });
+        concat_decisions(outs)
     }
 
     fn after_sweep(
@@ -336,6 +351,10 @@ fn native_device<A: FlowAccumulator + Send>(
         .expect("thread pool");
     let mut engine = NativeEngine {
         pool,
+        scratches: (0..accs.len())
+            .map(|_| FindBestScratch::default())
+            .collect(),
+        outs: vec![Vec::new(); accs.len()],
         accs,
         sweep_seconds: Vec::new(),
         sweep_active: Vec::new(),
@@ -355,6 +374,8 @@ fn native_device<A: FlowAccumulator + Send>(
 struct SimEngine<A> {
     cores: Vec<CoreModel>,
     accs: Vec<A>,
+    scratches: Vec<FindBestScratch>,
+    outs: Vec<Vec<MoveDecision>>,
     sweeps: Vec<SweepSim>,
 }
 
@@ -362,12 +383,15 @@ impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
         let ranges = block_partition(ctx.active.len(), self.cores.len());
         let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+        let (scratches, outs) = (&mut self.scratches, &mut self.outs);
         self.cores
             .par_iter_mut()
             .zip(self.accs.par_iter_mut())
+            .zip(scratches.par_iter_mut())
+            .zip(outs.par_iter_mut())
             .enumerate()
-            .map(|(i, (core, acc))| {
-                let mut out = Vec::new();
+            .for_each(|(i, (((core, acc), scratch), out))| {
+                out.clear();
                 decide_range(
                     flow,
                     labels,
@@ -375,12 +399,11 @@ impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
                     &active[ranges[i].clone()],
                     acc,
                     core,
-                    &mut out,
+                    scratch,
+                    out,
                 );
-                out
-            })
-            .flatten()
-            .collect()
+            });
+        concat_decisions(outs)
     }
 
     fn after_sweep(
@@ -420,6 +443,10 @@ fn run_device<A: FlowAccumulator + Send>(
 ) -> (SimulatedRun, Vec<A>) {
     let mut engine = SimEngine {
         cores: (0..mcfg.cores).map(|_| CoreModel::new(mcfg)).collect(),
+        scratches: (0..mcfg.cores)
+            .map(|_| FindBestScratch::default())
+            .collect(),
+        outs: vec![Vec::new(); mcfg.cores],
         accs,
         sweeps: Vec::new(),
     };
@@ -448,7 +475,6 @@ fn run_device<A: FlowAccumulator + Send>(
         engine.accs,
     )
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -519,22 +545,13 @@ mod tests {
     fn sweep_reports_cover_cores() {
         let g = small_graph();
         let mcfg = MachineConfig::baseline(4);
-        let run = simulate_infomap(
-            &g,
-            &InfomapConfig::default(),
-            &mcfg,
-            Device::SoftwareHash,
-        );
+        let run = simulate_infomap(&g, &InfomapConfig::default(), &mcfg, Device::SoftwareHash);
         assert!(!run.sweeps.is_empty());
         for s in &run.sweeps {
             assert_eq!(s.per_core.len(), 4);
             let sum_instr: u64 = s.per_core.iter().map(|r| r.instructions).sum();
             assert_eq!(sum_instr, s.combined.instructions);
-            let max_cycles = s
-                .per_core
-                .iter()
-                .map(|r| r.cycles)
-                .fold(0.0f64, f64::max);
+            let max_cycles = s.per_core.iter().map(|r| r.cycles).fold(0.0f64, f64::max);
             assert!((s.combined.cycles - max_cycles).abs() < 1e-9);
         }
     }

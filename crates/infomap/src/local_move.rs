@@ -10,15 +10,18 @@
 //! applied move stay active, which is why per-iteration runtime shrinks
 //! across iterations exactly as the paper's Table III shows.
 
+use std::sync::Mutex;
+
 use asa_graph::{NodeId, Partition};
 use asa_simarch::accum::FlowAccumulator;
 use asa_simarch::events::{EventSink, NullSink};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
+use crate::config::AccumulatorKind;
 use crate::find_best::{find_best_community, FindBestScratch, MoveDecision};
 use crate::flow::FlowNetwork;
-use crate::mapeq::{module_flows_of, MapState};
+use crate::mapeq::{module_flows_pair, MapState, ModuleFlows};
 
 /// Host-speed accumulator for uninstrumented runs: an `FxHashMap` with no
 /// event emission. This is what the *algorithm* uses when we only care
@@ -47,8 +50,146 @@ impl FlowAccumulator for FastAccumulator {
     }
 }
 
+/// Software sparse accumulator (SPA): a dense value array indexed directly
+/// by module id, an epoch-stamp array marking which slots are live this
+/// round, and a touched list for gathering. `accumulate` is one stamped
+/// array write — no hashing, no probing — which is why it wins whenever
+/// the dense arrays fit in memory (and mostly in cache). `begin` is O(1):
+/// advancing the epoch invalidates every stale slot at once.
+///
+/// Capacity must cover the largest key accumulated; callers size it to the
+/// current level's node count (module labels are node ids before
+/// compaction).
+#[derive(Debug, Default)]
+pub struct SpaAccumulator {
+    values: Vec<f64>,
+    stamp: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl SpaAccumulator {
+    /// An accumulator admitting keys `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut spa = Self::default();
+        spa.ensure_capacity(capacity);
+        spa
+    }
+
+    /// Grows the dense arrays to admit keys `0..capacity`. Never shrinks,
+    /// so coarse levels reuse the vertex-level allocation.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.values.len() < capacity {
+            self.values.resize(capacity, 0.0);
+            self.stamp.resize(capacity, 0);
+        }
+    }
+
+    /// Largest admissible key + 1.
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One reset every 2^32 rounds keeps stale stamps from aliasing
+            // the restarted counter.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Whether `key` was accumulated since the last `begin`/`gather`.
+    #[inline]
+    fn live(&self, key: u32) -> bool {
+        self.stamp[key as usize] == self.epoch
+    }
+
+    /// The accumulated value of `key` this round, or 0.0 if untouched.
+    #[inline]
+    fn value(&self, key: u32) -> f64 {
+        if self.live(key) {
+            self.values[key as usize]
+        } else {
+            0.0
+        }
+    }
+}
+
+impl FlowAccumulator for SpaAccumulator {
+    #[inline]
+    fn begin<S: EventSink>(&mut self, _sink: &mut S) {
+        self.touched.clear();
+        self.next_epoch();
+    }
+
+    #[inline]
+    fn accumulate<S: EventSink>(&mut self, key: u32, value: f64, _sink: &mut S) {
+        let k = key as usize;
+        debug_assert!(k < self.values.len(), "SPA key {key} beyond capacity");
+        if self.stamp[k] == self.epoch {
+            self.values[k] += value;
+        } else {
+            self.stamp[k] = self.epoch;
+            self.values[k] = value;
+            self.touched.push(key);
+        }
+    }
+
+    fn gather<S: EventSink>(&mut self, out: &mut Vec<(u32, f64)>, _sink: &mut S) {
+        out.clear();
+        out.extend(self.touched.iter().map(|&k| (k, self.values[k as usize])));
+        self.touched.clear();
+        // Invalidate the drained slots so accumulation may restart without
+        // an intervening `begin`.
+        self.next_epoch();
+    }
+
+    fn name(&self) -> &'static str {
+        "spa-host"
+    }
+}
+
+/// Per-worker reusable state for the SPA decision phase: one SPA device
+/// per flow direction, the candidate key buffer, and the decision output
+/// buffer. Checked out of a [`ScratchPool`] per rayon chunk instead of
+/// being re-allocated.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    out_spa: SpaAccumulator,
+    in_spa: SpaAccumulator,
+    keys: Vec<u32>,
+    decisions: Vec<MoveDecision>,
+}
+
+/// A checkout pool of [`WorkerScratch`]es shared across sweeps and levels.
+/// Sized lazily: at most one scratch per concurrently running chunk ever
+/// exists, and each is reused for the rest of the run.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    slots: Mutex<Vec<WorkerScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn checkout(&self) -> WorkerScratch {
+        self.slots.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn restore(&self, scratch: WorkerScratch) {
+        self.slots.lock().unwrap().push(scratch);
+    }
+}
+
 /// Decides moves for a slice of vertices against frozen labels, using the
-/// provided device and sink. Only improving decisions are returned.
+/// provided device, sink, and kernel scratch. Only improving decisions are
+/// returned.
+#[allow(clippy::too_many_arguments)]
 pub fn decide_range<A: FlowAccumulator, S: EventSink>(
     flow: &FlowNetwork,
     labels: &[u32],
@@ -56,40 +197,208 @@ pub fn decide_range<A: FlowAccumulator, S: EventSink>(
     vertices: &[NodeId],
     acc: &mut A,
     sink: &mut S,
+    scratch: &mut FindBestScratch,
     out: &mut Vec<MoveDecision>,
 ) {
-    let mut scratch = FindBestScratch::default();
     for &u in vertices {
-        let d = find_best_community(flow, labels, state, u, acc, sink, &mut scratch);
+        let d = find_best_community(flow, labels, state, u, acc, sink, scratch);
         if d.best_module != labels[u as usize] {
             out.push(d);
         }
     }
 }
 
-/// Parallel decision phase over the active set, with per-thread
-/// [`FastAccumulator`]s and no instrumentation. Deterministic: the result
-/// is ordered by vertex id regardless of thread scheduling.
+fn decide_chunk_size(active_len: usize) -> usize {
+    (active_len / (rayon::current_num_threads() * 8)).max(512)
+}
+
+/// The SPA fast-path kernel: `FindBestCommunity` for one vertex with the
+/// out- and in-flow accumulations held in two dense [`SpaAccumulator`]s.
+///
+/// Bit-identical to [`find_best_community`] over any accumulator: per-key
+/// additions happen in arc order (the same FP sequence as the hash path),
+/// and the candidate modules are visited in ascending id — exactly the
+/// order the generic kernel's sort + merge-join produces. What it *skips*
+/// is the materialization: no `(module, flow)` pair lists, no two pair
+/// sorts, no merge-join — just one u32 sort of the touched-module union
+/// and direct dense-array reads.
+pub fn find_best_community_spa(
+    flow: &FlowNetwork,
+    labels: &[u32],
+    state: &MapState,
+    u: NodeId,
+    out_acc: &mut SpaAccumulator,
+    in_acc: &mut SpaAccumulator,
+    keys: &mut Vec<u32>,
+) -> MoveDecision {
+    let my_module = labels[u as usize];
+    let mut sink = NullSink;
+
+    out_acc.begin(&mut sink);
+    for (v, f) in flow.out_arcs(u) {
+        out_acc.accumulate(labels[v as usize], f, &mut sink);
+    }
+    // On symmetric networks the in-arc stream is the out-arc stream, so
+    // the per-module in-flow sums are the out sums bit-for-bit — skip the
+    // second accumulation entirely.
+    let symmetric = flow.is_symmetric();
+    if !symmetric {
+        in_acc.begin(&mut sink);
+        for (v, f) in flow.in_arcs(u) {
+            in_acc.accumulate(labels[v as usize], f, &mut sink);
+        }
+    }
+
+    // Candidate modules: the union of touched keys, ascending.
+    keys.clear();
+    keys.extend_from_slice(&out_acc.touched);
+    if !symmetric {
+        for &k in &in_acc.touched {
+            if !out_acc.live(k) {
+                keys.push(k);
+            }
+        }
+    }
+    keys.sort_unstable();
+
+    let mf_of = |m: u32| {
+        let out_flow = out_acc.value(m);
+        ModuleFlows {
+            out_flow,
+            in_flow: if symmetric { out_flow } else { in_acc.value(m) },
+        }
+    };
+    let flows_old = mf_of(my_module);
+    let node = flow.node_summary(u);
+
+    let mut best = MoveDecision {
+        vertex: u,
+        best_module: my_module,
+        delta: 0.0,
+    };
+    for &m in keys.iter() {
+        if m == my_module {
+            continue;
+        }
+        let mf = mf_of(m);
+        let delta = state.delta_move(my_module, m, &node, flows_old, mf);
+        // Tie-break deterministically on module id so parallel and
+        // sequential schedules agree (mirrors the generic kernel exactly).
+        let improves =
+            delta < best.delta - 1e-15 || (delta < best.delta + 1e-15 && m < best.best_module);
+        if improves && delta < -1e-15 {
+            best.best_module = m;
+            best.delta = delta;
+        }
+    }
+    best
+}
+
+/// Parallel decision phase over the active set, with per-chunk
+/// [`FastAccumulator`]s and no instrumentation — the hash-based reference
+/// path the SPA fast path is benchmarked against. Deterministic: the
+/// result is ordered by vertex id regardless of thread scheduling.
 pub fn parallel_decide(
     flow: &FlowNetwork,
     labels: &[u32],
     state: &MapState,
     active: &[NodeId],
 ) -> Vec<MoveDecision> {
-    let chunk = (active.len() / (rayon::current_num_threads() * 8)).max(512);
+    let chunk = decide_chunk_size(active.len());
     let mut decisions: Vec<MoveDecision> = active
         .par_chunks(chunk)
         .map(|vertices| {
             let mut acc = FastAccumulator::default();
             let mut sink = NullSink;
+            let mut scratch = FindBestScratch::default();
             let mut out = Vec::new();
-            decide_range(flow, labels, state, vertices, &mut acc, &mut sink, &mut out);
+            decide_range(
+                flow,
+                labels,
+                state,
+                vertices,
+                &mut acc,
+                &mut sink,
+                &mut scratch,
+                &mut out,
+            );
             out
         })
         .flatten()
         .collect();
     decisions.sort_unstable_by_key(|d| d.vertex);
     decisions
+}
+
+/// Parallel decision phase on the SPA fast path: every chunk checks a
+/// [`WorkerScratch`] out of the pool, so no accumulator, merge buffer, or
+/// decision buffer is allocated after warm-up. Produces the identical
+/// decision stream as [`parallel_decide`] (per-vertex evaluations are
+/// independent, per-key addition order matches the hash path, and the
+/// final sort restores vertex order).
+pub fn parallel_decide_spa(
+    flow: &FlowNetwork,
+    labels: &[u32],
+    state: &MapState,
+    active: &[NodeId],
+    pool: &ScratchPool,
+) -> Vec<MoveDecision> {
+    let chunk = decide_chunk_size(active.len());
+    let capacity = flow.num_nodes();
+    let collected: Mutex<Vec<MoveDecision>> = Mutex::new(Vec::new());
+    active.par_chunks(chunk).for_each(|vertices| {
+        let mut ws = pool.checkout();
+        ws.out_spa.ensure_capacity(capacity);
+        if !flow.is_symmetric() {
+            ws.in_spa.ensure_capacity(capacity);
+        }
+        ws.decisions.clear();
+        for &u in vertices {
+            let d = find_best_community_spa(
+                flow,
+                labels,
+                state,
+                u,
+                &mut ws.out_spa,
+                &mut ws.in_spa,
+                &mut ws.keys,
+            );
+            if d.best_module != labels[u as usize] {
+                ws.decisions.push(d);
+            }
+        }
+        if !ws.decisions.is_empty() {
+            collected.lock().unwrap().extend_from_slice(&ws.decisions);
+        }
+        pool.restore(ws);
+    });
+    let mut decisions = collected.into_inner().unwrap();
+    decisions.sort_unstable_by_key(|d| d.vertex);
+    decisions
+}
+
+/// Accumulator selection: the SPA path runs when requested, or (on `Auto`)
+/// when the level's dense arrays fit the configured budget; anything else
+/// falls back to the hash path.
+pub fn parallel_decide_with(
+    flow: &FlowNetwork,
+    labels: &[u32],
+    state: &MapState,
+    active: &[NodeId],
+    kind: AccumulatorKind,
+    spa_budget: usize,
+    pool: &ScratchPool,
+) -> Vec<MoveDecision> {
+    let use_spa = match kind {
+        AccumulatorKind::Spa => true,
+        AccumulatorKind::Hash => false,
+        AccumulatorKind::Auto => flow.num_nodes() <= spa_budget,
+    };
+    if use_spa {
+        parallel_decide_spa(flow, labels, state, active, pool)
+    } else {
+        parallel_decide(flow, labels, state, active)
+    }
 }
 
 /// Result of applying one sweep's decisions.
@@ -118,8 +427,7 @@ pub fn apply_decisions(
         if old == new {
             continue;
         }
-        let flows_old = module_flows_of(flow, partition, d.vertex, old);
-        let flows_new = module_flows_of(flow, partition, d.vertex, new);
+        let (flows_old, flows_new) = module_flows_pair(flow, partition, d.vertex, old, new);
         let node = flow.node_summary(d.vertex);
         let delta = state.delta_move(old, new, &node, flows_old, flows_new);
         if delta < -min_improvement {
@@ -138,20 +446,46 @@ pub fn apply_decisions(
 /// out-neighbours (their best module may have changed), deduplicated and
 /// sorted.
 pub fn next_active(flow: &FlowNetwork, moved: &[NodeId]) -> Vec<NodeId> {
-    let mut mark = vec![false; flow.num_nodes()];
-    for &u in moved {
-        mark[u as usize] = true;
-        for (v, _) in flow.out_arcs(u) {
+    let mut mark = Vec::new();
+    let mut out = Vec::new();
+    next_active_into(flow, moved, &mut mark, &mut out);
+    out
+}
+
+/// [`next_active`] into caller-owned buffers: `mark` is the dedup bitmap
+/// (must be all-false, which this function restores before returning, so a
+/// buffer can be threaded through every sweep) and `out` receives the
+/// sorted active set. O(touched log touched) instead of an O(n) scan, and
+/// allocation-free once the buffers are warm.
+pub fn next_active_into(
+    flow: &FlowNetwork,
+    moved: &[NodeId],
+    mark: &mut Vec<bool>,
+    out: &mut Vec<NodeId>,
+) {
+    if mark.len() < flow.num_nodes() {
+        mark.resize(flow.num_nodes(), false);
+    }
+    out.clear();
+    let push = |mark: &mut [bool], out: &mut Vec<NodeId>, v: NodeId| {
+        if !mark[v as usize] {
             mark[v as usize] = true;
+            out.push(v);
+        }
+    };
+    for &u in moved {
+        push(mark, out, u);
+        for (v, _) in flow.out_arcs(u) {
+            push(mark, out, v);
         }
         for (v, _) in flow.in_arcs(u) {
-            mark[v as usize] = true;
+            push(mark, out, v);
         }
     }
-    mark.iter()
-        .enumerate()
-        .filter_map(|(u, &m)| m.then_some(u as NodeId))
-        .collect()
+    out.sort_unstable();
+    for &u in out.iter() {
+        mark[u as usize] = false;
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +600,71 @@ mod tests {
             sizes.last().unwrap() < &sizes[0],
             "active set never shrank: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn spa_accumulator_contract() {
+        use asa_simarch::accum::OracleAccumulator;
+        let mut spa = SpaAccumulator::with_capacity(8);
+        let mut oracle = OracleAccumulator::default();
+        let mut sink = NullSink;
+        for round in 0..3 {
+            spa.begin(&mut sink);
+            oracle.begin(&mut sink);
+            for (k, v) in [(4u32, 1.0), (2, 0.5), (4, 2.0), (7, 0.25), (2, 0.125)] {
+                let k = (k + round) % 8;
+                spa.accumulate(k, v, &mut sink);
+                oracle.accumulate(k, v, &mut sink);
+            }
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            spa.gather(&mut a, &mut sink);
+            oracle.gather(&mut b, &mut sink);
+            a.sort_unstable_by_key(|&(k, _)| k);
+            assert_eq!(a, b, "round {round}");
+        }
+        // Gather resets without an intervening begin.
+        spa.accumulate(3, 1.5, &mut sink);
+        let mut a = Vec::new();
+        spa.gather(&mut a, &mut sink);
+        assert_eq!(a, vec![(3, 1.5)]);
+    }
+
+    #[test]
+    fn spa_path_matches_hash_path_decisions() {
+        let (g, _) = planted_partition(
+            &PlantedConfig {
+                communities: 6,
+                community_size: 40,
+                k_in: 10.0,
+                k_out: 1.5,
+            },
+            21,
+        );
+        let flow = FlowNetwork::from_graph(&g, &InfomapConfig::default());
+        let partition = Partition::singletons(g.num_nodes());
+        let state = MapState::new(&flow, &partition);
+        let active: Vec<NodeId> = (0..g.num_nodes() as u32).collect();
+        let labels = partition.labels().to_vec();
+        let pool = ScratchPool::new();
+        let hash = parallel_decide(&flow, &labels, &state, &active);
+        let spa = parallel_decide_spa(&flow, &labels, &state, &active, &pool);
+        assert_eq!(hash, spa, "decision streams must be bit-identical");
+        // A second sweep through the same pool reuses the scratches.
+        let again = parallel_decide_spa(&flow, &labels, &state, &active, &pool);
+        assert_eq!(hash, again);
+    }
+
+    #[test]
+    fn next_active_into_reuses_buffers() {
+        let flow = two_triangles_flow();
+        let mut mark = Vec::new();
+        let mut out = Vec::new();
+        next_active_into(&flow, &[2], &mut mark, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(mark.iter().all(|&m| !m), "bitmap must be reset");
+        next_active_into(&flow, &[4], &mut mark, &mut out);
+        assert_eq!(out, vec![3, 4, 5]);
     }
 
     #[test]

@@ -45,8 +45,7 @@ pub fn plogp(x: f64) -> f64 {
 }
 
 /// How teleportation enters the codelength. See the module docs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TeleportMode {
     /// Teleport steps are not encoded; exits are pure link flow.
     #[default]
@@ -57,7 +56,6 @@ pub enum TeleportMode {
         tau: f64,
     },
 }
-
 
 /// The flow summary of one candidate move, produced by the accumulation
 /// device: a vertex's flow exchanged with one module.
@@ -162,7 +160,13 @@ impl MapState {
             node_plogp,
         };
         state.total_exit = (0..m)
-            .map(|i| state.effective_exit(state.mod_link_exit[i], state.mod_flow[i], state.mod_nodes[i]))
+            .map(|i| {
+                state.effective_exit(
+                    state.mod_link_exit[i],
+                    state.mod_flow[i],
+                    state.mod_nodes[i],
+                )
+            })
             .sum();
         state
     }
@@ -245,13 +249,13 @@ impl MapState {
         let (old, new) = (old as usize, new as usize);
         // Leaving `old`: the node's arcs to outside-old stop exiting from
         // old, while old's arcs into the node start exiting.
-        let link_o = self.mod_link_exit[old] - (node.out_total - flows_old.out_flow)
-            + flows_old.in_flow;
+        let link_o =
+            self.mod_link_exit[old] - (node.out_total - flows_old.out_flow) + flows_old.in_flow;
         // Joining `new`: the node's arcs to outside-new now exit from new,
         // minus its arcs into new members; new's arcs into the node stop
         // exiting.
-        let link_n = self.mod_link_exit[new] + (node.out_total - flows_new.out_flow)
-            - flows_new.in_flow;
+        let link_n =
+            self.mod_link_exit[new] + (node.out_total - flows_new.out_flow) - flows_new.in_flow;
         (
             (
                 link_o,
@@ -300,7 +304,8 @@ impl MapState {
         let e_n2 = self.effective_exit(ln2, pn2, nn2);
         let q_new = self.total_exit + (e_o2 - e_o) + (e_n2 - e_n);
 
-        plogp(q_new) - plogp(self.total_exit)
+        plogp(q_new)
+            - plogp(self.total_exit)
             - 2.0 * (plogp(e_o2) - plogp(e_o))
             - 2.0 * (plogp(e_n2) - plogp(e_n))
             + plogp(e_o2 + po2)
@@ -363,6 +368,39 @@ pub fn module_flows_of(
         }
     }
     mf
+}
+
+/// [`module_flows_of`] for two distinct modules in a single arc traversal.
+/// Per-module additions happen in arc order, exactly as in the one-module
+/// helper, so each returned sum is bit-identical to calling
+/// [`module_flows_of`] twice at half the traversal cost.
+pub fn module_flows_pair(
+    flow: &FlowNetwork,
+    partition: &Partition,
+    u: NodeId,
+    a: u32,
+    b: u32,
+) -> (ModuleFlows, ModuleFlows) {
+    debug_assert_ne!(a, b, "modules must differ");
+    let mut fa = ModuleFlows::default();
+    let mut fb = ModuleFlows::default();
+    for (v, f) in flow.out_arcs(u) {
+        let c = partition.community_of(v);
+        if c == a {
+            fa.out_flow += f;
+        } else if c == b {
+            fb.out_flow += f;
+        }
+    }
+    for (v, f) in flow.in_arcs(u) {
+        let c = partition.community_of(v);
+        if c == a {
+            fa.in_flow += f;
+        } else if c == b {
+            fb.in_flow += f;
+        }
+    }
+    (fa, fb)
 }
 
 #[cfg(test)]
@@ -506,7 +544,10 @@ mod tests {
     #[test]
     fn apply_move_keeps_state_consistent_both_modes() {
         let flow = two_triangles_flow();
-        for mode in [TeleportMode::Unrecorded, TeleportMode::Recorded { tau: 0.2 }] {
+        for mode in [
+            TeleportMode::Unrecorded,
+            TeleportMode::Recorded { tau: 0.2 },
+        ] {
             let mut partition = Partition::from_labels(vec![0, 0, 1, 1, 2, 2]);
             let node_plogp: f64 = flow.node_flows().iter().copied().map(plogp).sum();
             let mut state = MapState::with_options(&flow, &partition, node_plogp, mode);

@@ -53,7 +53,11 @@ pub fn module_statistics(flow: &FlowNetwork, partition: &Partition) -> Vec<Modul
             }
         })
         .collect();
-    stats.sort_by(|a, b| b.flow.partial_cmp(&a.flow).unwrap_or(std::cmp::Ordering::Equal));
+    stats.sort_by(|a, b| {
+        b.flow
+            .partial_cmp(&a.flow)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     stats
 }
 

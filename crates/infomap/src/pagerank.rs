@@ -99,9 +99,7 @@ pub fn undirected_stationary(graph: &CsrGraph) -> Vec<f64> {
     }
     let isolated = graph.nodes().filter(|&u| graph.out_degree(u) == 0).count();
     if isolated == 0 {
-        (0..n as u32)
-            .map(|u| graph.out_weight(u) / total)
-            .collect()
+        (0..n as u32).map(|u| graph.out_weight(u) / total).collect()
     } else {
         // Give isolated vertices a tiny uniform share so node flows stay a
         // probability distribution.

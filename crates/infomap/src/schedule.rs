@@ -23,7 +23,7 @@ use crate::coarsen::convert_to_supernodes;
 use crate::config::InfomapConfig;
 use crate::find_best::MoveDecision;
 use crate::flow::FlowNetwork;
-use crate::local_move::{apply_decisions, next_active, AppliedMoves};
+use crate::local_move::{apply_decisions, next_active_into, AppliedMoves};
 use crate::mapeq::{plogp, MapState};
 use crate::result::{KernelTimings, LevelInfo};
 
@@ -97,6 +97,12 @@ pub fn optimize_multilevel<E: DecideEngine>(
     let mut composed = Partition::singletons(n0);
     let mut initial_codelength = f64::NAN;
     let mut codelength = f64::NAN;
+    // Sweep-loop buffers threaded through every level and outer pass so the
+    // per-sweep bookkeeping stops allocating: the next-active bitmap and
+    // list, and the frozen label snapshot.
+    let mut mark: Vec<bool> = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+    let mut labels: Vec<u32> = Vec::new();
 
     let outer_loops = cfg.outer_loops.max(1);
     for outer in 0..outer_loops {
@@ -136,7 +142,8 @@ pub fn optimize_multilevel<E: DecideEngine>(
                     break;
                 }
                 let t = Instant::now();
-                let labels = partition.labels().to_vec();
+                labels.clear();
+                labels.extend_from_slice(partition.labels());
                 let decisions = {
                     let ctx = SweepCtx {
                         flow: &flow,
@@ -177,7 +184,8 @@ pub fn optimize_multilevel<E: DecideEngine>(
                 if applied.applied == 0 {
                     break;
                 }
-                active = next_active(&flow, &applied.moved);
+                next_active_into(&flow, &applied.moved, &mut mark, &mut next);
+                std::mem::swap(&mut active, &mut next);
             }
 
             info.codelength_after = state.codelength();
@@ -229,7 +237,8 @@ pub fn optimize_multilevel<E: DecideEngine>(
                 break;
             }
             let t = Instant::now();
-            let labels = composed.labels().to_vec();
+            labels.clear();
+            labels.extend_from_slice(composed.labels());
             let decisions = {
                 let ctx = SweepCtx {
                     flow: flow0,
@@ -271,7 +280,8 @@ pub fn optimize_multilevel<E: DecideEngine>(
             if applied.applied == 0 {
                 break;
             }
-            active = next_active(flow0, &applied.moved);
+            next_active_into(flow0, &applied.moved, &mut mark, &mut next);
+            std::mem::swap(&mut active, &mut next);
         }
         info.codelength_after = state.codelength();
         codelength = info.codelength_after;

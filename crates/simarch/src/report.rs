@@ -114,7 +114,10 @@ impl ComparisonRow {
     /// Fractional reduction in instruction count (Fig. 8a): positive when
     /// ASA executes fewer instructions.
     pub fn instruction_reduction(&self) -> f64 {
-        reduction(self.baseline.instructions as f64, self.asa.instructions as f64)
+        reduction(
+            self.baseline.instructions as f64,
+            self.asa.instructions as f64,
+        )
     }
 
     /// Fractional reduction in branch mispredictions (Fig. 8b).

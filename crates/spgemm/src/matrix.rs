@@ -22,14 +22,13 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// Panics if any index is out of range or a value is not finite.
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        mut triplets: Vec<(u32, u32, f64)>,
-    ) -> Self {
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(u32, u32, f64)>) -> Self {
         assert!(cols <= u32::MAX as usize && rows <= u32::MAX as usize);
         for &(r, c, v) in &triplets {
-            assert!((r as usize) < rows && (c as usize) < cols, "index out of range");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "index out of range"
+            );
             assert!(v.is_finite(), "matrix values must be finite");
         }
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -118,9 +117,7 @@ impl CsrMatrix {
     /// real-world SpGEMM input with power-law row lengths.
     pub fn from_graph(graph: &CsrGraph) -> Self {
         let n = graph.num_nodes();
-        let triplets = graph
-            .arcs()
-            .collect();
+        let triplets = graph.arcs().collect();
         Self::from_triplets(n, n, triplets)
     }
 

@@ -42,8 +42,16 @@ fn main() {
     );
 
     let rows = [
-        ("kernel time (s)", baseline.kernel_seconds(), asa.kernel_seconds()),
-        ("hash-ops time (s)", baseline.hash_seconds(), asa.hash_seconds()),
+        (
+            "kernel time (s)",
+            baseline.kernel_seconds(),
+            asa.kernel_seconds(),
+        ),
+        (
+            "hash-ops time (s)",
+            baseline.hash_seconds(),
+            asa.hash_seconds(),
+        ),
         (
             "instructions (M)",
             baseline.total.instructions as f64 / 1e6,
@@ -56,7 +64,10 @@ fn main() {
         ),
         ("CPI", baseline.total.cpi(), asa.total.cpi()),
     ];
-    println!("{:<20} {:>14} {:>14} {:>10}", "metric", "Baseline", "ASA", "ratio");
+    println!(
+        "{:<20} {:>14} {:>14} {:>10}",
+        "metric", "Baseline", "ASA", "ratio"
+    );
     for (name, b, a) in rows {
         println!("{name:<20} {b:>14.4} {a:>14.4} {:>9.2}x", b / a);
     }

@@ -83,6 +83,10 @@ fn main() {
             .sum();
         pure as f64 / n as f64
     };
-    println!("\nsite purity: unrecorded {:.3}, recorded {:.3}", purity(&unrec.partition), purity(&rec.partition));
+    println!(
+        "\nsite purity: unrecorded {:.3}, recorded {:.3}",
+        purity(&unrec.partition),
+        purity(&rec.partition)
+    );
     println!("hierarchy depth: {} levels", unrec.hierarchy_depth());
 }

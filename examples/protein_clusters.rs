@@ -20,7 +20,10 @@ use infomap_asa::infomap::{detect_communities, InfomapConfig};
 
 fn main() {
     println!("protein functional-module recovery vs cross-module interaction rate\n");
-    println!("{:<6} {:>8} {:>8} {:>10} {:>10}", "mu", "NMI", "ARI", "#modules", "#true");
+    println!(
+        "{:<6} {:>8} {:>8} {:>10} {:>10}",
+        "mu", "NMI", "ARI", "#modules", "#true"
+    );
 
     for mu10 in [1usize, 2, 3, 4, 5] {
         let mu = mu10 as f64 / 10.0;

@@ -186,12 +186,13 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     println!("largest communities: {:?}", &sizes[..sizes.len().min(10)]);
 
     // Flow summary of the biggest modules.
-    let flow = infomap_asa::infomap::flow::FlowNetwork::from_graph(
-        &graph,
-        &InfomapConfig::default(),
-    );
+    let flow =
+        infomap_asa::infomap::flow::FlowNetwork::from_graph(&graph, &InfomapConfig::default());
     let stats = infomap_asa::infomap::module_stats::module_statistics(&flow, &partition);
-    println!("\n{:<8} {:>8} {:>10} {:>10} {:>9}", "module", "size", "flow", "exit", "leakage");
+    println!(
+        "\n{:<8} {:>8} {:>10} {:>10} {:>9}",
+        "module", "size", "flow", "exit", "leakage"
+    );
     for s in stats.iter().take(8) {
         println!(
             "{:<8} {:>8} {:>10.5} {:>10.5} {:>8.2}%",
@@ -232,8 +233,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     );
     println!("planted communities: {}", truth.num_communities());
     if let Some(out) = args.value("output") {
-        let file =
-            std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
         write_edge_list(&graph, file).map_err(|e| e.to_string())?;
         println!("wrote edge list to {out}");
     }

@@ -13,6 +13,44 @@ use infomap_asa::infomap::{detect_communities, InfomapConfig};
 use infomap_asa::simarch::MachineConfig;
 
 #[test]
+fn spa_and_hash_paths_agree_end_to_end() {
+    // The SPA fast path is a pure perf substitution: forcing either
+    // accumulator through the full multi-level driver must yield the
+    // identical partition and codelength, bit for bit.
+    use infomap_asa::infomap::config::AccumulatorKind;
+    let (graph, _) = planted_partition(
+        &PlantedConfig {
+            communities: 8,
+            community_size: 40,
+            k_in: 11.0,
+            k_out: 1.2,
+        },
+        29,
+    );
+    let spa = detect_communities(
+        &graph,
+        &InfomapConfig {
+            accumulator: AccumulatorKind::Spa,
+            ..Default::default()
+        },
+    );
+    let hash = detect_communities(
+        &graph,
+        &InfomapConfig {
+            accumulator: AccumulatorKind::Hash,
+            ..Default::default()
+        },
+    );
+    assert_eq!(spa.partition.labels(), hash.partition.labels());
+    assert_eq!(spa.codelength.to_bits(), hash.codelength.to_bits());
+    assert_eq!(spa.levels.len(), hash.levels.len());
+    // The default Auto selection matches both on a graph this small.
+    let auto = detect_communities(&graph, &InfomapConfig::default());
+    assert_eq!(auto.partition.labels(), spa.partition.labels());
+    assert_eq!(auto.codelength.to_bits(), spa.codelength.to_bits());
+}
+
+#[test]
 fn infomap_recovers_planted_communities() {
     let (graph, truth) = planted_partition(
         &PlantedConfig {
@@ -82,7 +120,12 @@ fn devices_produce_identical_partitions() {
 
     let base = simulate_infomap(&graph, &icfg, &mcfg, Device::SoftwareHash);
     let probe = simulate_infomap(&graph, &icfg, &mcfg, Device::LinearProbe);
-    let asa = simulate_infomap(&graph, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default()));
+    let asa = simulate_infomap(
+        &graph,
+        &icfg,
+        &mcfg,
+        Device::Asa(AsaConfig::paper_default()),
+    );
     let tiny = simulate_infomap(
         &graph,
         &icfg,
@@ -110,7 +153,12 @@ fn simulated_speedup_in_paper_band() {
     let icfg = InfomapConfig::default();
     let mcfg = MachineConfig::baseline(1);
     let base = simulate_infomap(&graph, &icfg, &mcfg, Device::SoftwareHash);
-    let asa = simulate_infomap(&graph, &icfg, &mcfg, Device::Asa(AsaConfig::paper_default()));
+    let asa = simulate_infomap(
+        &graph,
+        &icfg,
+        &mcfg,
+        Device::Asa(AsaConfig::paper_default()),
+    );
     let speedup = base.hash_seconds() / asa.hash_seconds();
     // Paper: 3.28x - 5.56x across networks. Allow headroom for scale.
     assert!(
@@ -227,12 +275,22 @@ fn recursive_detection_via_subgraphs() {
 fn scaling_cores_shrinks_barrier_time() {
     let (graph, _) = synth_network(PaperNetwork::Amazon, 512);
     let icfg = InfomapConfig::default();
-    let t1 = simulate_infomap(&graph, &icfg, &MachineConfig::baseline(1), Device::SoftwareHash)
-        .total
-        .cycles;
-    let t4 = simulate_infomap(&graph, &icfg, &MachineConfig::baseline(4), Device::SoftwareHash)
-        .total
-        .cycles;
+    let t1 = simulate_infomap(
+        &graph,
+        &icfg,
+        &MachineConfig::baseline(1),
+        Device::SoftwareHash,
+    )
+    .total
+    .cycles;
+    let t4 = simulate_infomap(
+        &graph,
+        &icfg,
+        &MachineConfig::baseline(4),
+        Device::SoftwareHash,
+    )
+    .total
+    .cycles;
     assert!(
         t4 < t1 * 0.5,
         "4 simulated cores should cut barrier cycles well below half: {t4} vs {t1}"

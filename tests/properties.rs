@@ -13,6 +13,7 @@ use infomap_asa::graph::io::{read_edge_list, write_edge_list, ReadOptions};
 use infomap_asa::graph::{GraphBuilder, Partition};
 use infomap_asa::hashsim::{ChainedAccumulator, LinearProbeAccumulator};
 use infomap_asa::infomap::flow::FlowNetwork;
+use infomap_asa::infomap::local_move::SpaAccumulator;
 use infomap_asa::infomap::mapeq::{codelength, module_flows_of, MapState};
 use infomap_asa::infomap::InfomapConfig;
 use infomap_asa::simarch::accum::{FlowAccumulator, OracleAccumulator};
@@ -76,6 +77,39 @@ proptest! {
             pairs_equal(&oracle, &got),
             "CAM of {cam_entries} entries corrupted sums"
         );
+    }
+
+    #[test]
+    fn spa_is_exact_for_any_capacity(
+        stream in stream_strategy(),
+        extra_capacity in 0usize..300,
+    ) {
+        // The SPA contract: a dense epoch-stamped array behaves exactly
+        // like a BTreeMap<u32, f64> for any capacity admitting the keys.
+        // Both add per-key values in arrival order, so the sums must be
+        // bit-identical, not merely close.
+        let oracle = run_device(&mut OracleAccumulator::default(), &stream);
+        let mut spa = SpaAccumulator::with_capacity(200 + extra_capacity);
+        let got = run_device(&mut spa, &stream);
+        prop_assert_eq!(oracle.len(), got.len());
+        for (o, g) in oracle.iter().zip(got.iter()) {
+            prop_assert_eq!(o.0, g.0);
+            prop_assert_eq!(o.1.to_bits(), g.1.to_bits(), "key {} sum diverged", o.0);
+        }
+    }
+
+    #[test]
+    fn spa_survives_reuse_across_rounds(
+        rounds in prop::collection::vec(stream_strategy(), 1..5),
+    ) {
+        // One SPA reused across rounds (as the decision phase drives it)
+        // must match fresh BTreeMap oracles every round.
+        let mut spa = SpaAccumulator::with_capacity(200);
+        for stream in &rounds {
+            let oracle = run_device(&mut OracleAccumulator::default(), stream);
+            let got = run_device(&mut spa, stream);
+            prop_assert_eq!(&oracle, &got);
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the little surface the repo's binary I/O uses: [`BytesMut`]
+//! as a growable write buffer ([`BufMut`]) and [`Bytes`] as a cursor over
+//! an owned byte vector ([`Buf`]). Panics on under-read like the real
+//! crate; callers bounds-check with [`Buf::remaining`] first.
+
+use std::ops::Deref;
+
+/// Read cursor over owned bytes.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consumes a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+/// Append-only write buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, n: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, n: u64);
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, n: f64);
+}
+
+/// Immutable byte buffer with a consuming read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Length of the unconsumed tail.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the unconsumed tail is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.pos + n <= self.data.len(), "buffer under-read");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n).to_vec())
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// Growable byte buffer for serialization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no bytes were written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, n: u8) {
+        self.data.push(n);
+    }
+
+    fn put_u32_le(&mut self, n: u32) {
+        self.data.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, n: u64) {
+        self.data.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, n: f64) {
+        self.data.extend_from_slice(&n.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"MAGI");
+        w.put_u8(7);
+        w.put_u32_le(42);
+        w.put_u64_le(1 << 40);
+        w.put_f64_le(2.5);
+        let mut r = Bytes::from(w.to_vec());
+        assert_eq!(&r.copy_to_bytes(4)[..], b"MAGI");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 42);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+}

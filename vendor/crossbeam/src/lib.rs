@@ -1,0 +1,138 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Covers the two facilities the distributed-emulation driver uses:
+//! [`thread::scope`] (scoped spawn + join, `Result`-wrapped like the real
+//! crate) and [`channel`] (unbounded MPMC-ish channels, backed by
+//! `std::sync::mpsc`, which suffices for the single-consumer usage here).
+
+pub mod thread {
+    //! Scoped threads over `std::thread::scope`.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Placeholder handle passed to spawned closures. The real crossbeam
+    /// passes a `&Scope` usable for nested spawns; this stub does not
+    /// support nested spawning (nothing in the repo uses it).
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    /// Scope handle: spawn threads that may borrow from the enclosing stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (Err on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope { _private: () })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Returns `Err` if `f` or an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    //! Unbounded channels over `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; errs only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = std::sync::mpsc::channel();
+        (Sender { inner: s }, Receiver { inner: r })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_and_channels() {
+        let data = [1u64, 2, 3, 4];
+        let (tx, rx) = super::channel::unbounded();
+        let sums: Vec<u64> = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| {
+                        let s: u64 = c.iter().sum();
+                        tx.send(s).unwrap();
+                        s
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+        let mut got = vec![rx.try_recv().unwrap(), rx.try_recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,682 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Data-parallel iterators executed by a deterministic block scheduler on
+//! `std::thread::scope` threads. The surface matches what this repo uses:
+//! `par_iter` / `par_iter_mut` / `par_chunks` / range `into_par_iter`,
+//! the `map` / `filter` / `enumerate` / `zip` / `flatten` adapters, the
+//! `for_each` / `collect` / `sum` drivers, plus `current_num_threads`,
+//! `ThreadPoolBuilder` and `ThreadPool::install`.
+//!
+//! Determinism: the index space is split into fixed-size blocks that
+//! depend only on the length (never on the thread count), workers claim
+//! blocks from an atomic cursor, and results are stitched back in block
+//! order. Ordered drivers (`collect`) therefore return exactly the
+//! sequential order, and floating-point reductions (`sum`) use a fixed
+//! association independent of how many threads ran.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing.
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker-thread count: the innermost [`ThreadPool::install`] override,
+/// else `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: parallel calls made inside [`ThreadPool::install`] use
+/// this pool's thread count. (Threads are spawned per parallel call by the
+/// block scheduler rather than parked in the pool.)
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the ambient default.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_OVERRIDE.with(|c| {
+            let prev = c.get();
+            c.set(Some(self.num_threads));
+            prev
+        });
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block scheduler.
+
+/// Blocks per full-length iterator. Block boundaries depend only on the
+/// length, so reduction order is identical no matter how many threads run.
+const TARGET_BLOCKS: usize = 256;
+
+fn block_size(len: usize) -> usize {
+    len.div_ceil(TARGET_BLOCKS).max(1)
+}
+
+/// Runs `work` over fixed-size index blocks of `0..len`, returning the
+/// per-block results in block order.
+fn run_blocks<R, F>(len: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let bs = block_size(len);
+    let nblocks = len.div_ceil(bs);
+    let threads = current_num_threads().min(nblocks);
+    let block_range = |b: usize| b * bs..((b + 1) * bs).min(len);
+    if threads <= 1 {
+        return (0..nblocks).map(|b| work(block_range(b))).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(nblocks));
+    let run = |_worker: usize| loop {
+        let b = cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        let r = work(block_range(b));
+        results.lock().unwrap().push((b, r));
+    };
+    std::thread::scope(|s| {
+        for w in 1..threads {
+            s.spawn(move || run(w));
+        }
+        run(0);
+    });
+    let mut pairs = results.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(b, _)| b);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator trait.
+
+/// A parallel iterator over an index space `0..plen()`.
+///
+/// Indexed sources and adapters implement [`item_at`]; position-erasing
+/// adapters (`filter`, `flatten`) implement [`for_range`] instead and
+/// panic on `item_at` (matching rayon, where those adapters lose the
+/// `IndexedParallelIterator` capability).
+///
+/// [`item_at`]: ParallelIterator::item_at
+/// [`for_range`]: ParallelIterator::for_range
+pub trait ParallelIterator: Sync + Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Length of the underlying index space.
+    fn plen(&self) -> usize;
+
+    /// Produces the item at index `i`. The scheduler visits each index at
+    /// most once, which is what makes `&mut` items sound.
+    fn item_at(&self, i: usize) -> Self::Item;
+
+    /// Feeds every item with index in `range` to `f`, in index order.
+    fn for_range(&self, range: Range<usize>, f: &mut dyn FnMut(Self::Item)) {
+        for i in range {
+            f(self.item_at(i));
+        }
+    }
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps items satisfying `p`. The result is no longer indexed.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pairs items positionally with `other`'s items.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Flattens iterable items. The result is no longer indexed.
+    fn flatten(self) -> Flatten<Self> {
+        Flatten { base: self }
+    }
+
+    /// Consumes every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_blocks(self.plen(), |r| self.for_range(r, &mut |x| f(x)));
+    }
+
+    /// Collects into `C`, preserving sequential order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items with a thread-count-independent association.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_blocks(self.plen(), |r| {
+            let mut buf = Vec::new();
+            self.for_range(r, &mut |x| buf.push(x));
+            buf.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// Collections buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection, preserving sequential order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts = run_blocks(iter.plen(), |r| {
+            let mut v = Vec::with_capacity(r.len());
+            iter.for_range(r, &mut |x| v.push(x));
+            v
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn plen(&self) -> usize {
+        self.base.plen()
+    }
+
+    fn item_at(&self, i: usize) -> R {
+        (self.f)(self.base.item_at(i))
+    }
+
+    fn for_range(&self, range: Range<usize>, f: &mut dyn FnMut(R)) {
+        self.base.for_range(range, &mut |x| f((self.f)(x)));
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync,
+{
+    type Item = I::Item;
+
+    fn plen(&self) -> usize {
+        self.base.plen()
+    }
+
+    fn item_at(&self, _i: usize) -> I::Item {
+        panic!("filter() is not an indexed parallel iterator");
+    }
+
+    fn for_range(&self, range: Range<usize>, f: &mut dyn FnMut(I::Item)) {
+        self.base.for_range(range, &mut |x| {
+            if (self.p)(&x) {
+                f(x);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn plen(&self) -> usize {
+        self.base.plen()
+    }
+
+    fn item_at(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.item_at(i))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn plen(&self) -> usize {
+        self.a.plen().min(self.b.plen())
+    }
+
+    fn item_at(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.item_at(i), self.b.item_at(i))
+    }
+}
+
+/// See [`ParallelIterator::flatten`].
+pub struct Flatten<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Flatten<I>
+where
+    I: ParallelIterator,
+    I::Item: IntoIterator,
+    <I::Item as IntoIterator>::Item: Send,
+{
+    type Item = <I::Item as IntoIterator>::Item;
+
+    fn plen(&self) -> usize {
+        self.base.plen()
+    }
+
+    fn item_at(&self, _i: usize) -> Self::Item {
+        panic!("flatten() is not an indexed parallel iterator");
+    }
+
+    fn for_range(&self, range: Range<usize>, f: &mut dyn FnMut(Self::Item)) {
+        self.base.for_range(range, &mut |xs| {
+            for x in xs {
+                f(x);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources.
+
+/// Shared-slice source (`par_iter`).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn plen(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item_at(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`). Sound because the block
+/// scheduler hands each index to exactly one worker.
+pub struct ParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn plen(&self) -> usize {
+        self.len
+    }
+
+    fn item_at(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Chunked shared-slice source (`par_chunks`).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn plen(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn item_at(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Integer-range source (`(a..b).into_par_iter()`).
+pub struct IterRange<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for IterRange<$t> {
+            type Item = $t;
+
+            fn plen(&self) -> usize {
+                self.len
+            }
+
+            fn item_at(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = IterRange<$t>;
+
+            fn into_par_iter(self) -> IterRange<$t> {
+                IterRange {
+                    start: self.start,
+                    len: (self.end.max(self.start) - self.start) as usize,
+                }
+            }
+        }
+    )*};
+}
+
+range_source!(u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Entry-point traits.
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type.
+    type Item: Send + 'data;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over shared references.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` on mutable collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type.
+    type Item: Send + 'data;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = ParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = ParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices (last may be
+    /// shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn filter_map_sum_matches_sequential() {
+        let par: u64 = (0..100_000u64)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .map(|x| x + 1)
+            .sum();
+        let seq: u64 = (0..100_000u64).filter(|&x| x % 3 == 0).map(|x| x + 1).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn float_sum_is_thread_count_independent() {
+        let data: Vec<f64> = (0..50_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let one = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| data.par_iter().map(|&x| x).sum::<f64>());
+        let many = super::ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap()
+            .install(|| data.par_iter().map(|&x| x).sum::<f64>());
+        assert_eq!(one.to_bits(), many.to_bits());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_slot_once() {
+        let mut v = vec![0u32; 5000];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            *slot += i as u32;
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn zip_and_chunks() {
+        let a: Vec<f64> = (0..1000).map(f64::from).collect();
+        let b: Vec<f64> = (0..1000).map(|x| f64::from(x) * 3.0).collect();
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        let expect: f64 = (0..1000).map(|x| f64::from(x) * f64::from(x) * 3.0).sum();
+        assert_eq!(dot.to_bits(), expect.to_bits());
+
+        let flat: Vec<u32> = (0..997u32)
+            .into_par_iter()
+            .collect::<Vec<_>>()
+            .par_chunks(64)
+            .map(|c| c.to_vec())
+            .flatten()
+            .collect();
+        assert_eq!(flat, (0..997).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote`) and emits
+//! `impl serde::Serialize` / `impl serde::Deserialize` blocks against the
+//! companion Value-based `serde` stub. Supports what the repo derives on:
+//! non-generic named-field structs, and enums with unit, newtype, or
+//! struct variants (externally tagged, like real serde). `#[serde(...)]`
+//! attributes are not supported (none are used in-repo).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model.
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    // Generic parameters are unsupported (and unused in this repo).
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stub: generic type `{name}` not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive stub: `{name}` has no brace body"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_field_names(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Splits a brace body at top-level commas (angle-bracket depth tracked so
+/// generic arguments like `Vec<(u32, f64)>` don't split).
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // `->` in an fn-pointer type must not close an angle.
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    prev_dash = false;
+                    pieces.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        pieces.last_mut().unwrap().push(tok);
+    }
+    pieces.retain(|p| !p.is_empty());
+    pieces
+}
+
+/// First identifier of a field declaration, after attributes and
+/// visibility: that is the field name.
+fn field_name(piece: &[TokenTree]) -> String {
+    let mut i = 0;
+    while i < piece.len() {
+        match &piece[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = piece.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return id.to_string(),
+            other => panic!("unexpected token in field: {other:?}"),
+        }
+    }
+    panic!("field without a name")
+}
+
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .map(|p| field_name(p))
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level(body)
+        .into_iter()
+        .map(|piece| {
+            let mut i = 0;
+            // Skip variant attributes such as `#[default]`.
+            while matches!(&piece[i], TokenTree::Punct(p) if p.as_char() == '#') {
+                i += 2;
+            }
+            let name = match &piece[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            let shape = match piece.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = split_top_level(g.stream()).len();
+                    assert!(n == 1, "tuple variant `{name}` with {n} fields unsupported");
+                    VariantShape::Newtype
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+
+fn obj_entries(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect()
+}
+
+fn field_reads(fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::get_field({src}, \"{f}\")?)?,")
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries = obj_entries(fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec::Vec::from([{entries}]))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                                 ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Serialize::to_value(__f0))])),"
+                        ),
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = obj_entries(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                     ::serde::Value::Object(::std::vec::Vec::from([\
+                                     (::std::string::String::from(\"{vn}\"), \
+                                      ::serde::Value::Object(::std::vec::Vec::from([{entries}])))])),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let reads = field_reads(fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {reads} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Newtype => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantShape::Struct(fields) => {
+                            let reads = field_reads(fields, "__inner");
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {reads} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected {name} variant\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

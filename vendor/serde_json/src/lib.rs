@@ -1,0 +1,434 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders and parses JSON text over the Value tree of the companion
+//! `serde` stub: [`to_string`] / [`to_string_pretty`] / [`from_str`] /
+//! [`json!`]. Numbers keep integer-ness where possible; non-finite floats
+//! serialize as `null` (like `serde_json::Value`).
+
+pub use serde::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Builds a [`Value`] from JSON-ish syntax. The top level may be `null`,
+/// an array literal, or an object literal; value positions take Rust
+/// expressions implementing `Serialize` (use `Value::Null` or a nested
+/// `json!` call where real serde_json would accept a bare literal).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec::Vec::from([ $( $crate::json!($elem) ),* ]))
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec::Vec::from([
+            $( (::std::string::String::from($key), $crate::json!($val)) ),*
+        ]))
+    };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Printing.
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    // Keep the float-ness visible in the text (serde_json prints 1.0).
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => push_float(out, *f),
+        Value::String(s) => push_escaped(out, s),
+        Value::Array(items) => write_seq(out, items.iter().map(Item::Plain), '[', ']', indent),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter().map(|(k, v)| Item::Keyed(k, v)),
+            '{',
+            '}',
+            indent,
+        ),
+    }
+}
+
+enum Item<'a> {
+    Plain(&'a Value),
+    Keyed(&'a str, &'a Value),
+}
+
+fn write_seq<'a>(
+    out: &mut String,
+    items: impl Iterator<Item = Item<'a>>,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+) {
+    out.push(open);
+    let mut first = true;
+    let mut any = false;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        any = true;
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level + 1));
+        }
+        match item {
+            Item::Plain(v) => write_value(out, v, indent.map(|l| l + 1)),
+            Item::Keyed(k, v) => {
+                push_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent.map(|l| l + 1));
+            }
+        }
+    }
+    if any {
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+    }
+    out.push(close);
+}
+
+/// Compact JSON text for any serializable value.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None);
+    Ok(out)
+}
+
+/// Two-space-indented JSON text for any serializable value.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.eat_lit("null").map(|()| Value::Null),
+            b't' => self.eat_lit("true").map(|()| Value::Bool(true)),
+            b'f' => self.eat_lit("false").map(|()| Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u16::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                self.eat_lit("\\u")?;
+                                let lo = self.hex4()?;
+                                let combined = 0x10000u32
+                                    + (((hi as u32) - 0xd800) << 10)
+                                    + ((lo as u32) - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(hi as u32)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("expected number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let doc = json!({
+            "title": "t",
+            "headers": ["a", "b"],
+            "rows": [[1u32, 2u32]],
+            "pi": 3.5,
+            "neg": -4i64,
+            "flag": true,
+            "nothing": Value::Null,
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["title"], "t");
+        assert_eq!(back["headers"][0], "a");
+        assert_eq!(back["rows"][0][1].as_u64(), Some(2));
+        assert_eq!(back["pi"].as_f64(), Some(3.5));
+        assert_eq!(back["neg"].as_i64(), Some(-4));
+        assert_eq!(back["flag"], Value::Bool(true));
+        assert_eq!(back["nothing"], Value::Null);
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let v = Value::String("a\"b\\c\nd\u{1f600}".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let surrogate: Value = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(surrogate, Value::String("\u{1f600}".to_string()));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
