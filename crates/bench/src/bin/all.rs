@@ -25,6 +25,7 @@ fn main() {
         "distributed",
         "spgemm",
         "hierarchy",
+        "simthroughput",
     ];
     for bin in bins {
         println!("\n{}", "=".repeat(72));

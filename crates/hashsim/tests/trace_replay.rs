@@ -1,0 +1,70 @@
+//! Batched trace replay of instrumented hash-table sessions.
+//!
+//! The software accumulators emit the collision-chain branches and
+//! pointer-chase loads the simulator exists to model; recording those
+//! streams into small trace buffers and replaying them in blocks must
+//! charge exactly what inline per-event charging does, bit for bit.
+
+use asa_hashsim::{ChainedAccumulator, LinearProbeAccumulator};
+use asa_simarch::accum::FlowAccumulator;
+use asa_simarch::events::phase;
+use asa_simarch::{BatchedCore, CoreModel, EventSink, KernelReport, MachineConfig};
+
+fn assert_bitwise(a: &KernelReport, b: &KernelReport, what: &str) {
+    assert_eq!(a.instructions, b.instructions, "{what}: instructions");
+    assert_eq!(a.branches, b.branches, "{what}: branches");
+    assert_eq!(a.mispredictions, b.mispredictions, "{what}: mispredictions");
+    assert_eq!(a.loads, b.loads, "{what}: loads");
+    assert_eq!(a.stores, b.stores, "{what}: stores");
+    assert_eq!(a.l1_misses, b.l1_misses, "{what}: l1_misses");
+    assert_eq!(a.l2_misses, b.l2_misses, "{what}: l2_misses");
+    assert_eq!(a.l3_misses, b.l3_misses, "{what}: l3_misses");
+    assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "{what}: cycles");
+}
+
+/// A few hundred accumulation rounds with skewed, colliding keys.
+fn drive<A: FlowAccumulator, S: EventSink>(acc: &mut A, sink: &mut S) {
+    let mut out = Vec::new();
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    for round in 0..300u64 {
+        acc.begin(sink);
+        for i in 0..(3 + round % 12) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Small key range forces chains/probe clusters.
+            acc.accumulate((x % 61) as u32, 0.25 + (i as f64) * 0.125, sink);
+        }
+        acc.gather(&mut out, sink);
+    }
+}
+
+fn replay_matches<A: FlowAccumulator, F: Fn() -> A>(make: F, what: &str) {
+    let cfg = MachineConfig::baseline(1);
+    let mut inline_core = CoreModel::new(&cfg);
+    drive(&mut make(), &mut inline_core);
+
+    // 128-event blocks split accumulation rounds mid-chain.
+    let mut batched = BatchedCore::new(CoreModel::new(&cfg), 128);
+    drive(&mut make(), &mut batched);
+
+    let a = inline_core.take_phase_reports();
+    let b = batched.take_phase_reports();
+    assert!(
+        a[phase::HASH].instructions > 0,
+        "{what}: hash work expected"
+    );
+    for (p, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+        assert_bitwise(ra, rb, &format!("{what}: phase {p}"));
+    }
+}
+
+#[test]
+fn chained_table_replay_bit_identical() {
+    replay_matches(ChainedAccumulator::new, "chained");
+}
+
+#[test]
+fn linear_probe_replay_bit_identical() {
+    replay_matches(LinearProbeAccumulator::new, "linear-probe");
+}

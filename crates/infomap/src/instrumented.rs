@@ -11,13 +11,18 @@
 //! `FindBestCommunity` kernel ("Timing breakdown of the simulated kernel
 //! (FindBestCommunity)", Fig. 7).
 
+use std::ops::Range;
+use std::time::Instant;
+
 use asa_accel::{AsaAccumulator, AsaConfig, AsaStats};
 use asa_graph::{CsrGraph, Partition};
 use asa_hashsim::{ChainedAccumulator, LinearProbeAccumulator};
 use asa_simarch::accum::FlowAccumulator;
-use asa_simarch::events::phase;
-use asa_simarch::machine::block_partition;
-use asa_simarch::{CoreModel, KernelReport, MachineConfig};
+use asa_simarch::events::{phase, EventSink};
+use asa_simarch::machine::block_partition_into;
+use asa_simarch::pipeline::SimPipeline;
+use asa_simarch::trace::{BatchedCore, TraceBuf, TraceCapture};
+use asa_simarch::{CoreModel, KernelReport, MachineConfig, SimPipelineConfig};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +68,41 @@ impl Device {
     }
 }
 
+/// How micro-events reach the simulated cores.
+///
+/// All three modes produce bit-identical [`SimulatedRun`] counters,
+/// partitions, and codelengths (the trace records the exact event stream
+/// and replay performs the same arithmetic in the same order); they differ
+/// only in *when* the core models run relative to the workload kernel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SimMode {
+    /// Per-event charging: every [`EventSink`] call walks the core model
+    /// inline on the workload thread. The reference path.
+    #[default]
+    Inline,
+    /// Record into per-core SoA trace buffers, replay in blocks through
+    /// [`CoreModel::consume_batch`] on the same thread.
+    Batched {
+        /// Events per replay block.
+        buffer_events: usize,
+    },
+    /// Record into per-core trace buffers shipped to dedicated simulation
+    /// threads ([`SimPipeline`]), overlapping workload compute with
+    /// simulation.
+    Pipelined(SimPipelineConfig),
+}
+
+impl SimMode {
+    /// Display name ("inline", "batched", "pipelined").
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimMode::Inline => "inline",
+            SimMode::Batched { .. } => "batched",
+            SimMode::Pipelined(_) => "pipelined",
+        }
+    }
+}
+
 /// Counters of one simulated sweep (one "iteration").
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepSim {
@@ -100,6 +140,18 @@ pub struct SimulatedRun {
     pub partition: Partition,
     /// Final codelength.
     pub codelength: f64,
+    /// Simulation mode name ("inline", "batched", "pipelined").
+    pub sim_mode: String,
+    /// Micro-events that flowed through trace buffers (0 in inline mode,
+    /// which never materializes events; the stream is identical across
+    /// modes, so a batched run's count serves for all three).
+    pub events: u64,
+    /// Host seconds spent inside the simulation engine: the parallel
+    /// decide (record + replay) plus the per-sweep report barrier. This is
+    /// the denominator of the events/sec throughput metric — it excludes
+    /// the schedule work (move application, coarsening) that is identical
+    /// across modes.
+    pub sim_seconds: f64,
 }
 
 /// Serializable subset of [`AsaStats`] summed over cores.
@@ -200,31 +252,44 @@ impl SimulatedRun {
 }
 
 /// Simulates the full Infomap run on `graph` with the given machine and
-/// device, returning per-sweep and total counters for the
-/// `FindBestCommunity` kernel.
+/// device in the default [`SimMode::Inline`] mode, returning per-sweep and
+/// total counters for the `FindBestCommunity` kernel.
 pub fn simulate_infomap(
     graph: &CsrGraph,
     icfg: &InfomapConfig,
     mcfg: &MachineConfig,
     device: Device,
 ) -> SimulatedRun {
+    simulate_infomap_mode(graph, icfg, mcfg, device, &SimMode::Inline)
+}
+
+/// [`simulate_infomap`] with an explicit [`SimMode`]. All modes return
+/// bit-identical counters; batched/pipelined additionally report event
+/// throughput ([`SimulatedRun::events`], [`SimulatedRun::sim_seconds`]).
+pub fn simulate_infomap_mode(
+    graph: &CsrGraph,
+    icfg: &InfomapConfig,
+    mcfg: &MachineConfig,
+    device: Device,
+    mode: &SimMode,
+) -> SimulatedRun {
     let flow = FlowNetwork::from_graph(graph, icfg);
     match device {
         Device::SoftwareHash => {
             let accs = (0..mcfg.cores).map(|_| ChainedAccumulator::new()).collect();
-            let (run, _) = run_device(flow, icfg, mcfg, device, accs);
+            let (run, _) = run_device(flow, icfg, mcfg, device, mode, accs);
             run
         }
         Device::LinearProbe => {
             let accs = (0..mcfg.cores)
                 .map(|_| LinearProbeAccumulator::new())
                 .collect();
-            let (run, _) = run_device(flow, icfg, mcfg, device, accs);
+            let (run, _) = run_device(flow, icfg, mcfg, device, mode, accs);
             run
         }
         Device::Asa(cfg) => {
             let accs = (0..mcfg.cores).map(|_| AsaAccumulator::new(cfg)).collect();
-            let (mut run, accs) = run_device(flow, icfg, mcfg, device, accs);
+            let (mut run, accs) = run_device(flow, icfg, mcfg, device, mode, accs);
             let mut total = AsaStats::default();
             for a in &accs {
                 let s = a.stats();
@@ -289,42 +354,60 @@ pub fn native_infomap(
     }
 }
 
+/// Runs the per-core decide loop in parallel: rank `i` evaluates
+/// `active[ranges[i]]` against its private accumulator and event sink.
+/// Shared by the native engine (null sinks) and every [`SimMode`] arm of
+/// the simulated engine (core models, batched cores, pipeline pipes).
+fn decide_parallel<A: FlowAccumulator + Send, S: EventSink + Send>(
+    ctx: &SweepCtx<'_>,
+    ranges: &[Range<usize>],
+    sinks: &mut [S],
+    accs: &mut [A],
+    scratches: &mut [FindBestScratch],
+    outs: &mut [Vec<MoveDecision>],
+) {
+    let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+    sinks
+        .par_iter_mut()
+        .zip(accs.par_iter_mut())
+        .zip(scratches.par_iter_mut())
+        .zip(outs.par_iter_mut())
+        .enumerate()
+        .for_each(|(i, (((sink, acc), scratch), out))| {
+            out.clear();
+            decide_range(
+                flow,
+                labels,
+                state,
+                &active[ranges[i].clone()],
+                acc,
+                sink,
+                scratch,
+                out,
+            );
+        });
+}
+
 /// Native engine: one host thread per emulated core, null event sinks,
 /// per-sweep wall-clock recorded by the schedule callback.
 struct NativeEngine<A> {
     pool: rayon::ThreadPool,
     accs: Vec<A>,
+    sinks: Vec<asa_simarch::NullSink>,
     scratches: Vec<FindBestScratch>,
     outs: Vec<Vec<MoveDecision>>,
+    ranges: Vec<Range<usize>>,
     sweep_seconds: Vec<f64>,
     sweep_active: Vec<usize>,
 }
 
 impl<A: FlowAccumulator + Send> DecideEngine for NativeEngine<A> {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
-        let ranges = block_partition(ctx.active.len(), self.accs.len());
-        let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+        block_partition_into(ctx.active.len(), self.accs.len(), &mut self.ranges);
+        let (ranges, sinks) = (&self.ranges, &mut self.sinks);
         let (accs, scratches, outs) = (&mut self.accs, &mut self.scratches, &mut self.outs);
-        self.pool.install(|| {
-            accs.par_iter_mut()
-                .zip(scratches.par_iter_mut())
-                .zip(outs.par_iter_mut())
-                .enumerate()
-                .for_each(|(i, ((acc, scratch), out))| {
-                    out.clear();
-                    let mut sink = asa_simarch::events::NullSink;
-                    decide_range(
-                        flow,
-                        labels,
-                        state,
-                        &active[ranges[i].clone()],
-                        acc,
-                        &mut sink,
-                        scratch,
-                        out,
-                    );
-                });
-        });
+        self.pool
+            .install(|| decide_parallel(ctx, ranges, sinks, accs, scratches, outs));
         concat_decisions(outs)
     }
 
@@ -351,10 +434,12 @@ fn native_device<A: FlowAccumulator + Send>(
         .expect("thread pool");
     let mut engine = NativeEngine {
         pool,
+        sinks: vec![asa_simarch::NullSink; accs.len()],
         scratches: (0..accs.len())
             .map(|_| FindBestScratch::default())
             .collect(),
         outs: vec![Vec::new(); accs.len()],
+        ranges: Vec::with_capacity(accs.len()),
         accs,
         sweep_seconds: Vec::new(),
         sweep_active: Vec::new(),
@@ -368,41 +453,188 @@ fn native_device<A: FlowAccumulator + Send>(
     }
 }
 
+/// Trace-capture engine: the identical kernel schedule driven through
+/// chunked recording sinks, no core models attached.
+struct CaptureEngine<A> {
+    pool: rayon::ThreadPool,
+    accs: Vec<A>,
+    sinks: Vec<TraceCapture>,
+    scratches: Vec<FindBestScratch>,
+    outs: Vec<Vec<MoveDecision>>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl<A: FlowAccumulator + Send> DecideEngine for CaptureEngine<A> {
+    fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
+        block_partition_into(ctx.active.len(), self.accs.len(), &mut self.ranges);
+        let (ranges, sinks) = (&self.ranges, &mut self.sinks);
+        let (accs, scratches, outs) = (&mut self.accs, &mut self.scratches, &mut self.outs);
+        self.pool
+            .install(|| decide_parallel(ctx, ranges, sinks, accs, scratches, outs));
+        concat_decisions(outs)
+    }
+}
+
+/// Captures a prefix of each emulated core's micro-event stream from the
+/// identical kernel schedule: up to `limit_events` events per core, in
+/// [`TraceBuf`] chunks of `chunk_events`. Benches replay the captured
+/// buffers through both simulation paths to time the replay kernels on
+/// the real workload stream, outside the engine.
+pub fn capture_trace(
+    graph: &CsrGraph,
+    icfg: &InfomapConfig,
+    cores: usize,
+    device: Device,
+    chunk_events: usize,
+    limit_events: usize,
+) -> Vec<Vec<TraceBuf>> {
+    let flow = FlowNetwork::from_graph(graph, icfg);
+    let sinks = (0..cores)
+        .map(|_| TraceCapture::new(chunk_events, limit_events))
+        .collect();
+    match device {
+        Device::SoftwareHash => capture_device(
+            flow,
+            icfg,
+            sinks,
+            (0..cores).map(|_| ChainedAccumulator::new()).collect(),
+        ),
+        Device::LinearProbe => capture_device(
+            flow,
+            icfg,
+            sinks,
+            (0..cores).map(|_| LinearProbeAccumulator::new()).collect(),
+        ),
+        Device::Asa(cfg) => capture_device(
+            flow,
+            icfg,
+            sinks,
+            (0..cores).map(|_| AsaAccumulator::new(cfg)).collect(),
+        ),
+    }
+}
+
+fn capture_device<A: FlowAccumulator + Send>(
+    flow: FlowNetwork,
+    icfg: &InfomapConfig,
+    sinks: Vec<TraceCapture>,
+    accs: Vec<A>,
+) -> Vec<Vec<TraceBuf>> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(accs.len())
+        .build()
+        .expect("thread pool");
+    let mut engine = CaptureEngine {
+        pool,
+        sinks,
+        scratches: (0..accs.len())
+            .map(|_| FindBestScratch::default())
+            .collect(),
+        outs: vec![Vec::new(); accs.len()],
+        ranges: Vec::with_capacity(accs.len()),
+        accs,
+    };
+    optimize_multilevel(&flow, icfg, &mut engine);
+    engine
+        .sinks
+        .into_iter()
+        .map(TraceCapture::into_bufs)
+        .collect()
+}
+
+/// The per-core simulation state behind a [`SimMode`]: who owns the core
+/// models and how events reach them. Allocated once per run and reused
+/// across every sweep and hierarchy level (no per-kernel reallocation).
+enum CoreBackend {
+    /// Core models charged inline on the workload threads.
+    Inline(Vec<CoreModel>),
+    /// Core models behind same-thread trace buffers.
+    Batched(Vec<BatchedCore>),
+    /// Core models owned by dedicated simulation threads.
+    Pipelined(SimPipeline),
+}
+
+impl CoreBackend {
+    fn new(mcfg: &MachineConfig, mode: &SimMode) -> Self {
+        match mode {
+            SimMode::Inline => {
+                CoreBackend::Inline((0..mcfg.cores).map(|_| CoreModel::new(mcfg)).collect())
+            }
+            SimMode::Batched { buffer_events } => CoreBackend::Batched(
+                (0..mcfg.cores)
+                    .map(|_| BatchedCore::new(CoreModel::new(mcfg), *buffer_events))
+                    .collect(),
+            ),
+            SimMode::Pipelined(pcfg) => CoreBackend::Pipelined(SimPipeline::new(mcfg, pcfg)),
+        }
+    }
+
+    fn num_cores(&self) -> usize {
+        match self {
+            CoreBackend::Inline(cores) => cores.len(),
+            CoreBackend::Batched(cores) => cores.len(),
+            CoreBackend::Pipelined(pipeline) => pipeline.num_cores(),
+        }
+    }
+
+    /// Events that flowed through trace buffers (0 for inline).
+    fn events(&self) -> u64 {
+        match self {
+            CoreBackend::Inline(_) => 0,
+            CoreBackend::Batched(cores) => cores.iter().map(BatchedCore::events).sum(),
+            CoreBackend::Pipelined(pipeline) => pipeline.events(),
+        }
+    }
+
+    /// Sweep barrier: drains any buffered events and returns each core's
+    /// per-phase reports (resetting them), in core order.
+    fn barrier_phase_reports(&mut self) -> Vec<[KernelReport; phase::COUNT]> {
+        match self {
+            CoreBackend::Inline(cores) => cores
+                .iter_mut()
+                .map(CoreModel::take_phase_reports)
+                .collect(),
+            CoreBackend::Batched(cores) => cores
+                .iter_mut()
+                .map(BatchedCore::take_phase_reports)
+                .collect(),
+            CoreBackend::Pipelined(pipeline) => pipeline.barrier_phase_reports(),
+        }
+    }
+}
+
 /// Simulated engine: each emulated core decides its share of the active
-/// set against its private [`CoreModel`] and accumulation device; per-sweep
-/// counters are collected at the schedule's barrier callback.
+/// set against its private accumulation device, with micro-events reaching
+/// the core models through the mode's [`CoreBackend`]; per-sweep counters
+/// are collected at the schedule's barrier callback.
 struct SimEngine<A> {
-    cores: Vec<CoreModel>,
+    backend: CoreBackend,
     accs: Vec<A>,
     scratches: Vec<FindBestScratch>,
     outs: Vec<Vec<MoveDecision>>,
+    ranges: Vec<Range<usize>>,
     sweeps: Vec<SweepSim>,
+    sim_seconds: f64,
 }
 
 impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
-        let ranges = block_partition(ctx.active.len(), self.cores.len());
-        let (flow, labels, state, active) = (ctx.flow, ctx.labels, ctx.state, ctx.active);
+        block_partition_into(ctx.active.len(), self.backend.num_cores(), &mut self.ranges);
+        let start = Instant::now();
+        let (ranges, accs) = (&self.ranges, &mut self.accs);
         let (scratches, outs) = (&mut self.scratches, &mut self.outs);
-        self.cores
-            .par_iter_mut()
-            .zip(self.accs.par_iter_mut())
-            .zip(scratches.par_iter_mut())
-            .zip(outs.par_iter_mut())
-            .enumerate()
-            .for_each(|(i, (((core, acc), scratch), out))| {
-                out.clear();
-                decide_range(
-                    flow,
-                    labels,
-                    state,
-                    &active[ranges[i].clone()],
-                    acc,
-                    core,
-                    scratch,
-                    out,
-                );
-            });
+        match &mut self.backend {
+            CoreBackend::Inline(cores) => {
+                decide_parallel(ctx, ranges, cores, accs, scratches, outs)
+            }
+            CoreBackend::Batched(cores) => {
+                decide_parallel(ctx, ranges, cores, accs, scratches, outs)
+            }
+            CoreBackend::Pipelined(pipeline) => {
+                decide_parallel(ctx, ranges, pipeline.pipes_mut(), accs, scratches, outs)
+            }
+        }
+        self.sim_seconds += start.elapsed().as_secs_f64();
         concat_decisions(outs)
     }
 
@@ -413,15 +645,19 @@ impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
         _elapsed: std::time::Duration,
     ) {
         // Barrier: collect and reset every core's counters for this sweep.
-        let mut per_core = Vec::with_capacity(self.cores.len());
+        // Called *after* the host applies the sweep's moves, so pipelined
+        // simulation threads drain their tails while the host works.
+        let start = Instant::now();
+        let reports = self.backend.barrier_phase_reports();
+        let mut per_core = Vec::with_capacity(reports.len());
         let mut phases: [KernelReport; phase::COUNT] = Default::default();
-        for core in self.cores.iter_mut() {
-            let p = core.take_phase_reports();
+        for p in &reports {
             per_core.push(KernelReport::sum(p.iter()));
             for (agg, part) in phases.iter_mut().zip(p.iter()) {
                 agg.merge(part);
             }
         }
+        self.sim_seconds += start.elapsed().as_secs_f64();
         let combined = KernelReport::parallel(per_core.iter());
         self.sweeps.push(SweepSim {
             level: ctx.level,
@@ -439,16 +675,19 @@ fn run_device<A: FlowAccumulator + Send>(
     icfg: &InfomapConfig,
     mcfg: &MachineConfig,
     device: Device,
+    mode: &SimMode,
     accs: Vec<A>,
 ) -> (SimulatedRun, Vec<A>) {
     let mut engine = SimEngine {
-        cores: (0..mcfg.cores).map(|_| CoreModel::new(mcfg)).collect(),
+        backend: CoreBackend::new(mcfg, mode),
         scratches: (0..mcfg.cores)
             .map(|_| FindBestScratch::default())
             .collect(),
         outs: vec![Vec::new(); mcfg.cores],
+        ranges: Vec::with_capacity(mcfg.cores),
         accs,
         sweeps: Vec::new(),
+        sim_seconds: 0.0,
     };
     let outcome = optimize_multilevel(&flow, icfg, &mut engine);
 
@@ -471,6 +710,9 @@ fn run_device<A: FlowAccumulator + Send>(
             asa_stats: None,
             partition: outcome.partition,
             codelength: outcome.codelength,
+            sim_mode: mode.name().to_string(),
+            events: engine.backend.events(),
+            sim_seconds: engine.sim_seconds,
         },
         engine.accs,
     )
@@ -492,6 +734,96 @@ mod tests {
             13,
         )
         .0
+    }
+
+    fn assert_report_bitwise(a: &KernelReport, b: &KernelReport, what: &str) {
+        assert_eq!(a.instructions, b.instructions, "{what}: instructions");
+        assert_eq!(a.branches, b.branches, "{what}: branches");
+        assert_eq!(a.mispredictions, b.mispredictions, "{what}: mispredictions");
+        assert_eq!(a.loads, b.loads, "{what}: loads");
+        assert_eq!(a.stores, b.stores, "{what}: stores");
+        assert_eq!(a.l1_misses, b.l1_misses, "{what}: l1_misses");
+        assert_eq!(a.l2_misses, b.l2_misses, "{what}: l2_misses");
+        assert_eq!(a.l3_misses, b.l3_misses, "{what}: l3_misses");
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "{what}: cycles");
+    }
+
+    /// Every counter the run reports — totals, per-phase totals, and every
+    /// sweep's per-core reports — plus the answer itself must be
+    /// bit-identical between two modes.
+    fn assert_runs_bitwise(a: &SimulatedRun, b: &SimulatedRun) {
+        let what = format!("{} vs {}", a.sim_mode, b.sim_mode);
+        assert_eq!(a.partition.labels(), b.partition.labels(), "{what}");
+        assert_eq!(
+            a.codelength.to_bits(),
+            b.codelength.to_bits(),
+            "{what}: codelength"
+        );
+        assert_report_bitwise(&a.total, &b.total, &format!("{what}: total"));
+        for (p, (ra, rb)) in a.phase_totals.iter().zip(b.phase_totals.iter()).enumerate() {
+            assert_report_bitwise(ra, rb, &format!("{what}: phase {p}"));
+        }
+        assert_eq!(a.sweeps.len(), b.sweeps.len(), "{what}: sweep count");
+        for (sa, sb) in a.sweeps.iter().zip(b.sweeps.iter()) {
+            assert_eq!(
+                (sa.level, sa.sweep, sa.active),
+                (sb.level, sb.sweep, sb.active)
+            );
+            for (c, (ra, rb)) in sa.per_core.iter().zip(sb.per_core.iter()).enumerate() {
+                assert_report_bitwise(
+                    ra,
+                    rb,
+                    &format!("{what}: level {} sweep {} core {c}", sa.level, sa.sweep),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_pipelined_match_inline_bitwise() {
+        let g = asa_graph::generators::lfr_benchmark(
+            &asa_graph::generators::LfrConfig {
+                n: 250,
+                ..Default::default()
+            },
+            29,
+        )
+        .graph;
+        let icfg = InfomapConfig::default();
+        let mcfg = MachineConfig::baseline(3);
+        // Tiny buffers and a 2-thread pipeline with minimal double
+        // buffering: many batch splits, multi-seat workers, and real
+        // backpressure stalls — the result must not change at all.
+        let modes = [
+            SimMode::Inline,
+            SimMode::Batched { buffer_events: 256 },
+            SimMode::Pipelined(SimPipelineConfig {
+                buffer_events: 256,
+                buffers_per_core: 2,
+                sim_threads: 2,
+            }),
+        ];
+        for device in [
+            Device::SoftwareHash,
+            // 4-entry CAM: overflow phases and dependent-load toggles get
+            // exercised as in-stream markers.
+            Device::Asa(AsaConfig {
+                cam_bytes: 64,
+                entry_bytes: 16,
+                ..AsaConfig::paper_default()
+            }),
+        ] {
+            let runs: Vec<SimulatedRun> = modes
+                .iter()
+                .map(|m| simulate_infomap_mode(&g, &icfg, &mcfg, device, m))
+                .collect();
+            assert_runs_bitwise(&runs[0], &runs[1]);
+            assert_runs_bitwise(&runs[0], &runs[2]);
+            // Batched and pipelined recorded the same event stream.
+            assert_eq!(runs[0].events, 0, "inline records no trace events");
+            assert!(runs[1].events > 0);
+            assert_eq!(runs[1].events, runs[2].events);
+        }
     }
 
     #[test]

@@ -72,17 +72,17 @@ impl BranchPredictor {
     pub fn resolve(&mut self, site: u32, taken: bool) -> bool {
         let idx = self.index(site);
         let counter = &mut self.table[idx];
-        let predicted_taken = *counter >= 2;
+        let c = *counter;
+        let predicted_taken = c >= 2;
         let mispredicted = predicted_taken != taken;
 
-        // Saturating 2-bit update.
-        if taken {
-            if *counter < 3 {
-                *counter += 1;
-            }
-        } else if *counter > 0 {
-            *counter -= 1;
-        }
+        // Saturating 2-bit update, branchless: the outcome-dependent
+        // select compiles to a conditional move, so noisy data-dependent
+        // branches (the streams this predictor exists to model) don't
+        // also thrash the *host's* predictor.
+        let up = c + u8::from(c < 3);
+        let down = c - u8::from(c > 0);
+        *counter = if taken { up } else { down };
         if self.kind == PredictorKind::Gshare {
             self.history = ((self.history << 1) | taken as u32) & self.history_mask;
         }

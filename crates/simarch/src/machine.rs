@@ -68,17 +68,26 @@ impl MachineModel {
 /// Contiguous block partition of `0..n` into `parts` ranges whose sizes
 /// differ by at most one.
 pub fn block_partition(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::with_capacity(parts);
+    block_partition_into(n, parts, &mut ranges);
+    ranges
+}
+
+/// [`block_partition`] into a caller-owned vector, so per-sweep callers
+/// (the instrumented engines re-partition the shrinking active set every
+/// sweep) reuse one allocation instead of building a fresh `Vec` each time.
+pub fn block_partition_into(n: usize, parts: usize, out: &mut Vec<std::ops::Range<usize>>) {
     assert!(parts > 0);
+    out.clear();
+    out.reserve(parts);
     let base = n / parts;
     let extra = n % parts;
-    let mut ranges = Vec::with_capacity(parts);
     let mut start = 0usize;
     for i in 0..parts {
         let len = base + usize::from(i < extra);
-        ranges.push(start..start + len);
+        out.push(start..start + len);
         start += len;
     }
-    ranges
 }
 
 #[cfg(test)]
@@ -92,6 +101,17 @@ mod tests {
         assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
         let total: usize = ranges.iter().map(|r| r.len()).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn partition_into_reuses_allocation() {
+        let mut ranges = Vec::new();
+        block_partition_into(10, 3, &mut ranges);
+        assert_eq!(ranges, block_partition(10, 3));
+        let ptr = ranges.as_ptr();
+        block_partition_into(7, 3, &mut ranges);
+        assert_eq!(ranges, block_partition(7, 3));
+        assert_eq!(ranges.as_ptr(), ptr);
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! SoA micro-event traces: record now, simulate later.
+//!
+//! The per-event path charges every [`EventSink`] call through the full
+//! [`CoreModel`] inline on the workload thread, interleaving the kernel's
+//! own memory traffic with the simulator's predictor and tag-array state.
+//! This module decouples the two the way the paper's Pin + ZSim setup does
+//! with buffered traces (Section II-E): instrumented components record
+//! into a [`TraceBuf`] — a structure-of-arrays event buffer holding one
+//! dense opcode byte and one 64-bit argument per event — and
+//! [`CoreModel::consume_batch`] later replays whole blocks through a
+//! branch-light dispatch loop, producing reports that are bit-identical
+//! to the per-event path (the equivalence tests assert this down to the
+//! f64 cycle bits).
+//!
+//! Phase changes and dependent-load toggles are *markers in the stream*
+//! (opcodes [`opcode::SET_PHASE`] / [`opcode::SET_DEPENDENT`]), so replay
+//! attributes every event to the same phase with the same load semantics
+//! as inline charging, even when a buffer is split at an arbitrary event
+//! boundary.
+
+use crate::core::CoreModel;
+use crate::events::{phase, EventSink, InstrClass};
+use crate::report::KernelReport;
+
+/// Dense opcodes for [`TraceBuf`] events.
+///
+/// Values `0..=6` are [`InstrClass::index`] values recorded directly, so
+/// instruction events dispatch without a translation table; the remaining
+/// opcodes follow contiguously.
+pub mod opcode {
+    /// Highest opcode that is an [`super::InstrClass`] index (argument =
+    /// instruction count).
+    pub const INSTR_MAX: u8 = 6;
+    /// Conditional branch; argument = `site << 1 | taken`.
+    pub const BRANCH: u8 = 7;
+    /// Load; argument = synthetic address.
+    pub const READ: u8 = 8;
+    /// Store; argument = synthetic address.
+    pub const WRITE: u8 = 9;
+    /// Dependent-load toggle marker; argument = 0 or 1.
+    pub const SET_DEPENDENT: u8 = 10;
+    /// Attribution-phase marker; argument = phase index.
+    pub const SET_PHASE: u8 = 11;
+}
+
+/// Structure-of-arrays event buffer: parallel `ops`/`args` vectors, one
+/// entry per event. Recording is two vector pushes; `clear` keeps the
+/// allocations so buffers recycle without reallocation.
+///
+/// `TraceBuf` itself implements [`EventSink`], so any instrumented
+/// component generic over a sink records into it unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuf {
+    ops: Vec<u8>,
+    args: Vec<u64>,
+}
+
+/// The recording sink of the batched trace pipeline. A [`TraceBuf`] *is*
+/// the sink: alias kept so call sites read as "record into the trace
+/// sink".
+pub type TraceSink = TraceBuf;
+
+impl TraceBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with room for `events` events.
+    pub fn with_capacity(events: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(events),
+            args: Vec::with_capacity(events),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drops all events, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.args.clear();
+    }
+
+    /// The opcode array (parallel to [`Self::args`]).
+    pub fn ops(&self) -> &[u8] {
+        &self.ops
+    }
+
+    /// The argument array (parallel to [`Self::ops`]).
+    pub fn args(&self) -> &[u64] {
+        &self.args
+    }
+
+    #[inline]
+    fn push(&mut self, op: u8, arg: u64) {
+        self.ops.push(op);
+        self.args.push(arg);
+    }
+
+    /// Decodes every event and feeds it through `sink`'s per-event
+    /// methods, in recording order.
+    ///
+    /// This is the *reference* replay: driving a [`CoreModel`] through it
+    /// must — and the equivalence tests check it does — produce reports
+    /// bit-identical to [`CoreModel::consume_batch`] on the same buffer.
+    pub fn replay_per_event<S: EventSink>(&self, sink: &mut S) {
+        for (&op, &arg) in self.ops.iter().zip(&self.args) {
+            match op {
+                opcode::BRANCH => sink.branch((arg >> 1) as u32, arg & 1 == 1),
+                opcode::READ => sink.mem_read(arg),
+                opcode::WRITE => sink.mem_write(arg),
+                opcode::SET_DEPENDENT => sink.set_dependent(arg != 0),
+                opcode::SET_PHASE => sink.set_phase(arg as usize),
+                class => sink.instr(InstrClass::ALL[class as usize], arg),
+            }
+        }
+    }
+}
+
+impl EventSink for TraceBuf {
+    #[inline]
+    fn instr(&mut self, class: InstrClass, count: u64) {
+        self.push(class.index() as u8, count);
+    }
+
+    #[inline]
+    fn branch(&mut self, site: u32, taken: bool) {
+        self.push(opcode::BRANCH, (u64::from(site) << 1) | u64::from(taken));
+    }
+
+    #[inline]
+    fn mem_read(&mut self, addr: u64) {
+        self.push(opcode::READ, addr);
+    }
+
+    #[inline]
+    fn mem_write(&mut self, addr: u64) {
+        self.push(opcode::WRITE, addr);
+    }
+
+    #[inline]
+    fn set_dependent(&mut self, dependent: bool) {
+        self.push(opcode::SET_DEPENDENT, u64::from(dependent));
+    }
+
+    #[inline]
+    fn set_phase(&mut self, p: usize) {
+        self.push(opcode::SET_PHASE, p as u64);
+    }
+}
+
+/// Records an event stream into a sequence of fixed-size [`TraceBuf`]
+/// chunks, up to a per-capture event limit (events past the limit are
+/// dropped). Benches use this to capture a prefix of a real workload's
+/// stream once and then time both replay paths on identical buffers.
+#[derive(Debug, Default)]
+pub struct TraceCapture {
+    bufs: Vec<TraceBuf>,
+    chunk: usize,
+    remaining: usize,
+}
+
+impl TraceCapture {
+    /// Captures up to `limit` events in chunks of `chunk` events.
+    pub fn new(chunk: usize, limit: usize) -> Self {
+        Self {
+            bufs: Vec::new(),
+            chunk: chunk.max(1),
+            remaining: limit,
+        }
+    }
+
+    /// The captured chunks, in recording order.
+    pub fn bufs(&self) -> &[TraceBuf] {
+        &self.bufs
+    }
+
+    /// Consumes the capture, yielding the chunks without copying.
+    pub fn into_bufs(self) -> Vec<TraceBuf> {
+        self.bufs
+    }
+
+    /// Total events captured (excludes events dropped past the limit).
+    pub fn captured(&self) -> usize {
+        self.bufs.iter().map(TraceBuf::len).sum()
+    }
+
+    #[inline]
+    fn tail(&mut self) -> Option<&mut TraceBuf> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.bufs.last().is_none_or(|b| b.len() >= self.chunk) {
+            self.bufs.push(TraceBuf::with_capacity(self.chunk));
+        }
+        self.bufs.last_mut()
+    }
+}
+
+impl EventSink for TraceCapture {
+    #[inline]
+    fn instr(&mut self, class: InstrClass, count: u64) {
+        if let Some(b) = self.tail() {
+            b.instr(class, count);
+        }
+    }
+
+    #[inline]
+    fn branch(&mut self, site: u32, taken: bool) {
+        if let Some(b) = self.tail() {
+            b.branch(site, taken);
+        }
+    }
+
+    #[inline]
+    fn mem_read(&mut self, addr: u64) {
+        if let Some(b) = self.tail() {
+            b.mem_read(addr);
+        }
+    }
+
+    #[inline]
+    fn mem_write(&mut self, addr: u64) {
+        if let Some(b) = self.tail() {
+            b.mem_write(addr);
+        }
+    }
+
+    #[inline]
+    fn set_dependent(&mut self, dependent: bool) {
+        if let Some(b) = self.tail() {
+            b.set_dependent(dependent);
+        }
+    }
+
+    #[inline]
+    fn set_phase(&mut self, p: usize) {
+        if let Some(b) = self.tail() {
+            b.set_phase(p);
+        }
+    }
+}
+
+/// A [`CoreModel`] fronted by a [`TraceBuf`]: events are recorded, then
+/// replayed through [`CoreModel::consume_batch`] whenever the buffer
+/// reaches `capacity` — record and replay on the *same* thread. This is
+/// the non-overlapped batched mode; the overlapped variant lives in
+/// [`crate::pipeline`].
+#[derive(Debug)]
+pub struct BatchedCore {
+    core: CoreModel,
+    buf: TraceBuf,
+    capacity: usize,
+    events: u64,
+}
+
+impl BatchedCore {
+    /// Wraps `core`, replaying in blocks of `capacity` events.
+    pub fn new(core: CoreModel, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            core,
+            buf: TraceBuf::with_capacity(capacity),
+            capacity,
+            events: 0,
+        }
+    }
+
+    /// Replays and clears any buffered events.
+    pub fn drain(&mut self) {
+        if !self.buf.is_empty() {
+            self.events += self.buf.len() as u64;
+            self.core.consume_batch(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Total events recorded so far (drained or still buffered).
+    pub fn events(&self) -> u64 {
+        self.events + self.buf.len() as u64
+    }
+
+    /// The wrapped core, with all buffered events applied first.
+    pub fn core_mut(&mut self) -> &mut CoreModel {
+        self.drain();
+        &mut self.core
+    }
+
+    /// Drains, then takes the core's per-phase reports (resetting its
+    /// counters, like [`CoreModel::take_phase_reports`]).
+    pub fn take_phase_reports(&mut self) -> [KernelReport; phase::COUNT] {
+        self.drain();
+        self.core.take_phase_reports()
+    }
+
+    #[inline]
+    fn maybe_drain(&mut self) {
+        if self.buf.len() >= self.capacity {
+            self.drain();
+        }
+    }
+}
+
+impl EventSink for BatchedCore {
+    #[inline]
+    fn instr(&mut self, class: InstrClass, count: u64) {
+        self.buf.instr(class, count);
+        self.maybe_drain();
+    }
+
+    #[inline]
+    fn branch(&mut self, site: u32, taken: bool) {
+        self.buf.branch(site, taken);
+        self.maybe_drain();
+    }
+
+    #[inline]
+    fn mem_read(&mut self, addr: u64) {
+        self.buf.mem_read(addr);
+        self.maybe_drain();
+    }
+
+    #[inline]
+    fn mem_write(&mut self, addr: u64) {
+        self.buf.mem_write(addr);
+        self.maybe_drain();
+    }
+
+    #[inline]
+    fn set_dependent(&mut self, dependent: bool) {
+        self.buf.set_dependent(dependent);
+        self.maybe_drain();
+    }
+
+    #[inline]
+    fn set_phase(&mut self, p: usize) {
+        self.buf.set_phase(p);
+        self.maybe_drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::events::CountingSink;
+
+    #[test]
+    fn roundtrip_preserves_every_event() {
+        let mut buf = TraceBuf::new();
+        buf.instr(InstrClass::Float, 16);
+        buf.branch(0x301, true);
+        buf.branch(0x301, false);
+        buf.mem_read(0x2000_0040);
+        buf.mem_write(0x2000_0040);
+        buf.set_dependent(true);
+        buf.set_phase(phase::HASH);
+        assert_eq!(buf.len(), 7);
+
+        let mut direct = CountingSink::default();
+        direct.instr(InstrClass::Float, 16);
+        direct.branch(0x301, true);
+        direct.branch(0x301, false);
+        direct.mem_read(0x2000_0040);
+        direct.mem_write(0x2000_0040);
+
+        let mut replayed = CountingSink::default();
+        buf.replay_per_event(&mut replayed);
+        assert_eq!(replayed.instr, direct.instr);
+        assert_eq!(replayed.branches, direct.branches);
+        assert_eq!(replayed.taken, direct.taken);
+        assert_eq!(replayed.reads, direct.reads);
+        assert_eq!(replayed.writes, direct.writes);
+    }
+
+    #[test]
+    fn branch_packing_covers_full_site_range() {
+        let mut buf = TraceBuf::new();
+        buf.branch(u32::MAX, true);
+        buf.branch(0, false);
+        assert_eq!(buf.args()[0], (u64::from(u32::MAX) << 1) | 1);
+        assert_eq!(buf.args()[1], 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = TraceBuf::with_capacity(64);
+        for i in 0..64 {
+            buf.mem_read(i);
+        }
+        let cap = buf.ops.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.ops.capacity(), cap);
+    }
+
+    #[test]
+    fn batched_core_drains_at_capacity() {
+        let cfg = MachineConfig::baseline(1);
+        let mut batched = BatchedCore::new(CoreModel::new(&cfg), 4);
+        for i in 0..10u64 {
+            batched.mem_read(i * 64);
+        }
+        // Two full blocks replayed, two events still buffered.
+        assert_eq!(batched.events(), 10);
+        assert_eq!(batched.buf.len(), 2);
+        assert_eq!(batched.core_mut().report().loads, 10);
+    }
+}
