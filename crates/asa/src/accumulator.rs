@@ -68,6 +68,20 @@ pub struct AsaAccumulator {
     overflow: Vec<(u32, f64)>,
     stats: AsaStats,
     scratch: Vec<(u32, f64)>,
+    obs: Option<AsaObs>,
+}
+
+/// Device telemetry: distributions sampled at every gather plus an
+/// eviction counter, shared by all units of a run (striped atomics).
+#[derive(Debug, Clone)]
+struct AsaObs {
+    /// CAM entries streamed out per gather — the occupancy histogram the
+    /// paper's coverage analysis is built on.
+    cam_occupancy: asa_obs::Hist,
+    /// Overflow-queue depth at gather time.
+    overflow_depth: asa_obs::Hist,
+    /// LRU/FIFO evictions into the overflow queue.
+    evictions: asa_obs::Counter,
 }
 
 impl AsaAccumulator {
@@ -78,7 +92,19 @@ impl AsaAccumulator {
             overflow: Vec::new(),
             stats: AsaStats::default(),
             scratch: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches device telemetry (`asa.cam_occupancy`, `asa.overflow_depth`
+    /// histograms and the `asa.evictions` counter). A disabled `obs` leaves
+    /// the unit untouched; simulated event charging never changes either way.
+    pub fn attach_obs(&mut self, obs: &asa_obs::Obs) {
+        self.obs = obs.enabled().then(|| AsaObs {
+            cam_occupancy: obs.hist("asa.cam_occupancy"),
+            overflow_depth: obs.hist("asa.overflow_depth"),
+            evictions: obs.counter("asa.evictions"),
+        });
     }
 
     /// Builds the paper's default 8 KB unit.
@@ -202,6 +228,9 @@ impl FlowAccumulator for AsaAccumulator {
             CamOutcome::Insert => self.stats.inserts += 1,
             CamOutcome::Evict(k, v) => {
                 self.stats.evictions += 1;
+                if let Some(obs) = &self.obs {
+                    obs.evictions.incr();
+                }
                 // The device streams the spilled pair to the queue buffer in
                 // memory; charge the store.
                 sink.mem_write(OVERFLOW_BASE + self.overflow.len() as u64 * PAIR_BYTES);
@@ -220,6 +249,10 @@ impl FlowAccumulator for AsaAccumulator {
         // one store per entry.
         self.scratch.clear();
         self.cam.drain_into(&mut self.scratch);
+        if let Some(obs) = &self.obs {
+            obs.cam_occupancy.record(self.scratch.len() as u64);
+            obs.overflow_depth.record(self.overflow.len() as u64);
+        }
         for (i, pair) in self.scratch.iter().enumerate() {
             sink.instr(InstrClass::AsaGather, 1);
             sink.mem_write(GATHER_BASE + i as u64 * PAIR_BYTES);

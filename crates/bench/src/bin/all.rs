@@ -3,10 +3,21 @@
 //! `fig*` / `quality` binary yourself; this exists so
 //! `cargo run -p asa-bench --release --bin all | tee results.txt`
 //! regenerates the whole evaluation in one go.
+//!
+//! `--progress` turns on telemetry heartbeats: the driver emits one
+//! summary-sink record per experiment (name, exit, seconds) and exports
+//! `ASA_PROGRESS=1` so every child binary streams its own per-sweep
+//! heartbeat lines through its summary sink.
 
 use std::process::Command;
+use std::time::Instant;
+
+use asa_bench::ObsArgs;
+use asa_obs::record;
 
 fn main() {
+    let args = ObsArgs::parse();
+    let obs = args.build();
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let bins = [
@@ -31,12 +42,23 @@ fn main() {
         println!("\n{}", "=".repeat(72));
         println!("== {bin}");
         println!("{}\n", "=".repeat(72));
-        let status = Command::new(dir.join(bin))
+        let t = Instant::now();
+        let mut cmd = Command::new(dir.join(bin));
+        if args.progress {
+            cmd.env("ASA_PROGRESS", "1");
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        record!(obs, "experiment", {
+            "bin": bin,
+            "ok": status.success(),
+            "seconds": t.elapsed().as_secs_f64(),
+        });
         if !status.success() {
             eprintln!("experiment {bin} failed with {status}");
             std::process::exit(1);
         }
     }
+    let _ = obs.flush();
 }

@@ -9,11 +9,25 @@
 //! Writes `BENCH_hostperf.json` into the working directory (override with
 //! `ASA_HOSTPERF_OUT`); repetitions via `ASA_HOSTPERF_REPS` (default 5,
 //! best-of reported).
+//!
+//! Telemetry: `--obs-out <path>` streams per-sweep convergence records
+//! (sweep index, moves, codelength, ΔL, SPA-vs-hash path, scratch-pool
+//! hit rate) as JSONL and prints the hierarchical phase-time summary at
+//! exit; `--progress` adds per-sweep heartbeat lines on stderr. Both also
+//! respect `ASA_OBS_OUT` / `ASA_PROGRESS=1`.
+//!
+//! `--obs-overhead` runs a dedicated A/B check instead of the bench: the
+//! SPA sweep phase with obs fully disabled versus enabled with a no-op
+//! sink, failing if the instrumented run is more than `ASA_OBS_TOL`
+//! percent slower (default 5). CI runs this as the overhead smoke gate.
 
-use asa_bench::{fmt_secs, infomap_config, load_network, render_table, scale_div};
+use asa_bench::{
+    fmt_secs, infomap_config, load_network, render_table, run_metadata, scale_div, ObsArgs,
+};
 use asa_graph::generators::PaperNetwork;
 use asa_infomap::config::AccumulatorKind;
-use asa_infomap::{detect_communities, InfomapConfig, InfomapResult};
+use asa_infomap::{detect_communities_observed, InfomapConfig, InfomapResult};
+use asa_obs::{record, NullSink, Obs};
 
 fn reps() -> usize {
     std::env::var("ASA_HOSTPERF_REPS")
@@ -32,14 +46,19 @@ struct PathTiming {
     convert: f64,
 }
 
-fn run_path(graph: &asa_graph::CsrGraph, kind: AccumulatorKind, reps: usize) -> PathTiming {
+fn run_path(
+    graph: &asa_graph::CsrGraph,
+    kind: AccumulatorKind,
+    reps: usize,
+    obs: &Obs,
+) -> PathTiming {
     let cfg = InfomapConfig {
         accumulator: kind,
         ..infomap_config()
     };
     let mut best: Option<PathTiming> = None;
     for _ in 0..reps {
-        let result = detect_communities(graph, &cfg);
+        let result = detect_communities_observed(graph, &cfg, obs);
         let t = result.timings;
         let cur = PathTiming {
             pagerank: t.pagerank.as_secs_f64(),
@@ -64,16 +83,67 @@ fn run_path(graph: &asa_graph::CsrGraph, kind: AccumulatorKind, reps: usize) -> 
     best.unwrap()
 }
 
+/// `--obs-overhead`: the disabled path vs an enabled handle draining into
+/// a no-op sink, on the SPA sweep phase. Exits non-zero when the
+/// instrumented sweep is more than the tolerance slower.
+fn obs_overhead_check(reps: usize) {
+    let tol_pct: f64 = std::env::var("ASA_OBS_TOL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let (graph, _) = load_network(PaperNetwork::Dblp);
+
+    // Warm up caches/allocator so neither side pays first-run costs.
+    let _ = run_path(&graph, AccumulatorKind::Spa, 1, &Obs::disabled());
+
+    let off = run_path(&graph, AccumulatorKind::Spa, reps, &Obs::disabled());
+    let noop = Obs::new_enabled();
+    noop.add_sink(Box::new(NullSink));
+    let on = run_path(&graph, AccumulatorKind::Spa, reps, &noop);
+
+    assert_eq!(
+        off.result.partition.labels(),
+        on.result.partition.labels(),
+        "telemetry must not change the answer"
+    );
+    let overhead_pct = (on.find_best / off.find_best - 1.0) * 100.0;
+    println!(
+        "obs overhead on {}-like SPA sweeps (best of {reps}): \
+         disabled {} vs no-op sink {} => {overhead_pct:+.2}% (tolerance {tol_pct}%)",
+        PaperNetwork::Dblp.name(),
+        fmt_secs(off.find_best),
+        fmt_secs(on.find_best),
+    );
+    if overhead_pct > tol_pct {
+        eprintln!("obs overhead {overhead_pct:.2}% exceeds tolerance {tol_pct}%");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let reps = reps();
+    if std::env::args().any(|a| a == "--obs-overhead") {
+        obs_overhead_check(reps);
+        return;
+    }
+    let obs = ObsArgs::parse().build();
+    let _root = obs.span("hostperf");
     let networks = [PaperNetwork::Dblp, PaperNetwork::Pokec];
     let mut rows = Vec::new();
     let mut docs = Vec::new();
 
     for network in networks {
-        let (graph, _) = load_network(network);
-        let hash = run_path(&graph, AccumulatorKind::Hash, reps);
-        let spa = run_path(&graph, AccumulatorKind::Spa, reps);
+        let graph = {
+            let _sp = obs.span("load");
+            load_network(network).0
+        };
+        record!(obs, "network", {
+            "name": network.name(),
+            "nodes": graph.num_nodes(),
+            "arcs": graph.num_arcs(),
+        });
+        let hash = run_path(&graph, AccumulatorKind::Hash, reps, &obs);
+        let spa = run_path(&graph, AccumulatorKind::Spa, reps, &obs);
 
         // Semantics first: the SPA fast path is a pure perf substitution.
         assert_eq!(
@@ -137,9 +207,11 @@ fn main() {
         "bench": "hostperf",
         "scale_div": scale_div(),
         "reps": reps,
-        "threads": "rayon default",
+        "meta": run_metadata("dblp-like+soc-pokec-like", &infomap_config()),
         "networks": docs,
     });
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
     println!("\nwrote {out}");
+    drop(_root);
+    let _ = obs.flush();
 }

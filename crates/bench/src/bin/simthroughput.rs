@@ -38,12 +38,16 @@
 //! (default 4). Pass `--smoke` for a seconds-long CI run on a small
 //! planted graph (1 rep, no throughput floor asserted).
 
-use asa_bench::{fmt_count, fmt_secs, infomap_config, load_network, render_table, scale_div};
+use asa_bench::{
+    fmt_count, fmt_secs, infomap_config, load_network, render_table, run_metadata, scale_div,
+    ObsArgs,
+};
 use asa_graph::generators::{planted_partition, PaperNetwork, PlantedConfig};
 use asa_graph::CsrGraph;
 use asa_infomap::instrumented::{
-    capture_trace, simulate_infomap_mode, Device, SimMode, SimulatedRun,
+    capture_trace, simulate_infomap_obs, Device, SimMode, SimulatedRun,
 };
+use asa_obs::{record, Obs};
 use asa_simarch::events::phase;
 use asa_simarch::{CoreModel, MachineConfig, SimPipelineConfig, TraceBuf};
 
@@ -61,12 +65,18 @@ struct ModeTiming {
     wall_seconds: f64,
 }
 
-fn run_mode(graph: &CsrGraph, mcfg: &MachineConfig, mode: &SimMode, reps: usize) -> ModeTiming {
+fn run_mode(
+    graph: &CsrGraph,
+    mcfg: &MachineConfig,
+    mode: &SimMode,
+    reps: usize,
+    obs: &Obs,
+) -> ModeTiming {
     let icfg = infomap_config();
     let mut best: Option<ModeTiming> = None;
     for _ in 0..reps {
         let start = std::time::Instant::now();
-        let run = simulate_infomap_mode(graph, &icfg, mcfg, Device::SoftwareHash, mode);
+        let run = simulate_infomap_obs(graph, &icfg, mcfg, Device::SoftwareHash, mode, obs);
         let wall_seconds = start.elapsed().as_secs_f64();
         let cur = ModeTiming { run, wall_seconds };
         match &best {
@@ -213,6 +223,8 @@ fn main() {
         env_usize("ASA_SIMTHROUGHPUT_REPS", 3)
     };
     let cores = env_usize("ASA_SIM_CORES", 4);
+    let obs = ObsArgs::parse().build();
+    let _root = obs.span("simthroughput");
 
     let (graph, workload) = if smoke {
         let g = planted_partition(
@@ -248,7 +260,10 @@ fn main() {
 
     let timings: Vec<ModeTiming> = modes
         .iter()
-        .map(|(_, m)| run_mode(&graph, &mcfg, m, reps))
+        .map(|(name, m)| {
+            record!(obs, "mode_start", { "mode": *name, "reps": reps });
+            run_mode(&graph, &mcfg, m, reps, &obs)
+        })
         .collect();
 
     // Semantics before speed: all three modes are the same simulation.
@@ -381,9 +396,12 @@ fn main() {
         "device": "baseline",
         "events": events,
         "identical_modes": true,
+        "meta": run_metadata(&workload, &infomap_config()),
         "modes": docs,
         "kernel": kernel_doc,
     });
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
     println!("\nwrote {out}");
+    drop(_root);
+    let _ = obs.flush();
 }

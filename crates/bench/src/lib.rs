@@ -14,7 +14,11 @@ use asa_graph::generators::{NetworkSpec, PaperNetwork};
 use asa_graph::{CsrGraph, Partition};
 use asa_infomap::instrumented::{simulate_infomap, Device, SimulatedRun};
 use asa_infomap::InfomapConfig;
+use asa_obs::{Obs, ObsConfig};
 use asa_simarch::MachineConfig;
+
+/// Compiler version captured by `build.rs` at compile time.
+pub const RUSTC_VERSION: &str = env!("ASA_RUSTC_VERSION");
 
 /// Reads the workload scale divisor from `ASA_SCALE_DIV` (default 64).
 pub fn scale_div() -> usize {
@@ -65,6 +69,90 @@ pub fn load_network(network: PaperNetwork) -> (CsrGraph, Partition) {
 /// Infomap configuration used across experiments (paper defaults).
 pub fn infomap_config() -> InfomapConfig {
     InfomapConfig::default()
+}
+
+/// FNV-1a 64-bit hash (offline stand-in for a real digest — stable,
+/// dependency-free, plenty for "did the config change?" provenance).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run-provenance metadata embedded in every `BENCH_*.json`: a hash of
+/// the effective configuration (Infomap parameters + workload scale), the
+/// compiler that built the binary, the rayon thread count, the dataset
+/// name, and a wall-clock stamp. The schema-check test in
+/// `tests/bench_json_schema.rs` enforces this shape on the committed
+/// files.
+pub fn run_metadata(dataset: &str, icfg: &InfomapConfig) -> serde_json::Value {
+    let cfg_repr = format!("{icfg:?}|scale_div={}", scale_div());
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    serde_json::json!({
+        "config_hash": format!("{:016x}", fnv1a64(cfg_repr.as_bytes())),
+        "rustc_version": RUSTC_VERSION,
+        "threads": rayon::current_num_threads(),
+        "dataset": dataset,
+        "scale_div": scale_div(),
+        "unix_time": unix_time,
+    })
+}
+
+/// Telemetry switches shared by the experiment binaries.
+///
+/// Parsed from the command line (`--obs-out <path>`, `--progress`) with
+/// environment fallbacks (`ASA_OBS_OUT`, `ASA_PROGRESS=1`) so the `all`
+/// driver can forward them to child experiment processes.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// JSONL event-trace destination (`--obs-out` / `ASA_OBS_OUT`).
+    pub obs_out: Option<std::path::PathBuf>,
+    /// Per-record heartbeat lines on stderr (`--progress` /
+    /// `ASA_PROGRESS=1`).
+    pub progress: bool,
+}
+
+impl ObsArgs {
+    /// Parses the process arguments, consuming nothing (the binaries keep
+    /// their existing positional/flag handling).
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut obs_out = None;
+        for (i, a) in argv.iter().enumerate() {
+            if let Some(v) = a.strip_prefix("--obs-out=") {
+                obs_out = Some(std::path::PathBuf::from(v));
+            } else if a == "--obs-out" {
+                obs_out = argv.get(i + 1).map(std::path::PathBuf::from);
+            }
+        }
+        if obs_out.is_none() {
+            obs_out = std::env::var_os("ASA_OBS_OUT").map(std::path::PathBuf::from);
+        }
+        let progress = argv.iter().any(|a| a == "--progress")
+            || std::env::var("ASA_PROGRESS").is_ok_and(|v| v == "1");
+        Self { obs_out, progress }
+    }
+
+    /// Builds the telemetry handle: disabled unless a JSONL path or
+    /// progress heartbeats were requested. With `--obs-out` the summary
+    /// table also prints at flush so a trace run is self-describing.
+    pub fn build(&self) -> Obs {
+        ObsConfig {
+            enabled: self.obs_out.is_some() || self.progress,
+            jsonl_path: self.obs_out.clone(),
+            summary: self.obs_out.is_some() || self.progress,
+            progress: self.progress,
+            ring_capacity: 0,
+        }
+        .build()
+        .expect("create --obs-out file")
+    }
 }
 
 /// Simulates the FindBestCommunity kernel for a network on `cores`
@@ -233,6 +321,32 @@ mod tests {
         let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(doc["headers"][0], "a");
         assert_eq!(doc["rows"][0][1], "2");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn run_metadata_shape() {
+        let m = run_metadata("demo", &infomap_config());
+        assert_eq!(m["config_hash"].as_str().unwrap().len(), 16);
+        assert!(m["threads"].as_u64().unwrap() >= 1);
+        assert_eq!(m["dataset"], "demo");
+        assert!(!m["rustc_version"].as_str().unwrap().is_empty());
+        assert_eq!(m["scale_div"].as_u64().unwrap() as usize, scale_div());
+    }
+
+    #[test]
+    fn obs_args_default_disabled() {
+        // No flags, no env in the test harness: the handle must be the
+        // zero-cost disabled one.
+        if std::env::var_os("ASA_OBS_OUT").is_none() && std::env::var_os("ASA_PROGRESS").is_none() {
+            let obs = ObsArgs::default().build();
+            assert!(!obs.enabled());
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Schema check for the committed `BENCH_*.json` result files.
+//!
+//! The bench binaries embed run-provenance metadata (config hash, rustc
+//! version, thread count, dataset) in every JSON they write; this test
+//! parses the files committed at the repository root and enforces that
+//! shape, so a binary that stops writing the metadata — or writes it
+//! malformed — fails CI rather than silently producing unattributable
+//! results.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn load(name: &str) -> serde_json::Value {
+    let path = repo_root().join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// The metadata block every bench JSON must carry.
+fn assert_meta(doc: &serde_json::Value, what: &str) {
+    let meta = doc
+        .get("meta")
+        .unwrap_or_else(|| panic!("{what}: missing meta object"));
+    let hash = meta["config_hash"]
+        .as_str()
+        .unwrap_or_else(|| panic!("{what}: meta.config_hash must be a string"));
+    assert_eq!(hash.len(), 16, "{what}: config_hash is a 64-bit hex digest");
+    assert!(
+        hash.chars().all(|c| c.is_ascii_hexdigit()),
+        "{what}: config_hash must be hex, got {hash:?}"
+    );
+    let rustc = meta["rustc_version"]
+        .as_str()
+        .unwrap_or_else(|| panic!("{what}: meta.rustc_version must be a string"));
+    assert!(!rustc.is_empty(), "{what}: rustc_version empty");
+    let threads = meta["threads"]
+        .as_u64()
+        .unwrap_or_else(|| panic!("{what}: meta.threads must be an integer"));
+    assert!(threads >= 1, "{what}: threads must be >= 1");
+    assert!(
+        meta["dataset"].as_str().is_some_and(|d| !d.is_empty()),
+        "{what}: meta.dataset must be a non-empty string"
+    );
+    assert!(
+        meta["unix_time"].as_u64().is_some(),
+        "{what}: meta.unix_time must be an integer"
+    );
+    // The scale recorded in the metadata must agree with the top-level
+    // field the pre-metadata schema already carried.
+    assert_eq!(
+        meta["scale_div"], doc["scale_div"],
+        "{what}: meta.scale_div disagrees with scale_div"
+    );
+}
+
+#[test]
+fn hostperf_json_schema() {
+    let doc = load("BENCH_hostperf.json");
+    assert_eq!(doc["bench"], "hostperf");
+    assert!(doc["scale_div"].as_u64().is_some());
+    assert!(doc["reps"].as_u64().is_some_and(|r| r >= 1));
+    assert_meta(&doc, "BENCH_hostperf.json");
+    let networks = doc["networks"].as_array().expect("networks array");
+    assert!(!networks.is_empty());
+    for n in networks {
+        assert!(n["network"].as_str().is_some());
+        assert!(n["nodes"].as_u64().is_some());
+        assert!(n["arcs"].as_u64().is_some());
+        assert_eq!(n["identical_paths"].as_bool(), Some(true));
+        assert!(n["sweep_seconds"]["hash"].as_f64().is_some());
+        assert!(n["sweep_seconds"]["spa"].as_f64().is_some());
+        assert!(n["sweep_speedup_spa_over_hash"].as_f64().is_some());
+    }
+}
+
+#[test]
+fn simthroughput_json_schema() {
+    let doc = load("BENCH_simthroughput.json");
+    assert_eq!(doc["bench"], "simthroughput");
+    assert!(doc["scale_div"].as_u64().is_some());
+    assert!(doc["events"].as_u64().is_some_and(|e| e > 0));
+    assert_eq!(doc["identical_modes"].as_bool(), Some(true));
+    assert_meta(&doc, "BENCH_simthroughput.json");
+    let modes = doc["modes"].as_array().expect("modes array");
+    let names: Vec<&str> = modes.iter().filter_map(|m| m["mode"].as_str()).collect();
+    assert_eq!(names, ["inline", "batched", "pipelined"]);
+    for m in modes {
+        assert!(m["sim_seconds"].as_f64().is_some_and(|s| s > 0.0));
+        assert!(m["events_per_sec"].as_f64().is_some());
+    }
+    let kernel = &doc["kernel"];
+    assert!(kernel["captured_events"].as_u64().is_some_and(|e| e > 0));
+    assert_eq!(kernel["replay_identical"].as_bool(), Some(true));
+}

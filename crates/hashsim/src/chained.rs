@@ -47,6 +47,9 @@ pub struct ChainedAccumulator {
     /// allocations per vertex round, so chain neighbours sit on different
     /// cache lines.
     next_slot: u32,
+    /// Chain-walk length distribution (nodes visited per accumulate),
+    /// shared by all accumulators of a run when telemetry is attached.
+    chain_len: Option<asa_obs::Hist>,
 }
 
 impl Default for ChainedAccumulator {
@@ -63,7 +66,15 @@ impl ChainedAccumulator {
             nodes: Vec::new(),
             mask: (INITIAL_BUCKETS - 1) as u64,
             next_slot: 0,
+            chain_len: None,
         }
+    }
+
+    /// Attaches the `hashsim.chain_len` histogram (nodes visited per
+    /// accumulate). A disabled `obs` leaves the accumulator untouched;
+    /// event charging never changes either way.
+    pub fn attach_obs(&mut self, obs: &asa_obs::Obs) {
+        self.chain_len = obs.enabled().then(|| obs.hist("hashsim.chain_len"));
     }
 
     /// Current number of stored keys.
@@ -145,6 +156,7 @@ impl FlowAccumulator for ChainedAccumulator {
         // visit is a dependent load plus a key-compare branch. This is the
         // code the paper blames for Baseline's mispredictions.
         let mut cursor = self.buckets[bucket as usize];
+        let mut walked = 0u64;
         sink.set_dependent(true);
         loop {
             sink.branch(sites::CHAIN_CONTINUE, cursor != NIL);
@@ -154,6 +166,7 @@ impl FlowAccumulator for ChainedAccumulator {
             let node = self.nodes[cursor as usize];
             sink.mem_read(self.node_addr(&node));
             sink.instr(InstrClass::Alu, 1);
+            walked += 1;
             let matched = node.key == key;
             sink.branch(sites::KEY_MATCH, matched);
             if matched {
@@ -162,12 +175,18 @@ impl FlowAccumulator for ChainedAccumulator {
                 sink.instr(InstrClass::Float, 1);
                 sink.mem_write(self.node_addr(&node));
                 self.nodes[cursor as usize].value += value;
+                if let Some(h) = &self.chain_len {
+                    h.record(walked);
+                }
                 sink.set_phase(phase::COMPUTE);
                 return;
             }
             cursor = node.next;
         }
         sink.set_dependent(false);
+        if let Some(h) = &self.chain_len {
+            h.record(walked);
+        }
 
         // Miss: insert a new node at the chain head.
         // Rehash check (branch) happens on every insert.

@@ -36,6 +36,9 @@ pub struct LinearProbeAccumulator {
     mask: u64,
     len: usize,
     epoch: u32,
+    /// Probe-sequence length distribution (slots inspected per
+    /// accumulate), shared across a run's accumulators when attached.
+    probe_len: Option<asa_obs::Hist>,
 }
 
 impl Default for LinearProbeAccumulator {
@@ -59,7 +62,15 @@ impl LinearProbeAccumulator {
             mask: (INITIAL_SLOTS - 1) as u64,
             len: 0,
             epoch: 1,
+            probe_len: None,
         }
+    }
+
+    /// Attaches the `hashsim.probe_len` histogram (slots inspected per
+    /// accumulate; a grow restarts the count like the probe sequence
+    /// itself). A disabled `obs` leaves the accumulator untouched.
+    pub fn attach_obs(&mut self, obs: &asa_obs::Obs) {
+        self.probe_len = obs.enabled().then(|| obs.hist("hashsim.probe_len"));
     }
 
     /// Stored key count.
@@ -166,8 +177,10 @@ impl LinearProbeAccumulator {
     fn accumulate_inner<S: EventSink>(&mut self, key: u32, value: f64, sink: &mut S) {
         sink.instr(InstrClass::Alu, 3); // hash + mask
         let mut idx = hash_key(key) & self.mask;
+        let mut probed = 0u64;
         loop {
             sink.mem_read(self.addr(idx)); // sequential probes: independent
+            probed += 1;
             let slot = self.slots[idx as usize];
             let occupied = slot.epoch == self.epoch;
             sink.branch(sites::PROBE_OCCUPIED, occupied);
@@ -188,6 +201,9 @@ impl LinearProbeAccumulator {
                 };
                 sink.mem_write(self.addr(idx));
                 self.len += 1;
+                if let Some(h) = &self.probe_len {
+                    h.record(probed);
+                }
                 return;
             }
             sink.instr(InstrClass::Alu, 1);
@@ -197,6 +213,9 @@ impl LinearProbeAccumulator {
                 sink.instr(InstrClass::Float, 1);
                 self.slots[idx as usize].value += value;
                 sink.mem_write(self.addr(idx));
+                if let Some(h) = &self.probe_len {
+                    h.record(probed);
+                }
                 return;
             }
             idx = (idx + 1) & self.mask;

@@ -3,9 +3,11 @@
 //! Control flow lives in [`crate::schedule`]; this driver supplies the
 //! host-parallel (rayon) decision engine and the public API.
 
+use std::cell::Cell;
 use std::time::Instant;
 
 use asa_graph::CsrGraph;
+use asa_obs::{Obs, Value};
 
 use crate::config::{AccumulatorKind, InfomapConfig};
 use crate::find_best::MoveDecision;
@@ -25,21 +27,45 @@ pub struct HostEngine {
     kind: AccumulatorKind,
     spa_budget: usize,
     scratch: ScratchPool,
+    obs: Obs,
+    /// Whether the most recent sweep took the SPA fast path.
+    last_spa: bool,
+    /// Scratch-pool (hits, misses) at the previous sweep record, so each
+    /// convergence record carries per-sweep deltas rather than lifetime
+    /// totals. `Cell` because `sweep_fields` takes `&self`.
+    scratch_seen: Cell<(u64, u64)>,
 }
 
 impl HostEngine {
     /// An engine following `cfg`'s accumulator selection.
     pub fn from_config(cfg: &InfomapConfig) -> Self {
+        Self::with_obs(cfg, &Obs::disabled())
+    }
+
+    /// [`HostEngine::from_config`] plus a telemetry handle: the schedule
+    /// will time decide/apply phases against it and emit per-sweep
+    /// convergence records carrying this engine's path and scratch stats.
+    pub fn with_obs(cfg: &InfomapConfig, obs: &Obs) -> Self {
         Self {
             kind: cfg.accumulator,
             spa_budget: cfg.spa_budget,
             scratch: ScratchPool::new(),
+            obs: obs.clone(),
+            last_spa: false,
+            scratch_seen: Cell::new((0, 0)),
         }
     }
 }
 
 impl DecideEngine for HostEngine {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
+        // Mirror `parallel_decide_with`'s selection so the convergence
+        // record can name the path this sweep actually ran.
+        self.last_spa = match self.kind {
+            AccumulatorKind::Spa => true,
+            AccumulatorKind::Hash => false,
+            AccumulatorKind::Auto => ctx.flow.num_nodes() <= self.spa_budget,
+        };
         parallel_decide_with(
             ctx.flow,
             ctx.labels,
@@ -49,6 +75,29 @@ impl DecideEngine for HostEngine {
             self.spa_budget,
             &self.scratch,
         )
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    fn sweep_fields(&self, fields: &mut Vec<(&'static str, Value)>) {
+        fields.push((
+            "path",
+            Value::from(if self.last_spa { "spa" } else { "hash" }),
+        ));
+        let (hits, misses) = self.scratch.stats();
+        let (seen_h, seen_m) = self.scratch_seen.get();
+        self.scratch_seen.set((hits, misses));
+        let (dh, dm) = (hits - seen_h, misses - seen_m);
+        fields.push(("scratch_hits", Value::from(dh)));
+        fields.push(("scratch_misses", Value::from(dm)));
+        if dh + dm > 0 {
+            fields.push((
+                "scratch_hit_rate",
+                Value::from(dh as f64 / (dh + dm) as f64),
+            ));
+        }
     }
 }
 
@@ -72,13 +121,28 @@ impl Infomap {
 
     /// Runs the full multi-level pipeline on `graph`.
     pub fn run(&self, graph: &CsrGraph) -> InfomapResult {
+        self.run_observed(graph, &Obs::disabled())
+    }
+
+    /// [`Infomap::run`] with a telemetry handle: phase spans (`infomap` →
+    /// `pagerank`/`optimize` → `decide`/`apply`/`coarsen`/`project`) and a
+    /// per-sweep convergence record stream. With `Obs::disabled()` this is
+    /// byte-for-byte the plain run.
+    pub fn run_observed(&self, graph: &CsrGraph, obs: &Obs) -> InfomapResult {
+        let _run = obs.span("infomap");
         // --- PageRank kernel: stationary visit rates + flow network.
         let t = Instant::now();
-        let flow = FlowNetwork::from_graph(graph, &self.cfg);
+        let flow = {
+            let _sp = obs.span("pagerank");
+            FlowNetwork::from_graph(graph, &self.cfg)
+        };
         let pagerank = t.elapsed();
 
-        let mut engine = HostEngine::from_config(&self.cfg);
-        let outcome = optimize_multilevel(&flow, &self.cfg, &mut engine);
+        let mut engine = HostEngine::with_obs(&self.cfg, obs);
+        let outcome = {
+            let _sp = obs.span("optimize");
+            optimize_multilevel(&flow, &self.cfg, &mut engine)
+        };
         let mut timings = outcome.timings;
         timings.pagerank = pagerank;
 
@@ -109,6 +173,16 @@ impl Infomap {
 /// ```
 pub fn detect_communities(graph: &CsrGraph, cfg: &InfomapConfig) -> InfomapResult {
     Infomap::new(cfg.clone()).run(graph)
+}
+
+/// [`detect_communities`] with telemetry: spans and per-sweep convergence
+/// records flow into `obs`'s sinks. Identical result to the plain call.
+pub fn detect_communities_observed(
+    graph: &CsrGraph,
+    cfg: &InfomapConfig,
+    obs: &Obs,
+) -> InfomapResult {
+    Infomap::new(cfg.clone()).run_observed(graph, obs)
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use std::time::Instant;
 use asa_accel::{AsaAccumulator, AsaConfig, AsaStats};
 use asa_graph::{CsrGraph, Partition};
 use asa_hashsim::{ChainedAccumulator, LinearProbeAccumulator};
+use asa_obs::{Obs, Value};
 use asa_simarch::accum::FlowAccumulator;
 use asa_simarch::events::{phase, EventSink};
 use asa_simarch::machine::block_partition_into;
@@ -273,23 +274,48 @@ pub fn simulate_infomap_mode(
     device: Device,
     mode: &SimMode,
 ) -> SimulatedRun {
-    let flow = FlowNetwork::from_graph(graph, icfg);
+    simulate_infomap_obs(graph, icfg, mcfg, device, mode, &Obs::disabled())
+}
+
+/// [`simulate_infomap_mode`] with a telemetry handle: per-device
+/// distributions (CAM occupancy, chain/probe lengths), pipeline
+/// backpressure counters, and per-sweep convergence records flow into
+/// `obs`. A disabled handle makes this identical to
+/// [`simulate_infomap_mode`].
+pub fn simulate_infomap_obs(
+    graph: &CsrGraph,
+    icfg: &InfomapConfig,
+    mcfg: &MachineConfig,
+    device: Device,
+    mode: &SimMode,
+    obs: &Obs,
+) -> SimulatedRun {
+    let _sp = obs.span("simulate");
+    let flow = {
+        let _sp = obs.span("pagerank");
+        FlowNetwork::from_graph(graph, icfg)
+    };
     match device {
         Device::SoftwareHash => {
-            let accs = (0..mcfg.cores).map(|_| ChainedAccumulator::new()).collect();
-            let (run, _) = run_device(flow, icfg, mcfg, device, mode, accs);
+            let mut accs: Vec<ChainedAccumulator> =
+                (0..mcfg.cores).map(|_| ChainedAccumulator::new()).collect();
+            accs.iter_mut().for_each(|a| a.attach_obs(obs));
+            let (run, _) = run_device(flow, icfg, mcfg, device, mode, accs, obs);
             run
         }
         Device::LinearProbe => {
-            let accs = (0..mcfg.cores)
+            let mut accs: Vec<LinearProbeAccumulator> = (0..mcfg.cores)
                 .map(|_| LinearProbeAccumulator::new())
                 .collect();
-            let (run, _) = run_device(flow, icfg, mcfg, device, mode, accs);
+            accs.iter_mut().for_each(|a| a.attach_obs(obs));
+            let (run, _) = run_device(flow, icfg, mcfg, device, mode, accs, obs);
             run
         }
         Device::Asa(cfg) => {
-            let accs = (0..mcfg.cores).map(|_| AsaAccumulator::new(cfg)).collect();
-            let (mut run, accs) = run_device(flow, icfg, mcfg, device, mode, accs);
+            let mut accs: Vec<AsaAccumulator> =
+                (0..mcfg.cores).map(|_| AsaAccumulator::new(cfg)).collect();
+            accs.iter_mut().for_each(|a| a.attach_obs(obs));
+            let (mut run, accs) = run_device(flow, icfg, mcfg, device, mode, accs, obs);
             let mut total = AsaStats::default();
             for a in &accs {
                 let s = a.stats();
@@ -555,17 +581,23 @@ enum CoreBackend {
 }
 
 impl CoreBackend {
-    fn new(mcfg: &MachineConfig, mode: &SimMode) -> Self {
+    fn new(mcfg: &MachineConfig, mode: &SimMode, obs: &Obs) -> Self {
         match mode {
             SimMode::Inline => {
                 CoreBackend::Inline((0..mcfg.cores).map(|_| CoreModel::new(mcfg)).collect())
             }
             SimMode::Batched { buffer_events } => CoreBackend::Batched(
                 (0..mcfg.cores)
-                    .map(|_| BatchedCore::new(CoreModel::new(mcfg), *buffer_events))
+                    .map(|_| {
+                        let mut core = BatchedCore::new(CoreModel::new(mcfg), *buffer_events);
+                        core.attach_obs(obs);
+                        core
+                    })
                     .collect(),
             ),
-            SimMode::Pipelined(pcfg) => CoreBackend::Pipelined(SimPipeline::new(mcfg, pcfg)),
+            SimMode::Pipelined(pcfg) => {
+                CoreBackend::Pipelined(SimPipeline::with_obs(mcfg, pcfg, obs))
+            }
         }
     }
 
@@ -615,6 +647,9 @@ struct SimEngine<A> {
     ranges: Vec<Range<usize>>,
     sweeps: Vec<SweepSim>,
     sim_seconds: f64,
+    obs: Obs,
+    device_name: &'static str,
+    mode_name: &'static str,
 }
 
 impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
@@ -668,8 +703,24 @@ impl<A: FlowAccumulator + Send> DecideEngine for SimEngine<A> {
             phases,
         });
     }
+
+    fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    fn sweep_fields(&self, fields: &mut Vec<(&'static str, Value)>) {
+        fields.push(("device", Value::from(self.device_name)));
+        fields.push(("sim_mode", Value::from(self.mode_name)));
+        // `after_sweep` ran just before the schedule emits the record, so
+        // the last entry is this sweep's barrier-combined report.
+        if let Some(s) = self.sweeps.last() {
+            fields.push(("sim_cycles", Value::from(s.combined.cycles)));
+            fields.push(("sim_instructions", Value::from(s.combined.instructions)));
+        }
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_device<A: FlowAccumulator + Send>(
     flow: FlowNetwork,
     icfg: &InfomapConfig,
@@ -677,9 +728,10 @@ fn run_device<A: FlowAccumulator + Send>(
     device: Device,
     mode: &SimMode,
     accs: Vec<A>,
+    obs: &Obs,
 ) -> (SimulatedRun, Vec<A>) {
     let mut engine = SimEngine {
-        backend: CoreBackend::new(mcfg, mode),
+        backend: CoreBackend::new(mcfg, mode, obs),
         scratches: (0..mcfg.cores)
             .map(|_| FindBestScratch::default())
             .collect(),
@@ -688,8 +740,14 @@ fn run_device<A: FlowAccumulator + Send>(
         accs,
         sweeps: Vec::new(),
         sim_seconds: 0.0,
+        obs: obs.clone(),
+        device_name: device.name(),
+        mode_name: mode.name(),
     };
-    let outcome = optimize_multilevel(&flow, icfg, &mut engine);
+    let outcome = {
+        let _sp = obs.span("optimize");
+        optimize_multilevel(&flow, icfg, &mut engine)
+    };
 
     let mut total = KernelReport::default();
     let mut phase_totals: [KernelReport; phase::COUNT] = Default::default();

@@ -46,7 +46,7 @@ pub mod result;
 pub mod schedule;
 
 pub use config::InfomapConfig;
-pub use driver::{detect_communities, Infomap};
+pub use driver::{detect_communities, detect_communities_observed, Infomap};
 pub use flow::FlowNetwork;
 pub use mapeq::MapState;
 pub use result::{InfomapResult, KernelTimings};

@@ -169,6 +169,8 @@ pub struct WorkerScratch {
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     slots: Mutex<Vec<WorkerScratch>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
 }
 
 impl ScratchPool {
@@ -178,11 +180,31 @@ impl ScratchPool {
     }
 
     fn checkout(&self) -> WorkerScratch {
-        self.slots.lock().unwrap().pop().unwrap_or_default()
+        use std::sync::atomic::Ordering;
+        match self.slots.lock().unwrap().pop() {
+            Some(ws) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ws
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                WorkerScratch::default()
+            }
+        }
     }
 
     fn restore(&self, scratch: WorkerScratch) {
         self.slots.lock().unwrap().push(scratch);
+    }
+
+    /// Lifetime `(hits, misses)` of the checkout fast path — a hit reuses a
+    /// warmed-up [`WorkerScratch`], a miss allocates a fresh one.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 

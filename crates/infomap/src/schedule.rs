@@ -18,6 +18,7 @@
 use std::time::{Duration, Instant};
 
 use asa_graph::{NodeId, Partition};
+use asa_obs::{Obs, Value};
 
 use crate::coarsen::convert_to_supernodes;
 use crate::config::InfomapConfig;
@@ -61,6 +62,51 @@ pub trait DecideEngine {
     fn after_sweep(&mut self, ctx: &SweepCtx<'_>, applied: &AppliedMoves, elapsed: Duration) {
         let _ = (ctx, applied, elapsed);
     }
+
+    /// Telemetry handle the schedule should time phases against and emit
+    /// per-sweep convergence records to. Returns an owned clone so the
+    /// schedule can hold it across `&mut self` calls. Defaults to disabled.
+    fn obs(&self) -> Obs {
+        Obs::disabled()
+    }
+
+    /// Engine-specific fields appended to each per-sweep convergence
+    /// record (e.g. the accumulator path taken, device statistics). Only
+    /// called when [`DecideEngine::obs`] is enabled.
+    fn sweep_fields(&self, fields: &mut Vec<(&'static str, Value)>) {
+        let _ = fields;
+    }
+}
+
+/// Emits one per-sweep convergence record. `level` is `None` for
+/// refinement passes (flagged via the `refine` field instead).
+#[allow(clippy::too_many_arguments)]
+fn emit_sweep_record<E: DecideEngine>(
+    obs: &Obs,
+    engine: &E,
+    outer: usize,
+    level: Option<usize>,
+    sweep: usize,
+    active: usize,
+    moves: usize,
+    codelength: f64,
+    prev_codelength: f64,
+    seconds: f64,
+) {
+    let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(12);
+    fields.push(("outer", Value::from(outer)));
+    if let Some(level) = level {
+        fields.push(("level", Value::from(level)));
+    }
+    fields.push(("refine", Value::from(level.is_none())));
+    fields.push(("sweep", Value::from(sweep)));
+    fields.push(("active", Value::from(active)));
+    fields.push(("moves", Value::from(moves)));
+    fields.push(("codelength", Value::from(codelength)));
+    fields.push(("dl", Value::from(codelength - prev_codelength)));
+    fields.push(("seconds", Value::from(seconds)));
+    engine.sweep_fields(&mut fields);
+    obs.emit("sweep", fields);
 }
 
 /// Result of the full schedule.
@@ -89,6 +135,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
     engine: &mut E,
 ) -> MultilevelOutcome {
     let n0 = flow0.num_nodes();
+    let obs = engine.obs();
     let node_plogp0: f64 = flow0.node_flows().iter().copied().map(plogp).sum();
     let mode = cfg.teleport_mode();
     let mut timings = KernelTimings::default();
@@ -137,6 +184,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
             };
 
             let mut active: Vec<NodeId> = (0..flow.num_nodes() as u32).collect();
+            let mut prev_codelength = before;
             for sweep in 0..cfg.max_sweeps {
                 if active.is_empty() {
                     break;
@@ -145,6 +193,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
                 labels.clear();
                 labels.extend_from_slice(partition.labels());
                 let decisions = {
+                    let _sp = obs.span("decide");
                     let ctx = SweepCtx {
                         flow: &flow,
                         labels: &labels,
@@ -156,13 +205,16 @@ pub fn optimize_multilevel<E: DecideEngine>(
                     };
                     engine.decide(&ctx)
                 };
-                let applied = apply_decisions(
-                    &flow,
-                    &mut partition,
-                    &mut state,
-                    &decisions,
-                    cfg.min_improvement,
-                );
+                let applied = {
+                    let _sp = obs.span("apply");
+                    apply_decisions(
+                        &flow,
+                        &mut partition,
+                        &mut state,
+                        &decisions,
+                        cfg.min_improvement,
+                    )
+                };
                 let dt = t.elapsed();
                 {
                     let ctx = SweepCtx {
@@ -177,6 +229,25 @@ pub fn optimize_multilevel<E: DecideEngine>(
                     engine.after_sweep(&ctx, &applied, dt);
                 }
                 timings.find_best += dt;
+                // Convergence record outside the timed region: the extra
+                // codelength evaluation (O(modules)) is telemetry-only and
+                // must not show up in the kernel timings.
+                if obs.enabled() {
+                    let cl = state.codelength();
+                    emit_sweep_record(
+                        &obs,
+                        engine,
+                        outer,
+                        Some(level),
+                        sweep,
+                        active.len(),
+                        applied.applied,
+                        cl,
+                        prev_codelength,
+                        dt.as_secs_f64(),
+                    );
+                    prev_codelength = cl;
+                }
                 info.sweeps += 1;
                 info.moves += applied.applied;
                 info.sweep_seconds.push(dt.as_secs_f64());
@@ -201,11 +272,17 @@ pub fn optimize_multilevel<E: DecideEngine>(
             }
 
             let t = Instant::now();
-            let (coarse, compact) = convert_to_supernodes(&flow, &partition);
+            let (coarse, compact) = {
+                let _sp = obs.span("coarsen");
+                convert_to_supernodes(&flow, &partition)
+            };
             timings.convert += t.elapsed();
 
             let t = Instant::now();
-            composed = composed.project(&compact);
+            composed = {
+                let _sp = obs.span("project");
+                composed.project(&compact)
+            };
             timings.update += t.elapsed();
             level_partitions.push(composed.clone());
 
@@ -232,6 +309,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
         };
         let mut active: Vec<NodeId> = (0..n0 as u32).collect();
         let mut total_moves = 0usize;
+        let mut prev_codelength = before;
         for sweep in 0..cfg.max_sweeps {
             if active.is_empty() {
                 break;
@@ -240,6 +318,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
             labels.clear();
             labels.extend_from_slice(composed.labels());
             let decisions = {
+                let _sp = obs.span("decide");
                 let ctx = SweepCtx {
                     flow: flow0,
                     labels: &labels,
@@ -251,13 +330,16 @@ pub fn optimize_multilevel<E: DecideEngine>(
                 };
                 engine.decide(&ctx)
             };
-            let applied = apply_decisions(
-                flow0,
-                &mut composed,
-                &mut state,
-                &decisions,
-                cfg.min_improvement,
-            );
+            let applied = {
+                let _sp = obs.span("apply");
+                apply_decisions(
+                    flow0,
+                    &mut composed,
+                    &mut state,
+                    &decisions,
+                    cfg.min_improvement,
+                )
+            };
             let dt = t.elapsed();
             {
                 let ctx = SweepCtx {
@@ -272,6 +354,22 @@ pub fn optimize_multilevel<E: DecideEngine>(
                 engine.after_sweep(&ctx, &applied, dt);
             }
             timings.find_best += dt;
+            if obs.enabled() {
+                let cl = state.codelength();
+                emit_sweep_record(
+                    &obs,
+                    engine,
+                    outer,
+                    None,
+                    sweep,
+                    active.len(),
+                    applied.applied,
+                    cl,
+                    prev_codelength,
+                    dt.as_secs_f64(),
+                );
+                prev_codelength = cl;
+            }
             info.sweeps += 1;
             info.moves += applied.applied;
             info.sweep_seconds.push(dt.as_secs_f64());

@@ -1,0 +1,35 @@
+//! Runtime configuration for building an [`Obs`](crate::Obs) handle.
+
+use std::path::PathBuf;
+
+/// Declarative description of which sinks to attach.
+///
+/// `enabled: false` (the default) builds the fully disabled handle: every
+/// span/counter/record call collapses to a branch on `None`, which is how
+/// the production hot path keeps obs below measurement noise.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Master switch. When false all other fields are ignored.
+    pub enabled: bool,
+    /// Write a JSONL event stream to this path.
+    pub jsonl_path: Option<PathBuf>,
+    /// Print the phase-profile / metric summary to stderr at flush.
+    pub summary: bool,
+    /// Print one heartbeat line per streamed record (implies `summary`).
+    pub progress: bool,
+    /// Keep the last N records in an in-memory ring (0 = no ring sink);
+    /// read back via [`Obs::ring`](crate::Obs::ring).
+    pub ring_capacity: usize,
+}
+
+impl ObsConfig {
+    /// The all-off configuration.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Builds the handle, creating the JSONL file if requested.
+    pub fn build(&self) -> std::io::Result<crate::Obs> {
+        crate::Obs::from_config(self)
+    }
+}

@@ -1,0 +1,188 @@
+//! Hand-rolled JSON encoding for telemetry records.
+//!
+//! `obs` is dependency-free by contract, so it carries its own tiny JSON
+//! writer: a [`Value`] enum covering the scalar types telemetry needs, plus
+//! string escaping per RFC 8259. There is no parser — the JSONL stream is
+//! written, never read, by this crate.
+
+use std::fmt::Write as _;
+
+/// A scalar JSON value attached to a telemetry record field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, indices, sizes).
+    U64(u64),
+    /// Signed integer (deltas that can go negative).
+    I64(i64),
+    /// Floating point (seconds, codelengths, rates).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Borrowed static string (path names, labels chosen at compile time).
+    Str(&'static str),
+    /// Owned string (dataset names, anything computed at runtime).
+    String(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl Value {
+    /// Appends the JSON encoding of this value to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    // JSON has no NaN/Inf; null keeps downstream parsers alive.
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(s, out),
+            Value::String(s) => write_json_string(s, out),
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One telemetry event: a kind tag, a timestamp relative to the owning
+/// [`Obs`](crate::Obs) handle's creation, and a flat list of fields.
+///
+/// Field names are `&'static str` by design — record emission sits on warm
+/// paths and must not allocate per key. Names must not collide with the
+/// reserved keys `kind` and `t_us`.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Record type tag, e.g. `"sweep"` or `"bench.run"`.
+    pub kind: &'static str,
+    /// Microseconds since the owning `Obs` handle was created.
+    pub t_us: u64,
+    /// Flat key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Record {
+    /// Encodes the record as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push_str("{\"kind\":");
+        write_json_string(self.kind, &mut out);
+        let _ = write!(out, ",\"t_us\":{}", self.t_us);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_string(k, &mut out);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut out = String::new();
+        write_json_string("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn record_json_shape() {
+        let rec = Record {
+            kind: "sweep",
+            t_us: 42,
+            fields: vec![
+                ("moves", Value::U64(7)),
+                ("dl", Value::F64(-0.5)),
+                ("path", Value::Str("spa")),
+                ("refine", Value::Bool(false)),
+            ],
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"kind\":\"sweep\",\"t_us\":42,\"moves\":7,\"dl\":-0.5,\"path\":\"spa\",\"refine\":false}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        Value::F64(f64::NAN).write_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,384 @@
+//! `asa-obs`: zero-dependency telemetry for the Infomap/ASA stack.
+//!
+//! Mirrors the `tracing` span/subscriber split in miniature:
+//!
+//! - **Instrumentation side** — [`Obs`] hands out RAII [`Span`] timers
+//!   (thread-local nesting, rolled up into one hierarchical phase profile),
+//!   lock-free [`Counter`]/[`Gauge`]/[`Hist`] handles (striped atomics,
+//!   exact under rayon at any thread count), and streamed [`Record`]s via
+//!   [`Obs::emit`] / the [`record!`] macro.
+//! - **Subscriber side** — pluggable [`Sink`]s: [`JsonlSink`] for machine
+//!   consumption, [`SummarySink`] for humans, [`RingSink`] for cheap
+//!   always-on capture, [`NullSink`] for overhead measurement.
+//!
+//! The disabled handle (`Obs::disabled()`, one `Option<Arc<_>>` that is
+//! `None`) is the default everywhere; every operation on it is a single
+//! predictable branch, which keeps fully-wired-but-off instrumentation
+//! within noise of unwired code. See DESIGN.md § Observability for the span
+//! taxonomy and the how-to for adding a counter.
+//!
+//! ```
+//! use asa_obs::{ObsConfig, record};
+//!
+//! let obs = ObsConfig { enabled: true, ring_capacity: 16, ..ObsConfig::disabled() }
+//!     .build()
+//!     .unwrap();
+//! let moves = obs.counter("demo.moves");
+//! {
+//!     let _sweep = obs.span("sweep");
+//!     moves.add(3);
+//!     record!(obs, "sweep", { "moves": moves.value(), "codelength": 4.2f64 });
+//! }
+//! let report = obs.flush().unwrap();
+//! assert_eq!(report.spans[0].name, "sweep");
+//! assert_eq!(obs.ring().unwrap().records().len(), 1);
+//! ```
+
+pub mod config;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use config::ObsConfig;
+pub use json::{Record, Value};
+pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Hist, HistSnapshot};
+pub use sink::{FlushReport, JsonlSink, NullSink, RingHandle, RingSink, Sink, SummarySink};
+pub use span::{Span, SpanSnapshot};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use metrics::{CounterCore, GaugeCore, HistCore};
+use span::SpanTree;
+
+static NEXT_OBS_ID: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<Arc<CounterCore>>,
+    gauges: Vec<Arc<GaugeCore>>,
+    hists: Vec<Arc<HistCore>>,
+}
+
+pub(crate) struct ObsInner {
+    /// Process-unique id keying the thread-local span stacks.
+    pub(crate) id: u64,
+    start: Instant,
+    pub(crate) spans: Mutex<SpanTree>,
+    registry: Mutex<Registry>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    ring: Mutex<Option<RingHandle>>,
+}
+
+impl std::fmt::Debug for ObsInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsInner").field("id", &self.id).finish()
+    }
+}
+
+/// Telemetry handle. Cheap to clone (one `Arc`); all clones share the same
+/// spans, metrics, and sinks. `Obs::disabled()` is the universal default —
+/// wiring code never needs to special-case "no obs".
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Arc<ObsInner>>);
+
+impl Obs {
+    /// The no-op handle: every operation is a branch on `None`.
+    pub fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// An enabled handle with no sinks attached yet (records go nowhere
+    /// until [`add_sink`](Self::add_sink); spans/metrics still aggregate).
+    pub fn new_enabled() -> Self {
+        Obs(Some(Arc::new(ObsInner {
+            id: NEXT_OBS_ID.fetch_add(1, Ordering::Relaxed),
+            start: Instant::now(),
+            spans: Mutex::new(SpanTree::new()),
+            registry: Mutex::new(Registry::default()),
+            sinks: Mutex::new(Vec::new()),
+            ring: Mutex::new(None),
+        })))
+    }
+
+    /// Builds a handle per `cfg`; see [`ObsConfig`].
+    pub fn from_config(cfg: &ObsConfig) -> std::io::Result<Self> {
+        if !cfg.enabled {
+            return Ok(Obs::disabled());
+        }
+        let obs = Obs::new_enabled();
+        if let Some(path) = &cfg.jsonl_path {
+            obs.add_sink(Box::new(JsonlSink::create(path)?));
+        }
+        if cfg.summary || cfg.progress {
+            obs.add_sink(Box::new(SummarySink::new(cfg.progress)));
+        }
+        if cfg.ring_capacity > 0 {
+            let (sink, handle) = RingSink::new(cfg.ring_capacity);
+            obs.add_sink(Box::new(sink));
+            if let Some(inner) = &obs.0 {
+                *inner.ring.lock().unwrap() = Some(handle);
+            }
+        }
+        Ok(obs)
+    }
+
+    /// Whether this handle records anything. Callers use this to skip
+    /// work that only exists to feed telemetry (e.g. an extra codelength
+    /// evaluation per sweep).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches another sink; it receives all records emitted after this
+    /// call and the flush report.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        if let Some(inner) = &self.0 {
+            inner.sinks.lock().unwrap().push(sink);
+        }
+    }
+
+    /// Handle to the ring sink, if the config attached one.
+    pub fn ring(&self) -> Option<RingHandle> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.ring.lock().unwrap().clone())
+    }
+
+    /// Finds or creates the counter registered under `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match &self.0 {
+            None => Counter::disabled(),
+            Some(inner) => {
+                let mut reg = inner.registry.lock().unwrap();
+                if let Some(core) = reg.counters.iter().find(|c| c.name == name) {
+                    return Counter(Some(core.clone()));
+                }
+                let core = Arc::new(CounterCore::new(name));
+                reg.counters.push(core.clone());
+                Counter(Some(core))
+            }
+        }
+    }
+
+    /// Finds or creates the gauge registered under `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        match &self.0 {
+            None => Gauge::disabled(),
+            Some(inner) => {
+                let mut reg = inner.registry.lock().unwrap();
+                if let Some(core) = reg.gauges.iter().find(|g| g.name == name) {
+                    return Gauge(Some(core.clone()));
+                }
+                let core = Arc::new(GaugeCore::new(name));
+                reg.gauges.push(core.clone());
+                Gauge(Some(core))
+            }
+        }
+    }
+
+    /// Finds or creates the histogram registered under `name`.
+    pub fn hist(&self, name: &'static str) -> Hist {
+        match &self.0 {
+            None => Hist::disabled(),
+            Some(inner) => {
+                let mut reg = inner.registry.lock().unwrap();
+                if let Some(core) = reg.hists.iter().find(|h| h.name == name) {
+                    return Hist(Some(core.clone()));
+                }
+                let core = Arc::new(HistCore::new(name));
+                reg.hists.push(core.clone());
+                Hist(Some(core))
+            }
+        }
+    }
+
+    /// Opens an RAII span; elapsed time is charged to the phase tree when
+    /// the returned guard drops. Nesting follows the call stack via a
+    /// thread-local span stack.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.0 {
+            None => Span::disabled(),
+            Some(inner) => Span::enter(inner.clone(), name),
+        }
+    }
+
+    /// Streams one record to every attached sink. Prefer the [`record!`]
+    /// macro, which skips building `fields` when the handle is disabled.
+    pub fn emit(&self, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if let Some(inner) = &self.0 {
+            let rec = Record {
+                kind,
+                t_us: inner.start.elapsed().as_micros() as u64,
+                fields,
+            };
+            let mut sinks = inner.sinks.lock().unwrap();
+            for sink in sinks.iter_mut() {
+                sink.record(&rec);
+            }
+        }
+    }
+
+    /// Microseconds since this handle was created (0 when disabled).
+    pub fn elapsed_us(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.start.elapsed().as_micros() as u64)
+    }
+
+    /// Aggregates spans and metrics into a [`FlushReport`], hands it to
+    /// every sink, and returns it. `None` when disabled. Safe to call more
+    /// than once; each call re-snapshots.
+    pub fn flush(&self) -> Option<FlushReport> {
+        let inner = self.0.as_ref()?;
+        let spans = inner.spans.lock().unwrap().snapshot();
+        let (counters, gauges, hists) = {
+            let reg = inner.registry.lock().unwrap();
+            (
+                reg.counters
+                    .iter()
+                    .map(|c| metrics::snapshot_counter(c))
+                    .collect(),
+                reg.gauges
+                    .iter()
+                    .map(|g| metrics::snapshot_gauge(g))
+                    .collect(),
+                reg.hists
+                    .iter()
+                    .map(|h| metrics::snapshot_hist(h))
+                    .collect(),
+            )
+        };
+        let report = FlushReport {
+            wall_seconds: inner.start.elapsed().as_secs_f64(),
+            spans,
+            counters,
+            gauges,
+            hists,
+        };
+        let mut sinks = inner.sinks.lock().unwrap();
+        for sink in sinks.iter_mut() {
+            sink.flush(&report);
+        }
+        Some(report)
+    }
+}
+
+/// Emits a record without paying for field construction when `$obs` is
+/// disabled:
+///
+/// ```
+/// # use asa_obs::{Obs, record};
+/// # let obs = Obs::disabled();
+/// record!(obs, "sweep", { "moves": 12u64, "codelength": 3.5f64 });
+/// ```
+#[macro_export]
+macro_rules! record {
+    ($obs:expr, $kind:literal, { $($key:literal : $val:expr),* $(,)? }) => {
+        if $obs.enabled() {
+            $obs.emit(
+                $kind,
+                vec![$(($key, $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert_and_cheap() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        let c = obs.counter("x");
+        c.add(10);
+        assert_eq!(c.value(), 0);
+        let _span = obs.span("nothing");
+        obs.emit("ev", vec![("k", Value::U64(1))]);
+        assert!(obs.flush().is_none());
+        assert!(obs.ring().is_none());
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let obs = Obs::new_enabled();
+        let a = obs.counter("hits");
+        let b = obs.counter("hits");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        let report = obs.flush().unwrap();
+        assert_eq!(report.counters.len(), 1);
+        assert_eq!(report.counters[0].value, 5);
+    }
+
+    #[test]
+    fn spans_nest_via_call_structure() {
+        let obs = Obs::new_enabled();
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+            }
+            {
+                let _inner = obs.span("inner");
+            }
+        }
+        let report = obs.flush().unwrap();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "outer");
+        assert_eq!(report.spans[0].count, 1);
+        assert_eq!(report.spans[0].children.len(), 1);
+        assert_eq!(report.spans[0].children[0].name, "inner");
+        assert_eq!(report.spans[0].children[0].count, 2);
+    }
+
+    #[test]
+    fn two_obs_instances_do_not_share_nesting() {
+        let a = Obs::new_enabled();
+        let b = Obs::new_enabled();
+        let _sa = a.span("a_root");
+        let _sb = b.span("b_root");
+        {
+            let _child = b.span("child");
+        }
+        drop(_sb);
+        let rb = b.flush().unwrap();
+        assert_eq!(rb.spans.len(), 1);
+        assert_eq!(rb.spans[0].name, "b_root");
+        assert_eq!(rb.spans[0].children[0].name, "child");
+    }
+
+    #[test]
+    fn record_macro_streams_to_ring() {
+        let cfg = ObsConfig {
+            enabled: true,
+            ring_capacity: 4,
+            ..ObsConfig::disabled()
+        };
+        let obs = cfg.build().unwrap();
+        record!(obs, "sweep", { "moves": 7u64, "dl": -0.25f64 });
+        let recs = obs.ring().unwrap().records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].kind, "sweep");
+        assert_eq!(recs[0].fields[0], ("moves", Value::U64(7)));
+    }
+
+    #[test]
+    fn flush_wall_clock_covers_span_total() {
+        let obs = Obs::new_enabled();
+        {
+            let _s = obs.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let report = obs.flush().unwrap();
+        assert!(report.wall_seconds >= report.spans[0].seconds);
+        assert!(report.spans[0].seconds >= 0.004);
+    }
+}

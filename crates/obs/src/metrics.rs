@@ -1,0 +1,364 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Hist`].
+//!
+//! Counters are striped across cache-line-padded atomic cells; each thread
+//! picks a stripe once (thread-local) and does a `Relaxed` `fetch_add` on it.
+//! That makes increments exact under any interleaving — there is no
+//! read-modify-write race to lose updates to — while keeping hot-path cost to
+//! one uncontended atomic add for up to `STRIPES` concurrent threads.
+//!
+//! All handles are cheap `Arc` clones. A handle obtained from a disabled
+//! [`Obs`](crate::Obs) carries no core and every operation is a single
+//! branch on `None`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of counter stripes. More stripes than typical core counts so
+/// threads rarely share a cell; `% STRIPES` keeps oversubscription correct.
+const STRIPES: usize = 64;
+
+/// One atomic cell padded to its own cache line pair to prevent false
+/// sharing between stripes.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+fn stripe_index() -> usize {
+    THREAD_STRIPE.with(|s| *s)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+#[derive(Debug)]
+pub(crate) struct CounterCore {
+    pub(crate) name: &'static str,
+    stripes: Box<[PaddedCell]>,
+}
+
+impl CounterCore {
+    pub(crate) fn new(name: &'static str) -> Self {
+        let stripes = (0..STRIPES).map(|_| PaddedCell::default()).collect();
+        CounterCore { name, stripes }
+    }
+
+    fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Monotonic event counter. Clone freely; all clones share one total.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// A counter that ignores all updates (from a disabled `Obs`).
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter. Lock-free; exact under concurrency.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.add(n);
+        }
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all stripes and threads.
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.value())
+    }
+}
+
+/// Point-in-time snapshot of a counter, taken at flush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Total at snapshot time.
+    pub value: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+#[derive(Debug)]
+pub(crate) struct GaugeCore {
+    pub(crate) name: &'static str,
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+impl GaugeCore {
+    pub(crate) fn new(name: &'static str) -> Self {
+        GaugeCore {
+            name,
+            last: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Last-value-wins gauge that also tracks the maximum ever set.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// A gauge that ignores all updates.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Records the current level of whatever the gauge tracks.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.last.store(v, Ordering::Relaxed);
+            core.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Most recently set value.
+    pub fn last(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.last.load(Ordering::Relaxed))
+    }
+
+    /// Maximum value ever set.
+    pub fn max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.max.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time snapshot of a gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Last value set before the snapshot.
+    pub last: u64,
+    /// Maximum value ever set.
+    pub max: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+/// Bucket count: values 0..31 get exact buckets, larger values share one
+/// bucket per power of two up to 2^36, with a final catch-all.
+const HIST_BUCKETS: usize = 64;
+
+/// Maps a sample to its bucket index: identity below 32, logarithmic above.
+fn bucket_of(v: u64) -> usize {
+    if v < 32 {
+        v as usize
+    } else {
+        // v >= 32 so log2(v) >= 5; bucket 32 holds [32,64), 33 holds [64,128)...
+        let log2 = 63 - v.leading_zeros() as usize;
+        (32 + log2 - 5).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket, for reporting.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < 32 {
+        idx as u64
+    } else {
+        1u64 << (idx - 32 + 5)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    pub(crate) name: &'static str,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new(name: &'static str) -> Self {
+        let buckets = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        HistCore {
+            name,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Distribution of integer samples (probe lengths, occupancies, depths).
+///
+/// Exact buckets for small values (0..31), logarithmic above — the shapes
+/// telemetry cares about (chain lengths, CAM fill at gather) live almost
+/// entirely in the exact range.
+#[derive(Debug, Clone, Default)]
+pub struct Hist(pub(crate) Option<Arc<HistCore>>);
+
+impl Hist {
+    /// A histogram that ignores all samples.
+    pub fn disabled() -> Self {
+        Hist(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            core.count.fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(v, Ordering::Relaxed);
+            core.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time snapshot of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+pub(crate) fn snapshot_counter(core: &CounterCore) -> CounterSnapshot {
+    CounterSnapshot {
+        name: core.name,
+        value: core.value(),
+    }
+}
+
+pub(crate) fn snapshot_gauge(core: &GaugeCore) -> GaugeSnapshot {
+    GaugeSnapshot {
+        name: core.name,
+        last: core.last.load(Ordering::Relaxed),
+        max: core.max.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn snapshot_hist(core: &HistCore) -> HistSnapshot {
+    let buckets = core
+        .buckets
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| {
+            let n = b.load(Ordering::Relaxed);
+            (n > 0).then(|| (bucket_lower(i), n))
+        })
+        .collect();
+    HistSnapshot {
+        name: core.name,
+        count: core.count.load(Ordering::Relaxed),
+        sum: core.sum.load(Ordering::Relaxed),
+        max: core.max.load(Ordering::Relaxed),
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(31), 31);
+        assert_eq!(bucket_of(32), 32);
+        assert_eq!(bucket_of(63), 32);
+        assert_eq!(bucket_of(64), 33);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_lower(32), 32);
+        assert_eq!(bucket_lower(33), 64);
+        for v in 0..4096u64 {
+            let b = bucket_of(v);
+            assert!(bucket_lower(b) <= v, "v={v} bucket={b}");
+            if b + 1 < HIST_BUCKETS {
+                assert!(v < bucket_lower(b + 1), "v={v} bucket={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.add(5);
+        assert_eq!(c.value(), 0);
+        let g = Gauge::disabled();
+        g.set(9);
+        assert_eq!(g.max(), 0);
+        let h = Hist::disabled();
+        h.record(3);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn hist_snapshot_mean_and_buckets() {
+        let core = Arc::new(HistCore::new("t"));
+        let h = Hist(Some(core.clone()));
+        for v in [1u64, 1, 2, 40] {
+            h.record(v);
+        }
+        let snap = snapshot_hist(&core);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 44);
+        assert_eq!(snap.max, 40);
+        assert_eq!(snap.buckets, vec![(1, 2), (2, 1), (32, 1)]);
+        assert!((snap.mean() - 11.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Concurrency stress tests for the telemetry primitives.
+//!
+//! The counters promise *exact* aggregation — no lost updates — at any
+//! rayon thread count, and the span tree promises an
+//! interleaving-independent shape (same names, same counts, name-sorted
+//! children) no matter how the worker threads race. CI runs this file at
+//! `RAYON_NUM_THREADS=1` and `=8`; the pool-per-case tests below
+//! additionally pin 1/4/8-thread pools so the matrix holds even in a
+//! single CI invocation.
+
+use std::sync::{Arc, Barrier};
+
+use asa_obs::{FlushReport, Obs};
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+}
+
+/// Flattens a flush report's span tree to `(path, count)` pairs — the
+/// interleaving-independent part (seconds vary run to run).
+fn span_shape(report: &FlushReport) -> Vec<(String, u64)> {
+    let mut shape = Vec::new();
+    for s in &report.spans {
+        s.walk("", &mut |path, node| {
+            shape.push((path.to_string(), node.count));
+        });
+    }
+    shape
+}
+
+#[test]
+fn counter_aggregation_exact_at_1_4_8_threads() {
+    for threads in [1usize, 4, 8] {
+        let obs = Obs::new_enabled();
+        let c = obs.counter("stress.counter");
+        let tasks = 10_000u64;
+        pool(threads).install(|| {
+            (0..tasks).into_par_iter().for_each(|i| {
+                c.incr();
+                c.add(i);
+            });
+        });
+        let expected = tasks + tasks * (tasks - 1) / 2;
+        assert_eq!(
+            c.value(),
+            expected,
+            "{threads} threads lost counter updates"
+        );
+        // The flush-time registry snapshot must agree with the live value.
+        let report = obs.flush().unwrap();
+        let snap = report
+            .counters
+            .iter()
+            .find(|s| s.name == "stress.counter")
+            .expect("counter in flush report");
+        assert_eq!(snap.value, expected);
+    }
+}
+
+#[test]
+fn hist_count_and_sum_exact_under_contention() {
+    for threads in [1usize, 4, 8] {
+        let obs = Obs::new_enabled();
+        let h = obs.hist("stress.hist");
+        let samples = 8_192u64;
+        pool(threads).install(|| {
+            (0..samples).into_par_iter().for_each(|i| h.record(i % 97));
+        });
+        assert_eq!(h.count(), samples, "{threads} threads lost hist samples");
+        let expected_sum: u64 = (0..samples).map(|i| i % 97).sum();
+        assert_eq!(h.sum(), expected_sum, "{threads} threads lost hist sum");
+    }
+}
+
+#[test]
+fn gauge_max_survives_racing_writers() {
+    for threads in [1usize, 4, 8] {
+        let obs = Obs::new_enabled();
+        let g = obs.gauge("stress.gauge");
+        pool(threads).install(|| {
+            (0..4_096u64).into_par_iter().for_each(|i| g.set(i));
+        });
+        assert_eq!(g.max(), 4_095, "{threads} threads lost the gauge max");
+    }
+}
+
+/// Runs `threads` OS threads through the same nested span program, with a
+/// barrier so they genuinely interleave, and returns the resulting tree
+/// shape.
+fn run_span_program(threads: usize, reps: usize) -> Vec<(String, u64)> {
+    let obs = Obs::new_enabled();
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let obs = obs.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..reps {
+                    let _outer = obs.span("worker");
+                    {
+                        let _a = obs.span("alpha");
+                        let _inner = obs.span("deep");
+                    }
+                    let _b = obs.span("beta");
+                }
+            });
+        }
+    });
+    span_shape(&obs.flush().unwrap())
+}
+
+#[test]
+fn span_tree_shape_is_interleaving_independent() {
+    let reference = vec![
+        ("worker".to_string(), 24u64),
+        ("worker/alpha".to_string(), 24),
+        ("worker/alpha/deep".to_string(), 24),
+        ("worker/beta".to_string(), 24),
+    ];
+    // 1 thread x 24 reps, 4 x 6, 8 x 3: different parallelism and
+    // interleavings, identical aggregated tree.
+    for (threads, reps) in [(1, 24), (4, 6), (8, 3)] {
+        let shape = run_span_program(threads, reps);
+        assert_eq!(shape, reference, "{threads} threads x {reps} reps");
+    }
+}
+
+#[test]
+fn metrics_and_spans_mix_under_rayon() {
+    // The full pattern the engines use: spans on the coordinating thread,
+    // counters and hists hammered from the pool.
+    let obs = Obs::new_enabled();
+    let moves = obs.counter("mix.moves");
+    let depth = obs.hist("mix.depth");
+    for sweep in 0..4u64 {
+        let _sp = obs.span("sweep");
+        pool(4).install(|| {
+            (0..2_500u64).into_par_iter().for_each(|i| {
+                moves.incr();
+                depth.record(i % 13 + sweep);
+            });
+        });
+    }
+    assert_eq!(moves.value(), 10_000);
+    assert_eq!(depth.count(), 10_000);
+    let report = obs.flush().unwrap();
+    assert_eq!(span_shape(&report), vec![("sweep".to_string(), 4)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Exactness is not an artifact of round task counts: any workload
+    // split across any pool size aggregates to the reference sum.
+    #[test]
+    fn counter_matches_sequential_reference(
+        amounts in prop::collection::vec(0u64..1_000, 1..400),
+        threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let obs = Obs::new_enabled();
+        let c = obs.counter("prop.counter");
+        pool(threads).install(|| {
+            amounts.par_iter().for_each(|&a| c.add(a));
+        });
+        prop_assert_eq!(c.value(), amounts.iter().sum::<u64>());
+    }
+
+    // Histogram count/sum/max are exact for arbitrary value streams.
+    #[test]
+    fn hist_matches_sequential_reference(
+        values in prop::collection::vec(0u64..1_000_000, 1..400),
+        threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let obs = Obs::new_enabled();
+        let h = obs.hist("prop.hist");
+        pool(threads).install(|| {
+            values.par_iter().for_each(|&v| h.record(v));
+        });
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        let report = obs.flush().unwrap();
+        let snap = report.hists.iter().find(|s| s.name == "prop.hist").unwrap();
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        prop_assert_eq!(
+            snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+            values.len() as u64
+        );
+    }
+}

@@ -23,8 +23,11 @@
 //! charging (phase/dependent markers ride in the stream; see
 //! [`crate::trace`]).
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use asa_obs::{Counter, Hist, Obs};
 
 use crate::config::{MachineConfig, SimPipelineConfig};
 use crate::core::CoreModel;
@@ -43,11 +46,56 @@ enum Cmd {
     Flush,
 }
 
+/// Workload-side telemetry for one [`CorePipe`]. The counters are shared
+/// (striped-atomic) across all pipes of a pipeline, so totals aggregate
+/// per pipeline while each increment stays on the recording thread.
+#[derive(Debug, Clone)]
+struct PipeObs {
+    /// Batches shipped to the simulation side.
+    batches: Counter,
+    /// `send_batch` calls that had to block on the free list (the
+    /// simulator fell behind — backpressure engaged).
+    stalls: Counter,
+    /// Events per shipped batch (buffer occupancy at handoff; partial
+    /// batches come from sweep-barrier flushes).
+    fill: Hist,
+}
+
+impl PipeObs {
+    fn attach(obs: &Obs) -> Option<Self> {
+        obs.enabled().then(|| PipeObs {
+            batches: obs.counter("pipeline.batches"),
+            stalls: obs.counter("pipeline.stalls"),
+            fill: obs.hist("pipeline.batch_fill"),
+        })
+    }
+}
+
+/// Simulation-side telemetry for one [`Seat`].
+#[derive(Debug, Clone)]
+struct SeatObs {
+    /// Events replayed by `consume_batch`.
+    replay_events: Counter,
+    /// Nanoseconds spent inside `consume_batch` (replay throughput =
+    /// `replay_events / replay_nanos`).
+    replay_nanos: Counter,
+}
+
+impl SeatObs {
+    fn attach(obs: &Obs) -> Option<Self> {
+        obs.enabled().then(|| SeatObs {
+            replay_events: obs.counter("pipeline.replay_events"),
+            replay_nanos: obs.counter("pipeline.replay_nanos"),
+        })
+    }
+}
+
 /// One simulated core owned by a simulation thread.
 struct Seat {
     model: CoreModel,
     free_tx: Sender<TraceBuf>,
     report_tx: Sender<[KernelReport; phase::COUNT]>,
+    obs: Option<SeatObs>,
 }
 
 fn worker_loop(rx: Receiver<(usize, Cmd)>, mut seats: Vec<Seat>) {
@@ -55,7 +103,14 @@ fn worker_loop(rx: Receiver<(usize, Cmd)>, mut seats: Vec<Seat>) {
         let seat = &mut seats[seat];
         match cmd {
             Cmd::Batch(mut buf) => {
-                seat.model.consume_batch(&buf);
+                if let Some(obs) = &seat.obs {
+                    let t = Instant::now();
+                    seat.model.consume_batch(&buf);
+                    obs.replay_nanos.add(t.elapsed().as_nanos() as u64);
+                    obs.replay_events.add(buf.len() as u64);
+                } else {
+                    seat.model.consume_batch(&buf);
+                }
                 buf.clear();
                 // The pipe may already be gone during teardown.
                 let _ = seat.free_tx.send(buf);
@@ -80,6 +135,7 @@ pub struct CorePipe {
     data_tx: Sender<(usize, Cmd)>,
     free_rx: Receiver<TraceBuf>,
     report_rx: Receiver<[KernelReport; phase::COUNT]>,
+    obs: Option<PipeObs>,
 }
 
 impl CorePipe {
@@ -106,8 +162,22 @@ impl CorePipe {
 
     fn send_batch(&mut self) {
         // Bounded backpressure: wait for a recycled buffer before
-        // shipping the full one.
-        let empty = self.free_rx.recv().expect("simulation thread alive");
+        // shipping the full one. With telemetry attached, distinguish the
+        // free-list fast path from an actual backpressure stall.
+        let empty = if let Some(obs) = &self.obs {
+            obs.batches.incr();
+            obs.fill.record(self.buf.len() as u64);
+            match self.free_rx.try_recv() {
+                Ok(buf) => buf,
+                Err(TryRecvError::Empty) => {
+                    obs.stalls.incr();
+                    self.free_rx.recv().expect("simulation thread alive")
+                }
+                Err(TryRecvError::Disconnected) => panic!("simulation thread alive"),
+            }
+        } else {
+            self.free_rx.recv().expect("simulation thread alive")
+        };
         let full = std::mem::replace(&mut self.buf, empty);
         self.events += full.len() as u64;
         self.data_tx
@@ -177,6 +247,13 @@ pub struct SimPipeline {
 impl SimPipeline {
     /// Builds the pipeline for `mcfg.cores` emulated cores.
     pub fn new(mcfg: &MachineConfig, pcfg: &SimPipelineConfig) -> Self {
+        Self::with_obs(mcfg, pcfg, &Obs::disabled())
+    }
+
+    /// [`SimPipeline::new`] plus telemetry: batch/stall/fill metrics on
+    /// the workload side and replay-throughput counters on the simulation
+    /// side. With `Obs::disabled()` this is exactly the plain pipeline.
+    pub fn with_obs(mcfg: &MachineConfig, pcfg: &SimPipelineConfig, obs: &Obs) -> Self {
         let cores = mcfg.cores.max(1);
         let sim_threads = if pcfg.sim_threads == 0 {
             cores
@@ -210,11 +287,13 @@ impl SimPipeline {
                     data_tx: data_tx.clone(),
                     free_rx,
                     report_rx,
+                    obs: PipeObs::attach(obs),
                 });
                 seats.push(Seat {
                     model: CoreModel::new(mcfg),
                     free_tx,
                     report_tx,
+                    obs: SeatObs::attach(obs),
                 });
             }
             workers.push(std::thread::spawn(move || worker_loop(data_rx, seats)));

@@ -262,6 +262,16 @@ pub struct BatchedCore {
     buf: TraceBuf,
     capacity: usize,
     events: u64,
+    obs: Option<BatchedObs>,
+}
+
+/// Replay-throughput telemetry for a [`BatchedCore`]; counters are shared
+/// by every batched core of the run.
+#[derive(Debug, Clone)]
+struct BatchedObs {
+    batches: asa_obs::Counter,
+    replay_events: asa_obs::Counter,
+    replay_nanos: asa_obs::Counter,
 }
 
 impl BatchedCore {
@@ -273,14 +283,34 @@ impl BatchedCore {
             buf: TraceBuf::with_capacity(capacity),
             capacity,
             events: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches replay-throughput telemetry (`batched.batches`,
+    /// `batched.replay_events`, `batched.replay_nanos`). A disabled `obs`
+    /// leaves the core untouched.
+    pub fn attach_obs(&mut self, obs: &asa_obs::Obs) {
+        self.obs = obs.enabled().then(|| BatchedObs {
+            batches: obs.counter("batched.batches"),
+            replay_events: obs.counter("batched.replay_events"),
+            replay_nanos: obs.counter("batched.replay_nanos"),
+        });
     }
 
     /// Replays and clears any buffered events.
     pub fn drain(&mut self) {
         if !self.buf.is_empty() {
             self.events += self.buf.len() as u64;
-            self.core.consume_batch(&self.buf);
+            if let Some(obs) = &self.obs {
+                let t = std::time::Instant::now();
+                self.core.consume_batch(&self.buf);
+                obs.replay_nanos.add(t.elapsed().as_nanos() as u64);
+                obs.replay_events.add(self.buf.len() as u64);
+                obs.batches.incr();
+            } else {
+                self.core.consume_batch(&self.buf);
+            }
             self.buf.clear();
         }
     }

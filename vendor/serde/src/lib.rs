@@ -54,6 +54,14 @@ impl Value {
         }
     }
 
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Numeric payload widened to `f64`, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
