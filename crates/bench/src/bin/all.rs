@@ -4,19 +4,37 @@
 //! `cargo run -p asa-bench --release --bin all | tee results.txt`
 //! regenerates the whole evaluation in one go.
 //!
-//! `--progress` turns on telemetry heartbeats: the driver emits one
-//! summary-sink record per experiment (name, exit, seconds) and exports
-//! `ASA_PROGRESS=1` so every child binary streams its own per-sweep
-//! heartbeat lines through its summary sink.
+//! Flags are forwarded to every child uniformly:
+//! `--progress` turns on telemetry heartbeats (the driver emits one
+//! summary-sink record per experiment and exports `ASA_PROGRESS=1` so
+//! every child streams its own per-sweep heartbeat lines); `--obs-out
+//! <path>` gives each child its own derived JSONL trace (`<stem>-<bin>`)
+//! next to the driver's, via `ASA_OBS_OUT`; `--smoke` is passed through
+//! to the binaries that support it (`simthroughput`, `serve`).
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
 use asa_bench::ObsArgs;
 use asa_obs::record;
 
+/// Binaries that accept `--smoke` for a reduced CI-sized run.
+const SMOKE_AWARE: &[&str] = &["simthroughput", "serve"];
+
+/// Derives a per-child trace path from the driver's `--obs-out` path:
+/// `traces/run.jsonl` -> `traces/run-table1.jsonl`.
+fn child_obs_path(base: &Path, bin: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    match base.extension().and_then(|s| s.to_str()) {
+        Some(ext) => base.with_file_name(format!("{stem}-{bin}.{ext}")),
+        None => base.with_file_name(format!("{stem}-{bin}")),
+    }
+}
+
 fn main() {
     let args = ObsArgs::parse();
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let obs = args.build();
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
@@ -37,6 +55,7 @@ fn main() {
         "spgemm",
         "hierarchy",
         "simthroughput",
+        "serve",
     ];
     for bin in bins {
         println!("\n{}", "=".repeat(72));
@@ -46,6 +65,12 @@ fn main() {
         let mut cmd = Command::new(dir.join(bin));
         if args.progress {
             cmd.env("ASA_PROGRESS", "1");
+        }
+        if let Some(base) = &args.obs_out {
+            cmd.env("ASA_OBS_OUT", child_obs_path(base, bin));
+        }
+        if smoke && SMOKE_AWARE.contains(&bin) {
+            cmd.arg("--smoke");
         }
         let status = cmd
             .status()
@@ -61,4 +86,23 @@ fn main() {
         }
     }
     let _ = obs.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_obs_paths_are_distinct_and_sibling() {
+        let base = PathBuf::from("traces/run.jsonl");
+        let a = child_obs_path(&base, "table1");
+        let b = child_obs_path(&base, "serve");
+        assert_eq!(a, PathBuf::from("traces/run-table1.jsonl"));
+        assert_eq!(b, PathBuf::from("traces/run-serve.jsonl"));
+        assert_ne!(a, b);
+        assert_eq!(
+            child_obs_path(&PathBuf::from("trace"), "fig2"),
+            PathBuf::from("trace-fig2")
+        );
+    }
 }

@@ -1,0 +1,351 @@
+//! Serving-layer load generator: open-loop arrivals against
+//! [`asa_serve::ServeEngine`] at several offered-load levels.
+//!
+//! The generator builds a pool of synthetic graphs (Barabási–Albert,
+//! R-MAT, and LFR families at two sizes each), estimates the engine's
+//! service capacity from sequential runs, then drives a fresh engine at
+//! several multiples of that capacity with fixed interarrival times —
+//! open loop: submission never waits for completions, exactly the arrival
+//! process that exposes queueing, degradation, and shedding behaviour.
+//!
+//! Per level it reports exact p50/p95/p99 latency over the resolved
+//! requests (computed from the collected samples, not histogram buckets),
+//! throughput, cache hit rate, and shed rate. Writes `BENCH_serve.json`
+//! into the working directory (override with `ASA_SERVE_OUT`).
+//!
+//! `--smoke` shrinks the graph pool and request counts for CI.
+//! Telemetry: `--obs-out <path>` / `--progress` (also `ASA_OBS_OUT`,
+//! `ASA_PROGRESS=1`) stream per-level records and the engine's serving
+//! metrics (queue-depth gauge, per-class latency histograms, counters).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asa_bench::{fmt_count, fmt_pct, fmt_secs, render_table, run_metadata, scale_div, ObsArgs};
+use asa_graph::generators::{barabasi_albert, lfr_benchmark, rmat, LfrConfig, RmatConfig};
+use asa_graph::CsrGraph;
+use asa_infomap::{detect_communities, InfomapConfig};
+use asa_obs::record;
+use asa_serve::{Outcome, Request, ServeConfig, ServeEngine};
+
+struct Workload {
+    family: &'static str,
+    graph: Arc<CsrGraph>,
+}
+
+/// Two sizes per family; `--smoke` keeps only the small ones.
+fn build_pool(smoke: bool) -> Vec<Workload> {
+    let mut pool = Vec::new();
+    let ba_sizes: &[(usize, usize)] = if smoke {
+        &[(800, 4)]
+    } else {
+        &[(3_000, 4), (8_000, 5)]
+    };
+    for (i, &(n, m)) in ba_sizes.iter().enumerate() {
+        pool.push(Workload {
+            family: "ba",
+            graph: Arc::new(barabasi_albert(n, m, 42 + i as u64)),
+        });
+    }
+    let rmat_scales: &[u32] = if smoke { &[9] } else { &[11, 12] };
+    for (i, &scale) in rmat_scales.iter().enumerate() {
+        pool.push(Workload {
+            family: "rmat",
+            graph: Arc::new(rmat(&RmatConfig::graph500(scale, 8), 7 + i as u64)),
+        });
+    }
+    let lfr_sizes: &[usize] = if smoke { &[600] } else { &[1_200, 2_500] };
+    for (i, &n) in lfr_sizes.iter().enumerate() {
+        let cfg = LfrConfig {
+            n,
+            ..LfrConfig::default()
+        };
+        pool.push(Workload {
+            family: "lfr",
+            graph: Arc::new(lfr_benchmark(&cfg, 11 + i as u64).graph),
+        });
+    }
+    pool
+}
+
+/// A few distinct configurations per graph, so the cache key space is
+/// larger than the graph pool: repeated keys produce hits while the rest
+/// keeps the workers busy enough for queueing behaviour to show.
+fn config_variants() -> Vec<InfomapConfig> {
+    [20usize, 12, 8]
+        .iter()
+        .map(|&max_sweeps| InfomapConfig {
+            max_sweeps,
+            ..InfomapConfig::default()
+        })
+        .collect()
+}
+
+/// Exact nearest-rank percentile over resolved-latency samples.
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Mean sequential service time over one pass of the pool: the basis of
+/// the capacity estimate (`workers / mean_service`).
+fn estimate_service(pool: &[Workload], cfg: &InfomapConfig) -> Duration {
+    let t = Instant::now();
+    for w in pool {
+        let _ = detect_communities(&w.graph, cfg);
+    }
+    t.elapsed() / pool.len() as u32
+}
+
+struct LevelReport {
+    offered_rps: f64,
+    requests: usize,
+    resolved_with_result: usize,
+    shed: usize,
+    deadline_exceeded: usize,
+    degraded: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    cache_hit_rate: f64,
+    shed_rate: f64,
+    queue_depth_max: u64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_level(
+    pool: &[Workload],
+    variants: &[InfomapConfig],
+    offered_rps: f64,
+    requests: usize,
+    workers: usize,
+    obs: &asa_obs::Obs,
+) -> LevelReport {
+    // Fresh engine per level: each level starts with a cold cache and
+    // clean statistics, so levels are comparable.
+    let engine = ServeEngine::start(ServeConfig {
+        workers,
+        queue_capacity_interactive: 16,
+        queue_capacity_batch: 32,
+        cache_capacity: (pool.len() * variants.len()).div_ceil(2),
+        degrade_depth: 8,
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    });
+
+    let interarrival = Duration::from_secs_f64(1.0 / offered_rps);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(requests);
+    for i in 0..requests {
+        // Open loop: submit at the scheduled instant regardless of how
+        // far behind the engine is.
+        let due = start + interarrival * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let workload = &pool[i % pool.len()];
+        let config = variants[(i / pool.len()) % variants.len()].clone();
+        let mut req = if i % 3 == 0 {
+            Request::interactive(Arc::clone(&workload.graph))
+        } else {
+            Request::batch(Arc::clone(&workload.graph))
+        }
+        .with_config(config);
+        if i % 8 == 0 {
+            req = req.with_deadline(Duration::from_secs(10));
+        }
+        handles.push(engine.submit(req));
+    }
+
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    let (mut resolved, mut shed, mut deadline_exceeded, mut degraded, mut hits) = (0, 0, 0, 0, 0);
+    for h in &handles {
+        let response = h.wait();
+        match response.outcome {
+            Outcome::Ok(_) => resolved += 1,
+            Outcome::Degraded { .. } => {
+                resolved += 1;
+                degraded += 1;
+            }
+            Outcome::Overloaded => shed += 1,
+            Outcome::DeadlineExceeded => deadline_exceeded += 1,
+        }
+        if response.outcome.result().is_some() {
+            latencies_us.push(response.total.as_micros() as u64);
+            if response.cache_hit {
+                hits += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.shutdown();
+
+    latencies_us.sort_unstable();
+    let report = LevelReport {
+        offered_rps,
+        requests,
+        resolved_with_result: resolved,
+        shed,
+        deadline_exceeded,
+        degraded,
+        throughput_rps: resolved as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile_us(&latencies_us, 0.50),
+        p95_us: percentile_us(&latencies_us, 0.95),
+        p99_us: percentile_us(&latencies_us, 0.99),
+        cache_hit_rate: if resolved == 0 {
+            0.0
+        } else {
+            hits as f64 / resolved as f64
+        },
+        shed_rate: shed as f64 / requests as f64,
+        queue_depth_max: stats.queue_depth_max,
+    };
+    record!(obs, "serve.level", {
+        "offered_rps": report.offered_rps,
+        "requests": report.requests,
+        "throughput_rps": report.throughput_rps,
+        "p50_us": report.p50_us,
+        "p95_us": report.p95_us,
+        "p99_us": report.p99_us,
+        "cache_hit_rate": report.cache_hit_rate,
+        "shed_rate": report.shed_rate,
+    });
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = ObsArgs::parse();
+    let obs = args.build();
+    let _root = obs.span("serve-bench");
+
+    let pool = {
+        let _sp = obs.span("generate");
+        build_pool(smoke)
+    };
+    let variants = config_variants();
+    let requests_per_level = if smoke { 30 } else { 120 };
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get().min(8));
+
+    let mean_service = {
+        let _sp = obs.span("capacity-estimate");
+        estimate_service(&pool, &variants[0])
+    };
+    let capacity_rps = workers as f64 / mean_service.as_secs_f64().max(1e-9);
+    println!(
+        "pool: {} graphs x {} configs, mean sequential service {}, \
+         estimated capacity {:.1} req/s ({} workers)",
+        pool.len(),
+        variants.len(),
+        fmt_secs(mean_service.as_secs_f64()),
+        capacity_rps,
+        workers
+    );
+
+    // Under, at, and well past capacity. The cache absorbs repeats, so
+    // the engine sustains more than the no-cache capacity estimate; the
+    // top level still drives it into degradation/shedding territory.
+    let load_factors = [0.5, 2.0, 8.0];
+    let mut reports = Vec::new();
+    for &factor in &load_factors {
+        let offered = (capacity_rps * factor).max(1.0);
+        let _sp = obs.span("level");
+        reports.push(run_level(
+            &pool,
+            &variants,
+            offered,
+            requests_per_level,
+            workers,
+            &obs,
+        ));
+    }
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.offered_rps),
+                fmt_count(r.requests as u64),
+                format!("{:.1}", r.throughput_rps),
+                fmt_secs(r.p50_us / 1e6),
+                fmt_secs(r.p95_us / 1e6),
+                fmt_secs(r.p99_us / 1e6),
+                fmt_pct(r.cache_hit_rate),
+                fmt_pct(r.shed_rate),
+                format!("{}", r.degraded),
+                format!("{}", r.queue_depth_max),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Serving layer: open-loop load sweep",
+            &[
+                "offered req/s",
+                "requests",
+                "done req/s",
+                "p50",
+                "p95",
+                "p99",
+                "cache hits",
+                "shed",
+                "degraded",
+                "max depth",
+            ],
+            &rows,
+        )
+    );
+
+    let levels: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "offered_rps": r.offered_rps,
+                "requests": r.requests,
+                "resolved_with_result": r.resolved_with_result,
+                "shed": r.shed,
+                "deadline_exceeded": r.deadline_exceeded,
+                "degraded": r.degraded,
+                "throughput_rps": r.throughput_rps,
+                "latency_us": serde_json::json!({
+                    "p50": r.p50_us, "p95": r.p95_us, "p99": r.p99_us
+                }),
+                "cache_hit_rate": r.cache_hit_rate,
+                "shed_rate": r.shed_rate,
+                "queue_depth_max": r.queue_depth_max,
+            })
+        })
+        .collect();
+    let workloads: Vec<serde_json::Value> = pool
+        .iter()
+        .map(|w| {
+            serde_json::json!({
+                "family": w.family,
+                "nodes": w.graph.num_nodes(),
+                "arcs": w.graph.num_arcs(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "bench": "serve",
+        "scale_div": scale_div(),
+        "smoke": smoke,
+        "meta": run_metadata("ba+rmat+lfr", &variants[0]),
+        "workers": workers,
+        "config_variants": variants.len(),
+        "mean_service_seconds": mean_service.as_secs_f64(),
+        "capacity_est_rps": capacity_rps,
+        "workloads": workloads,
+        "levels": levels,
+    });
+    let out = std::env::var("ASA_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
+    println!("\nwrote {out}");
+    drop(_root);
+    let _ = obs.flush();
+}

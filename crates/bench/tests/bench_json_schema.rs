@@ -100,3 +100,80 @@ fn simthroughput_json_schema() {
     assert!(kernel["captured_events"].as_u64().is_some_and(|e| e > 0));
     assert_eq!(kernel["replay_identical"].as_bool(), Some(true));
 }
+
+#[test]
+fn serve_json_schema() {
+    let doc = load("BENCH_serve.json");
+    assert_eq!(doc["bench"], "serve");
+    assert!(doc["scale_div"].as_u64().is_some());
+    assert!(doc["workers"].as_u64().is_some_and(|w| w >= 1));
+    assert!(doc["capacity_est_rps"].as_f64().is_some_and(|c| c > 0.0));
+    assert_meta(&doc, "BENCH_serve.json");
+
+    let workloads = doc["workloads"].as_array().expect("workloads array");
+    assert!(!workloads.is_empty());
+    for w in workloads {
+        assert!(w["family"]
+            .as_str()
+            .is_some_and(|f| ["ba", "rmat", "lfr"].contains(&f)));
+        assert!(w["nodes"].as_u64().is_some_and(|n| n > 0));
+        assert!(w["arcs"].as_u64().is_some_and(|a| a > 0));
+    }
+
+    let levels = doc["levels"].as_array().expect("levels array");
+    assert!(
+        levels.len() >= 3,
+        "the load sweep must cover at least three offered-load levels"
+    );
+    let mut any_cache_hits = false;
+    let mut prev_offered = 0.0;
+    for (i, level) in levels.iter().enumerate() {
+        let what = format!("BENCH_serve.json levels[{i}]");
+        let offered = level["offered_rps"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: offered_rps"));
+        assert!(
+            offered > prev_offered,
+            "{what}: offered loads must be increasing"
+        );
+        prev_offered = offered;
+        assert!(level["requests"].as_u64().is_some_and(|r| r > 0));
+        assert!(level["throughput_rps"].as_f64().is_some_and(|t| t > 0.0));
+        let latency = &level["latency_us"];
+        let p50 = latency["p50"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: p50"));
+        let p95 = latency["p95"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: p95"));
+        let p99 = latency["p99"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: p99"));
+        assert!(
+            p50 > 0.0 && p50 <= p95 && p95 <= p99,
+            "{what}: percentiles must be positive and ordered, got {p50}/{p95}/{p99}"
+        );
+        let hit_rate = level["cache_hit_rate"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: cache_hit_rate"));
+        assert!((0.0..=1.0).contains(&hit_rate));
+        any_cache_hits |= hit_rate > 0.0;
+        let shed_rate = level["shed_rate"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: shed_rate"));
+        assert!((0.0..=1.0).contains(&shed_rate));
+        // Accounting must balance: every request terminated somewhere.
+        let total = level["resolved_with_result"].as_u64().unwrap()
+            + level["shed"].as_u64().unwrap()
+            + level["deadline_exceeded"].as_u64().unwrap();
+        assert_eq!(
+            total,
+            level["requests"].as_u64().unwrap(),
+            "{what}: accounting"
+        );
+    }
+    assert!(
+        any_cache_hits,
+        "the committed sweep must demonstrate a non-zero cache hit rate"
+    );
+}

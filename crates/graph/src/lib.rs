@@ -27,6 +27,7 @@ pub mod clustering;
 pub mod connectivity;
 pub mod csr;
 pub mod degree;
+pub mod fingerprint;
 pub mod generators;
 pub mod io;
 pub mod kcore;
@@ -36,5 +37,6 @@ pub mod subgraph;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, NodeId};
+pub use fingerprint::{fnv1a64, Fnv64};
 pub use partition::Partition;
 pub use stats::GraphStats;

@@ -1,0 +1,167 @@
+//! Cooperative cancellation for long-running optimization.
+//!
+//! A [`CancelToken`] is threaded into
+//! [`crate::schedule::optimize_multilevel_cancellable`], which polls it once
+//! per completed local-move sweep. When the token trips — by explicit
+//! [`CancelToken::cancel`], by an expired deadline, or (for deterministic
+//! tests) by an exhausted poll budget — the schedule stops at the next sweep
+//! boundary, folds the best partition found so far into the answer, and
+//! returns with `interrupted = true`. Cancellation never yields an invalid
+//! partition: every vertex stays assigned and the reported codelength is the
+//! codelength of the returned partition.
+//!
+//! The token is an `Option<Arc<_>>` like every other handle in this stack:
+//! [`CancelToken::none`] is a `None` that makes each poll a single branch,
+//! so uncancellable callers pay nothing.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    /// Remaining sweep polls before the token trips on its own; `None`
+    /// disables the budget. Used by tests to cancel after exactly k sweeps.
+    poll_budget: Option<AtomicI64>,
+}
+
+/// Shared cancellation handle. Clones observe the same state; `cancel()`
+/// on any clone stops every run polling the token.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Option<Arc<CancelInner>>);
+
+impl CancelToken {
+    /// The never-cancelled token: every poll is one branch on `None`.
+    pub fn none() -> Self {
+        CancelToken(None)
+    }
+
+    /// A manually triggered token; trips when [`CancelToken::cancel`] runs.
+    pub fn new() -> Self {
+        Self::build(None, None)
+    }
+
+    /// A token that trips once `deadline` passes (and still honours manual
+    /// [`CancelToken::cancel`]).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline), None)
+    }
+
+    /// [`CancelToken::with_deadline`] from a relative timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A token that trips on the `polls`-th sweep-boundary poll. The
+    /// schedule polls once at the end of each completed sweep, so a run
+    /// under `after_polls(k)` executes exactly `k` sweeps (when the
+    /// uncancelled run would execute at least that many). Deterministic
+    /// regardless of wall clock — the cancellation test harness uses this
+    /// to truncate a run at a known sweep count.
+    pub fn after_polls(polls: u64) -> Self {
+        Self::build(None, Some(AtomicI64::new(polls as i64)))
+    }
+
+    fn build(deadline: Option<Instant>, poll_budget: Option<AtomicI64>) -> Self {
+        CancelToken(Some(Arc::new(CancelInner {
+            cancelled: AtomicBool::new(false),
+            deadline,
+            poll_budget,
+        })))
+    }
+
+    /// Trips the token; every subsequent poll reports cancellation.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.0 {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has tripped (flag or deadline), without consuming
+    /// poll budget. Admission checks use this before starting work.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// One sweep-boundary poll: reports whether the run should stop, and
+    /// consumes one unit of poll budget if a budget is set. Called by the
+    /// schedule after each completed sweep.
+    pub fn poll(&self) -> bool {
+        let Some(inner) = &self.0 else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            return true;
+        }
+        if let Some(budget) = &inner.poll_budget {
+            // fetch_sub returns the previous value: budget k trips on the
+            // k-th poll, i.e. right after the k-th sweep completes.
+            if budget.fetch_sub(1, Ordering::AcqRel) <= 1 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_trips() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        for _ in 0..1000 {
+            assert!(!t.poll());
+        }
+        t.cancel(); // no-op, must not panic
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancel_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.poll());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.poll());
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.poll());
+        let far = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(!far.poll());
+    }
+
+    #[test]
+    fn poll_budget_trips_on_exactly_the_kth_poll() {
+        let t = CancelToken::after_polls(3);
+        assert!(!t.poll());
+        assert!(!t.poll());
+        assert!(t.poll());
+        assert!(t.poll());
+        // is_cancelled does not consume budget.
+        let u = CancelToken::after_polls(1);
+        for _ in 0..10 {
+            assert!(!u.is_cancelled());
+        }
+        assert!(u.poll());
+    }
+}

@@ -9,12 +9,13 @@ use std::time::Instant;
 use asa_graph::CsrGraph;
 use asa_obs::{Obs, Value};
 
+use crate::cancel::CancelToken;
 use crate::config::{AccumulatorKind, InfomapConfig};
 use crate::find_best::MoveDecision;
 use crate::flow::FlowNetwork;
 use crate::local_move::{parallel_decide_with, ScratchPool};
 use crate::result::InfomapResult;
-use crate::schedule::{optimize_multilevel, DecideEngine, SweepCtx};
+use crate::schedule::{optimize_multilevel_cancellable, DecideEngine, SweepCtx};
 
 /// The host-parallel decision engine: rayon work over the active set with
 /// pooled per-worker scratch. Depending on the configured
@@ -129,6 +130,21 @@ impl Infomap {
     /// per-sweep convergence record stream. With `Obs::disabled()` this is
     /// byte-for-byte the plain run.
     pub fn run_observed(&self, graph: &CsrGraph, obs: &Obs) -> InfomapResult {
+        self.run_cancellable(graph, obs, &CancelToken::none())
+    }
+
+    /// [`Infomap::run_observed`] with cooperative cancellation: `cancel` is
+    /// polled at every sweep boundary (see
+    /// [`crate::schedule::optimize_multilevel_cancellable`]). When it trips
+    /// the run stops there and returns the best partition found so far with
+    /// [`InfomapResult::interrupted`] set. With `CancelToken::none()` this
+    /// is byte-for-byte the plain run.
+    pub fn run_cancellable(
+        &self,
+        graph: &CsrGraph,
+        obs: &Obs,
+        cancel: &CancelToken,
+    ) -> InfomapResult {
         let _run = obs.span("infomap");
         // --- PageRank kernel: stationary visit rates + flow network.
         let t = Instant::now();
@@ -141,7 +157,7 @@ impl Infomap {
         let mut engine = HostEngine::with_obs(&self.cfg, obs);
         let outcome = {
             let _sp = obs.span("optimize");
-            optimize_multilevel(&flow, &self.cfg, &mut engine)
+            optimize_multilevel_cancellable(&flow, &self.cfg, &mut engine, cancel)
         };
         let mut timings = outcome.timings;
         timings.pagerank = pagerank;
@@ -153,6 +169,7 @@ impl Infomap {
             levels: outcome.levels,
             level_partitions: outcome.level_partitions,
             timings,
+            interrupted: outcome.interrupted,
         }
     }
 }
@@ -183,6 +200,20 @@ pub fn detect_communities_observed(
     obs: &Obs,
 ) -> InfomapResult {
     Infomap::new(cfg.clone()).run_observed(graph, obs)
+}
+
+/// [`detect_communities`] with cooperative cancellation: the run stops at
+/// the first sweep boundary after `cancel` trips (deadline, manual cancel,
+/// or poll budget) and returns the best partition found so far, flagged
+/// via [`InfomapResult::interrupted`]. The serving layer threads each
+/// request's deadline token through this entry point.
+pub fn detect_communities_cancellable(
+    graph: &CsrGraph,
+    cfg: &InfomapConfig,
+    obs: &Obs,
+    cancel: &CancelToken,
+) -> InfomapResult {
+    Infomap::new(cfg.clone()).run_cancellable(graph, obs, cancel)
 }
 
 #[cfg(test)]

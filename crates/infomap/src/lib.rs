@@ -29,6 +29,7 @@
 //! degree-proportional one and PageRank iteration is skipped. See
 //! [`flow::FlowNetwork`].
 
+pub mod cancel;
 pub mod coarsen;
 pub mod config;
 pub mod distributed;
@@ -45,8 +46,11 @@ pub mod pagerank;
 pub mod result;
 pub mod schedule;
 
+pub use cancel::CancelToken;
 pub use config::InfomapConfig;
-pub use driver::{detect_communities, detect_communities_observed, Infomap};
+pub use driver::{
+    detect_communities, detect_communities_cancellable, detect_communities_observed, Infomap,
+};
 pub use flow::FlowNetwork;
 pub use mapeq::MapState;
 pub use result::{InfomapResult, KernelTimings};

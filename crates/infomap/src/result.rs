@@ -77,6 +77,11 @@ pub struct InfomapResult {
     pub level_partitions: Vec<Partition>,
     /// Wall-clock kernel breakdown.
     pub timings: KernelTimings,
+    /// Whether a [`crate::cancel::CancelToken`] stopped the run at a sweep
+    /// boundary before convergence. The partition is still complete and
+    /// `codelength` describes it; it is the best answer found within the
+    /// allotted budget. Always `false` for uncancellable entry points.
+    pub interrupted: bool,
 }
 
 impl InfomapResult {

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use asa_graph::{NodeId, Partition};
 use asa_obs::{Obs, Value};
 
+use crate::cancel::CancelToken;
 use crate::coarsen::convert_to_supernodes;
 use crate::config::InfomapConfig;
 use crate::find_best::MoveDecision;
@@ -126,6 +127,11 @@ pub struct MultilevelOutcome {
     /// Kernel timings accumulated by the schedule (`find_best`,
     /// `convert`, `update`; `pagerank` is filled by the caller).
     pub timings: KernelTimings,
+    /// Whether a [`CancelToken`] stopped the run at a sweep boundary
+    /// before the schedule converged. The partition is still complete and
+    /// `codelength` describes it exactly; it is simply the best answer
+    /// found within the allotted budget.
+    pub interrupted: bool,
 }
 
 /// Runs the multilevel schedule over `flow0` with the given engine.
@@ -133,6 +139,22 @@ pub fn optimize_multilevel<E: DecideEngine>(
     flow0: &FlowNetwork,
     cfg: &InfomapConfig,
     engine: &mut E,
+) -> MultilevelOutcome {
+    optimize_multilevel_cancellable(flow0, cfg, engine, &CancelToken::none())
+}
+
+/// [`optimize_multilevel`] with cooperative cancellation: `cancel` is
+/// polled once after every completed sweep (level and refinement passes
+/// alike). When it trips, the schedule stops at that sweep boundary, folds
+/// the current level's partial partition into the composed answer, and
+/// returns with [`MultilevelOutcome::interrupted`] set. Until the poll
+/// trips, control flow — and therefore the per-sweep convergence record
+/// stream — is identical to the uncancelled run.
+pub fn optimize_multilevel_cancellable<E: DecideEngine>(
+    flow0: &FlowNetwork,
+    cfg: &InfomapConfig,
+    engine: &mut E,
+    cancel: &CancelToken,
 ) -> MultilevelOutcome {
     let n0 = flow0.num_nodes();
     let obs = engine.obs();
@@ -150,6 +172,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
     let mut mark: Vec<bool> = Vec::new();
     let mut next: Vec<NodeId> = Vec::new();
     let mut labels: Vec<u32> = Vec::new();
+    let mut interrupted = false;
 
     let outer_loops = cfg.outer_loops.max(1);
     for outer in 0..outer_loops {
@@ -252,6 +275,10 @@ pub fn optimize_multilevel<E: DecideEngine>(
                 info.moves += applied.applied;
                 info.sweep_seconds.push(dt.as_secs_f64());
                 info.sweep_active.push(active.len());
+                if cancel.poll() {
+                    interrupted = true;
+                    break;
+                }
                 if applied.applied == 0 {
                     break;
                 }
@@ -261,6 +288,16 @@ pub fn optimize_multilevel<E: DecideEngine>(
 
             info.codelength_after = state.codelength();
             codelength = info.codelength_after;
+            if interrupted {
+                levels.push(info);
+                // Keep the sweeps already paid for: fold this level's
+                // partial partition onto the original vertices. Coarsening
+                // preserves module flows, so `codelength` (computed on the
+                // coarse state) is exactly the codelength of the folded
+                // partition.
+                composed = composed.project(&partition);
+                break;
+            }
             let improved = info.codelength_before - info.codelength_after > cfg.min_improvement;
             let merged = {
                 let mut p = partition.clone();
@@ -291,7 +328,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
 
         // --- Refinement (fine-tuning) phase on the original vertices,
         // only when another multilevel pass could consume it.
-        if outer + 1 >= outer_loops {
+        if interrupted || outer + 1 >= outer_loops {
             break;
         }
         composed.compact();
@@ -375,6 +412,10 @@ pub fn optimize_multilevel<E: DecideEngine>(
             info.sweep_seconds.push(dt.as_secs_f64());
             info.sweep_active.push(active.len());
             total_moves += applied.applied;
+            if cancel.poll() {
+                interrupted = true;
+                break;
+            }
             if applied.applied == 0 {
                 break;
             }
@@ -384,7 +425,9 @@ pub fn optimize_multilevel<E: DecideEngine>(
         info.codelength_after = state.codelength();
         codelength = info.codelength_after;
         levels.push(info);
-        if total_moves == 0 {
+        // Refinement edits `composed` in place, so an interrupt here needs
+        // no folding — the partial refinement is already the answer.
+        if interrupted || total_moves == 0 {
             break;
         }
     }
@@ -405,6 +448,7 @@ pub fn optimize_multilevel<E: DecideEngine>(
         levels,
         level_partitions,
         timings,
+        interrupted,
     }
 }
 

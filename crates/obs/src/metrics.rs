@@ -191,6 +191,52 @@ fn bucket_lower(idx: usize) -> u64 {
     }
 }
 
+/// Exclusive upper bound of a bucket (saturating for the catch-all).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 32 {
+        idx as u64 + 1
+    } else if idx + 1 < HIST_BUCKETS {
+        1u64 << (idx - 32 + 6)
+    } else {
+        u64::MAX
+    }
+}
+
+/// Quantile estimate over bucket counts: finds the bucket holding the
+/// rank-`q` sample and linearly interpolates the rank's position within
+/// the bucket's value range. Exact for samples below 32 (unit buckets);
+/// above that the error is bounded by the power-of-two bucket width.
+fn quantile_from_buckets(
+    counts: impl Iterator<Item = (usize, u64)>,
+    total: u64,
+    max: u64,
+    q: f64,
+) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target sample, 1-based; q = 0 means the first sample.
+    let rank = (q * total as f64).ceil().max(1.0);
+    let mut seen = 0u64;
+    for (idx, n) in counts {
+        if n == 0 {
+            continue;
+        }
+        let before = seen;
+        seen += n;
+        if (seen as f64) >= rank {
+            let lo = bucket_lower(idx) as f64;
+            // Cap the last occupied bucket at the observed maximum so the
+            // interpolation never exceeds any recorded sample.
+            let hi = (bucket_upper(idx).min(max.saturating_add(1))).max(lo as u64 + 1) as f64;
+            let within = (rank - before as f64) / n as f64;
+            return lo + (hi - lo) * within.clamp(0.0, 1.0);
+        }
+    }
+    max as f64
+}
+
 #[derive(Debug)]
 pub(crate) struct HistCore {
     pub(crate) name: &'static str,
@@ -249,6 +295,50 @@ impl Hist {
     pub fn sum(&self) -> u64 {
         self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
     }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.max.load(Ordering::Relaxed))
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) of the recorded
+    /// samples from the bucket counts. Exact to the unit for samples
+    /// below 32; log-bucket interpolated above (error bounded by the
+    /// power-of-two bucket width). Returns 0 for an empty or disabled
+    /// histogram.
+    ///
+    /// Concurrent `record` calls may race the bucket scan; the estimate is
+    /// still within the range of recorded samples, which is all latency
+    /// reporting needs.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let Some(core) = &self.0 else { return 0.0 };
+        let total = core.count.load(Ordering::Relaxed);
+        let max = core.max.load(Ordering::Relaxed);
+        quantile_from_buckets(
+            core.buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i, b.load(Ordering::Relaxed))),
+            total,
+            max,
+            q,
+        )
+    }
+
+    /// Median estimate. See [`Hist::quantile`].
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate. See [`Hist::quantile`].
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate. See [`Hist::quantile`].
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Point-in-time snapshot of a histogram.
@@ -274,6 +364,17 @@ impl HistSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Quantile estimate from the snapshot's buckets; same semantics as
+    /// [`Hist::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(
+            self.buckets.iter().map(|&(lower, n)| (bucket_of(lower), n)),
+            self.count,
+            self.max,
+            q,
+        )
     }
 }
 
@@ -345,6 +446,60 @@ mod tests {
         let h = Hist::disabled();
         h.record(3);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_exact_in_unit_buckets() {
+        let core = Arc::new(HistCore::new("q"));
+        let h = Hist(Some(core));
+        // 100 samples, all under 32 so every bucket is exact: 1..=20,
+        // five of each.
+        for v in 1..=20u64 {
+            for _ in 0..5 {
+                h.record(v);
+            }
+        }
+        assert_eq!(h.count(), 100);
+        // Rank interpolation lands inside the right unit bucket.
+        assert!((h.p50() - 10.0).abs() <= 1.0, "p50={}", h.p50());
+        assert!((h.p95() - 19.0).abs() <= 1.0, "p95={}", h.p95());
+        assert!((h.p99() - 20.0).abs() <= 1.0, "p99={}", h.p99());
+        assert!((h.quantile(0.0) - 1.0).abs() <= 1.0);
+        assert!(h.quantile(1.0) <= h.max() as f64 + 1.0);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded_in_log_buckets() {
+        let core = Arc::new(HistCore::new("q"));
+        let h = Hist(Some(core.clone()));
+        for i in 0..1000u64 {
+            h.record(i * 17 + 3); // spread across unit and log buckets
+        }
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile must be monotone in q");
+            assert!(v <= h.max() as f64 + 1.0, "quantile bounded by max+1");
+            prev = v;
+        }
+        // p99 of ~uniform[3, 17000] lands within the containing power-of-
+        // two bucket of the true value (16832 -> bucket [16384, 17001)).
+        let p99 = h.p99();
+        assert!((16384.0..17001.0).contains(&p99), "p99={p99}");
+        // Snapshot agrees with the live handle.
+        let snap = snapshot_hist(&core);
+        assert!((snap.quantile(0.99) - p99).abs() < 1e-9);
+        assert!((snap.quantile(0.5) - h.p50()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_disabled() {
+        assert_eq!(Hist::disabled().quantile(0.5), 0.0);
+        let core = Arc::new(HistCore::new("e"));
+        let h = Hist(Some(core.clone()));
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(snapshot_hist(&core).quantile(0.9), 0.0);
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! The serving engine: admission control → bounded queue → worker pool →
+//! Infomap, with a result cache in front and a degradation ladder under
+//! load.
+//!
+//! Lifecycle of a request (see DESIGN.md § Serving layer for the diagram):
+//!
+//! 1. **Admission** ([`ServeEngine::submit`]): the request is keyed by
+//!    `(graph fingerprint, config hash)` and looked up in the cache — a
+//!    hit resolves immediately without queueing. A miss enqueues into the
+//!    request's priority class; a full class rejects with
+//!    [`Outcome::Overloaded`] *now* instead of building unbounded backlog.
+//! 2. **Dequeue**: workers drain interactive before batch. A request whose
+//!    deadline already expired resolves [`Outcome::DeadlineExceeded`]
+//!    without running.
+//! 3. **Degradation ladder**: under queue pressure, batch requests run
+//!    with lowered quality knobs (first fewer outer refinement loops, then
+//!    also fewer sweeps) before anything is shed. Interactive requests are
+//!    never degraded by pressure.
+//! 4. **Run**: Infomap executes with a [`CancelToken`] carrying the
+//!    request deadline; an expiry mid-run stops at the next sweep boundary
+//!    and the best partition found so far returns as
+//!    [`Outcome::Degraded`].
+//! 5. **Cache fill**: only full-quality, uninterrupted results are
+//!    cached — degraded partitions must never be served to a later caller
+//!    who asked for full quality.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use asa_graph::fnv1a64;
+use asa_infomap::{detect_communities_cancellable, CancelToken, InfomapConfig, InfomapResult};
+use asa_obs::{Counter, Gauge, Hist, Obs};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::queue::{JobQueue, PushError};
+use crate::request::{
+    DegradeReason, JobHandle, Outcome, Priority, Request, Response, ResponseSlot,
+};
+
+/// Stable 64-bit hash of an Infomap configuration, for cache keying.
+/// FNV-1a over the `Debug` rendering: every field participates, and the
+/// rendering is deterministic for a given build.
+pub fn config_hash(cfg: &InfomapConfig) -> u64 {
+    fnv1a64(format!("{cfg:?}").as_bytes())
+}
+
+/// Engine sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue. Each runs one request at a time;
+    /// the requests themselves still use the shared rayon pool internally.
+    pub workers: usize,
+    /// Bound on queued interactive requests; submissions beyond it shed.
+    pub queue_capacity_interactive: usize,
+    /// Bound on queued batch requests.
+    pub queue_capacity_batch: usize,
+    /// Total result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (lock-splitting; capacity divides across shards).
+    pub cache_shards: usize,
+    /// Cache entry time-to-live.
+    pub cache_ttl: Duration,
+    /// Queue depth at which batch requests start running degraded
+    /// (ladder rung 1; rung 2 engages at twice this depth).
+    pub degrade_depth: usize,
+    /// Telemetry handle. Serving metrics (queue depth gauge, per-class
+    /// latency histograms, shed/degrade/cache counters) register here;
+    /// pass a disabled handle to keep metrics readable via
+    /// [`ServeEngine::stats`] without any sink wiring.
+    pub obs: Obs,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+            queue_capacity_interactive: 64,
+            queue_capacity_batch: 256,
+            cache_capacity: 128,
+            cache_shards: 8,
+            cache_ttl: Duration::from_secs(300),
+            degrade_depth: 8,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Serving-level metric handles. Built from the configured [`Obs`] when it
+/// is enabled, or from a private enabled handle otherwise, so
+/// [`ServeEngine::stats`] always has live numbers to read.
+#[derive(Debug, Clone)]
+struct Metrics {
+    submitted: Counter,
+    completed: Counter,
+    shed: Counter,
+    degraded_pressure: Counter,
+    degraded_deadline: Counter,
+    deadline_exceeded: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    queue_depth: Gauge,
+    latency_interactive_us: Hist,
+    latency_batch_us: Hist,
+}
+
+impl Metrics {
+    fn new(obs: &Obs) -> Self {
+        Metrics {
+            submitted: obs.counter("serve.submitted"),
+            completed: obs.counter("serve.completed"),
+            shed: obs.counter("serve.shed"),
+            degraded_pressure: obs.counter("serve.degraded.pressure"),
+            degraded_deadline: obs.counter("serve.degraded.deadline"),
+            deadline_exceeded: obs.counter("serve.deadline_exceeded"),
+            cache_hits: obs.counter("serve.cache.hits"),
+            cache_misses: obs.counter("serve.cache.misses"),
+            queue_depth: obs.gauge("serve.queue.depth"),
+            latency_interactive_us: obs.hist("serve.latency_us.interactive"),
+            latency_batch_us: obs.hist("serve.latency_us.batch"),
+        }
+    }
+
+    fn latency(&self, priority: Priority) -> &Hist {
+        match priority {
+            Priority::Interactive => &self.latency_interactive_us,
+            Priority::Batch => &self.latency_batch_us,
+        }
+    }
+}
+
+/// Per-class latency summary inside [`EngineStats`], estimated from the
+/// log-bucketed latency histogram via [`Hist::quantile`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Requests that resolved in this class.
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl LatencyStats {
+    fn from_hist(hist: &Hist) -> Self {
+        LatencyStats {
+            count: hist.count(),
+            p50_us: hist.p50(),
+            p95_us: hist.p95(),
+            p99_us: hist.p99(),
+        }
+    }
+}
+
+/// Point-in-time engine statistics, readable at any moment.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Requests submitted (including shed ones).
+    pub submitted: u64,
+    /// Requests resolved with a result (`Ok` or `Degraded`).
+    pub completed: u64,
+    /// Requests rejected at admission (`Overloaded`).
+    pub shed: u64,
+    /// Results degraded by the load-pressure ladder.
+    pub degraded_pressure: u64,
+    /// Results degraded by a mid-run deadline expiry.
+    pub degraded_deadline: u64,
+    /// Requests that expired before any work ran.
+    pub deadline_exceeded: u64,
+    /// Requests answered from the cache.
+    pub cache_hits: u64,
+    /// Requests that had to run Infomap.
+    pub cache_misses: u64,
+    /// Queue depth when the stats were read.
+    pub queue_depth_last: u64,
+    /// Highest queue depth ever observed.
+    pub queue_depth_max: u64,
+    /// Interactive-class latency summary.
+    pub latency_interactive: LatencyStats,
+    /// Batch-class latency summary.
+    pub latency_batch: LatencyStats,
+}
+
+impl EngineStats {
+    /// Cache hit rate over resolved lookups, 0 when nothing resolved.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of submissions rejected at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    key: CacheKey,
+    slot: Arc<ResponseSlot>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: JobQueue<Job>,
+    cache: ResultCache,
+    metrics: Metrics,
+}
+
+/// The in-process community-detection service. See the module docs.
+///
+/// ```
+/// use std::sync::Arc;
+/// use asa_graph::GraphBuilder;
+/// use asa_serve::{Outcome, Request, ServeConfig, ServeEngine};
+///
+/// let mut b = GraphBuilder::undirected(6);
+/// for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+///     b.add_edge(u, v, 1.0);
+/// }
+/// let graph = Arc::new(b.build());
+///
+/// let engine = ServeEngine::start(ServeConfig::default());
+/// let response = engine.submit(Request::interactive(Arc::clone(&graph))).wait();
+/// let result = response.outcome.result().expect("full-quality result");
+/// assert_eq!(result.num_communities(), 2);
+///
+/// // Same graph + config again: served from the cache.
+/// let again = engine.submit(Request::interactive(graph)).wait();
+/// assert!(again.cache_hit);
+/// let stats = engine.shutdown();
+/// assert_eq!(stats.cache_hits, 1);
+/// ```
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.shared.queue.depth())
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Starts the worker pool and returns the running engine.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let metrics_obs = if cfg.obs.enabled() {
+            cfg.obs.clone()
+        } else {
+            // Private registry so `stats()` works without telemetry wiring.
+            Obs::new_enabled()
+        };
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity_interactive, cfg.queue_capacity_batch),
+            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards, cfg.cache_ttl),
+            metrics: Metrics::new(&metrics_obs),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asa-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeEngine { shared, workers }
+    }
+
+    /// Submits a request. Never blocks: cache hits and admission
+    /// rejections resolve the handle before this returns; everything else
+    /// resolves when a worker finishes the job. Every submission
+    /// terminates in exactly one [`Outcome`].
+    pub fn submit(&self, request: Request) -> JobHandle {
+        let m = &self.shared.metrics;
+        m.submitted.incr();
+        let submitted = Instant::now();
+        let slot = Arc::new(ResponseSlot::default());
+        let handle = JobHandle {
+            slot: Arc::clone(&slot),
+        };
+        let key = (request.graph.fingerprint(), config_hash(&request.config));
+
+        // Admission-time cache check: hits never consume queue capacity.
+        if let Some(hit) = self.shared.cache.get(&key) {
+            m.cache_hits.incr();
+            m.completed.incr();
+            let total = submitted.elapsed();
+            m.latency(request.priority).record(total.as_micros() as u64);
+            slot.fill(Response {
+                outcome: Outcome::Ok(hit),
+                queued: Duration::ZERO,
+                service: Duration::ZERO,
+                total,
+                cache_hit: true,
+            });
+            return handle;
+        }
+
+        let priority = request.priority;
+        let deadline = request.deadline.map(|d| submitted + d);
+        let job = Job {
+            request,
+            key,
+            slot,
+            submitted,
+            deadline,
+        };
+        match self.shared.queue.push(priority, job) {
+            Ok(depth) => m.queue_depth.set(depth as u64),
+            Err(PushError::Full(job) | PushError::Closed(job)) => {
+                m.shed.incr();
+                job.slot.fill(Response {
+                    outcome: Outcome::Overloaded,
+                    queued: Duration::ZERO,
+                    service: Duration::ZERO,
+                    total: submitted.elapsed(),
+                    cache_hit: false,
+                });
+            }
+        }
+        handle
+    }
+
+    /// Current queue depth (both classes).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Live engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.shared.metrics;
+        EngineStats {
+            submitted: m.submitted.value(),
+            completed: m.completed.value(),
+            shed: m.shed.value(),
+            degraded_pressure: m.degraded_pressure.value(),
+            degraded_deadline: m.degraded_deadline.value(),
+            deadline_exceeded: m.deadline_exceeded.value(),
+            cache_hits: m.cache_hits.value(),
+            cache_misses: m.cache_misses.value(),
+            queue_depth_last: self.shared.queue.depth() as u64,
+            queue_depth_max: m.queue_depth.max(),
+            latency_interactive: LatencyStats::from_hist(&m.latency_interactive_us),
+            latency_batch: LatencyStats::from_hist(&m.latency_batch_us),
+        }
+    }
+
+    /// Graceful shutdown: stops admission, drains every queued job
+    /// (each still resolves normally), joins the workers, and returns the
+    /// final statistics.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The degradation ladder. Rung 0 is the requested configuration; rung 1
+/// drops refinement (`outer_loops = 1`); rung 2 additionally halves the
+/// sweep budget. Levels are untouched — coarsening is what makes large
+/// graphs tractable at all.
+fn degraded_config(cfg: &InfomapConfig, rung: u8) -> InfomapConfig {
+    let mut out = cfg.clone();
+    if rung >= 1 {
+        out.outer_loops = 1;
+    }
+    if rung >= 2 {
+        out.max_sweeps = (cfg.max_sweeps / 2).max(2);
+    }
+    out
+}
+
+fn worker_loop(shared: &Shared) {
+    let m = &shared.metrics;
+    while let Some((priority, job)) = shared.queue.pop() {
+        let depth = shared.queue.depth();
+        m.queue_depth.set(depth as u64);
+        let dequeued = Instant::now();
+        let queued = dequeued - job.submitted;
+
+        // Expired while queued: no work, no partial result.
+        if job.deadline.is_some_and(|d| dequeued >= d) {
+            m.deadline_exceeded.incr();
+            m.latency(priority).record(queued.as_micros() as u64);
+            job.slot.fill(Response {
+                outcome: Outcome::DeadlineExceeded,
+                queued,
+                service: Duration::ZERO,
+                total: queued,
+                cache_hit: false,
+            });
+            continue;
+        }
+
+        // A hit may have landed while this job waited.
+        if let Some(hit) = shared.cache.get(&job.key) {
+            m.cache_hits.incr();
+            m.completed.incr();
+            let total = job.submitted.elapsed();
+            m.latency(priority).record(total.as_micros() as u64);
+            job.slot.fill(Response {
+                outcome: Outcome::Ok(hit),
+                queued,
+                service: Duration::ZERO,
+                total,
+                cache_hit: true,
+            });
+            continue;
+        }
+        m.cache_misses.incr();
+
+        // Degradation ladder, batch class only.
+        let rung = if priority == Priority::Batch && shared.cfg.degrade_depth > 0 {
+            if depth >= shared.cfg.degrade_depth * 2 {
+                2
+            } else if depth >= shared.cfg.degrade_depth {
+                1
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let effective = if rung > 0 {
+            m.degraded_pressure.incr();
+            degraded_config(&job.request.config, rung)
+        } else {
+            job.request.config.clone()
+        };
+        let cancel = match job.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::none(),
+        };
+
+        // Per-request runs are deliberately unobserved: per-sweep record
+        // streams from concurrent requests would interleave uselessly and
+        // dominate the serving telemetry. Serving-level metrics capture
+        // what the operator needs.
+        let t = Instant::now();
+        let result = detect_communities_cancellable(
+            &job.request.graph,
+            &effective,
+            &Obs::disabled(),
+            &cancel,
+        );
+        let service = t.elapsed();
+        let interrupted = result.interrupted;
+        if interrupted {
+            m.degraded_deadline.incr();
+        }
+        let result: Arc<InfomapResult> = Arc::new(result);
+
+        // Only cache what a fresh full-quality run would have produced.
+        if !interrupted && rung == 0 {
+            shared.cache.insert(job.key, Arc::clone(&result));
+        }
+
+        let outcome = if interrupted {
+            Outcome::Degraded {
+                result,
+                reason: DegradeReason::Deadline,
+            }
+        } else if rung > 0 {
+            Outcome::Degraded {
+                result,
+                reason: DegradeReason::LoadPressure,
+            }
+        } else {
+            Outcome::Ok(result)
+        };
+        m.completed.incr();
+        let total = job.submitted.elapsed();
+        m.latency(priority).record(total.as_micros() as u64);
+        job.slot.fill(Response {
+            outcome,
+            queued,
+            service,
+            total,
+            cache_hit: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::{CsrGraph, GraphBuilder};
+
+    fn two_triangles() -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn ok_result_and_cache_hit() {
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let graph = two_triangles();
+        let first = engine
+            .submit(Request::interactive(Arc::clone(&graph)))
+            .wait();
+        assert!(!first.cache_hit);
+        let r1 = first.outcome.result().expect("ok").clone();
+        assert_eq!(r1.num_communities(), 2);
+
+        let second = engine.submit(Request::batch(Arc::clone(&graph))).wait();
+        assert!(second.cache_hit, "same graph+config must hit the cache");
+        assert!(Arc::ptr_eq(second.outcome.result().unwrap(), &r1));
+
+        // A different config is a different key.
+        let other_cfg = InfomapConfig {
+            outer_loops: 1,
+            ..InfomapConfig::default()
+        };
+        let third = engine
+            .submit(Request::interactive(graph).with_config(other_cfg))
+            .wait();
+        assert!(!third.cache_hit);
+
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert!(stats.latency_interactive.count >= 2);
+    }
+
+    #[test]
+    fn zero_queue_capacity_sheds() {
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 1,
+            queue_capacity_interactive: 0,
+            queue_capacity_batch: 0,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let response = engine.submit(Request::interactive(two_triangles())).wait();
+        assert!(matches!(response.outcome, Outcome::Overloaded));
+        let stats = engine.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert!((stats.shed_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_deadline_resolves_without_running() {
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let response = engine
+            .submit(Request::batch(two_triangles()).with_deadline(Duration::ZERO))
+            .wait();
+        assert!(matches!(response.outcome, Outcome::DeadlineExceeded));
+        assert_eq!(response.service, Duration::ZERO);
+        let stats = engine.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn degraded_config_ladder() {
+        let cfg = InfomapConfig::default();
+        let r1 = degraded_config(&cfg, 1);
+        assert_eq!(r1.outer_loops, 1);
+        assert_eq!(r1.max_sweeps, cfg.max_sweeps);
+        let r2 = degraded_config(&cfg, 2);
+        assert_eq!(r2.outer_loops, 1);
+        assert_eq!(r2.max_sweeps, cfg.max_sweeps / 2);
+        assert_eq!(degraded_config(&cfg, 0).max_sweeps, cfg.max_sweeps);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let graph = two_triangles();
+        let handles: Vec<_> = (0..16)
+            .map(|_| engine.submit(Request::batch(Arc::clone(&graph))))
+            .collect();
+        let stats = engine.shutdown();
+        for h in handles {
+            let response = h.try_get().expect("resolved by shutdown");
+            assert!(response.outcome.result().is_some());
+        }
+        assert_eq!(stats.completed, 16);
+    }
+}

@@ -1,0 +1,36 @@
+//! `asa-serve` — an in-process, production-style serving layer over the
+//! ASA Infomap engine.
+//!
+//! The library crates answer "partition this graph"; this crate answers
+//! "partition graphs *for many concurrent callers, under load, with
+//! latency promises*". It adds the four mechanisms a service needs that
+//! a library does not:
+//!
+//! * **Admission control** — a bounded two-class priority queue
+//!   ([`queue::JobQueue`]). Interactive requests dequeue before batch
+//!   ones; a full class rejects with [`Outcome::Overloaded`] at submit
+//!   time rather than queueing unboundedly.
+//! * **Result caching** — a sharded LRU+TTL cache
+//!   ([`cache::ResultCache`]) keyed by `(graph fingerprint, config
+//!   hash)`, so repeated requests for the same graph are answered in
+//!   microseconds.
+//! * **Deadlines & cancellation** — a request deadline rides into the
+//!   engine as an [`asa_infomap::CancelToken`]; a run that outlives it
+//!   stops at the next sweep boundary and returns its best partition as
+//!   [`Outcome::Degraded`].
+//! * **Graceful degradation** — under queue pressure, batch requests run
+//!   with lowered quality knobs before anything is shed.
+//!
+//! Entry points: [`ServeEngine::start`], [`ServeEngine::submit`],
+//! [`Request`]. See `DESIGN.md` § "Serving layer" for the architecture
+//! diagram and the degradation ladder.
+
+pub mod cache;
+pub mod engine;
+pub mod queue;
+pub mod request;
+
+pub use cache::{CacheKey, ResultCache};
+pub use engine::{config_hash, EngineStats, LatencyStats, ServeConfig, ServeEngine};
+pub use queue::{JobQueue, PushError};
+pub use request::{DegradeReason, JobHandle, Outcome, Priority, Request, Response};

@@ -1,0 +1,207 @@
+//! Bounded MPMC job queue with two priority classes.
+//!
+//! One mutex + condvar over a pair of `VecDeque`s. Admission control is
+//! the point: `push` never blocks and never grows past the per-class
+//! bound — a full class rejects immediately so the caller can shed the
+//! request ([`crate::Outcome::Overloaded`]) instead of building an
+//! unbounded backlog. Consumers (`pop`) drain interactive work strictly
+//! before batch work and block when both classes are empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::request::Priority;
+
+#[derive(Debug)]
+struct Inner<T> {
+    interactive: VecDeque<T>,
+    batch: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn depth(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+}
+
+/// Rejection returned by [`JobQueue::push`], handing the item back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The class's queue is at capacity.
+    Full(T),
+    /// The queue was closed; no new work is admitted.
+    Closed(T),
+}
+
+/// Bounded two-class MPMC queue. See the module docs.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: [usize; 2],
+}
+
+fn class_index(priority: Priority) -> usize {
+    match priority {
+        Priority::Interactive => 0,
+        Priority::Batch => 1,
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `cap_interactive` queued interactive and
+    /// `cap_batch` queued batch items.
+    pub fn new(cap_interactive: usize, cap_batch: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: [cap_interactive, cap_batch],
+        }
+    }
+
+    /// Admits `item` into its class, or rejects without blocking.
+    /// On success returns the total queue depth after the push.
+    pub fn push(&self, priority: Priority, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        let class = match priority {
+            Priority::Interactive => &mut inner.interactive,
+            Priority::Batch => &mut inner.batch,
+        };
+        if class.len() >= self.capacity[class_index(priority)] {
+            return Err(PushError::Full(item));
+        }
+        class.push_back(item);
+        let depth = inner.depth();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes the next item, interactive class first. Blocks while both
+    /// classes are empty; returns `None` once the queue is closed *and*
+    /// drained, so workers exit only after finishing admitted work.
+    pub fn pop(&self) -> Option<(Priority, T)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.interactive.pop_front() {
+                return Some((Priority::Interactive, item));
+            }
+            if let Some(item) = inner.batch.pop_front() {
+                return Some((Priority::Batch, item));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Current total depth across both classes.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().depth()
+    }
+
+    /// Stops admission and wakes every blocked consumer. Items already
+    /// queued are still drained by `pop`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_class_priority_across() {
+        let q = JobQueue::new(8, 8);
+        q.push(Priority::Batch, 10).unwrap();
+        q.push(Priority::Interactive, 1).unwrap();
+        q.push(Priority::Batch, 11).unwrap();
+        q.push(Priority::Interactive, 2).unwrap();
+        assert_eq!(q.depth(), 4);
+        assert_eq!(q.pop(), Some((Priority::Interactive, 1)));
+        assert_eq!(q.pop(), Some((Priority::Interactive, 2)));
+        assert_eq!(q.pop(), Some((Priority::Batch, 10)));
+        assert_eq!(q.pop(), Some((Priority::Batch, 11)));
+    }
+
+    #[test]
+    fn bounded_per_class() {
+        let q = JobQueue::new(1, 2);
+        q.push(Priority::Interactive, 1).unwrap();
+        assert!(matches!(
+            q.push(Priority::Interactive, 2),
+            Err(PushError::Full(2))
+        ));
+        // Batch capacity is independent of the interactive class.
+        q.push(Priority::Batch, 3).unwrap();
+        q.push(Priority::Batch, 4).unwrap();
+        assert!(matches!(
+            q.push(Priority::Batch, 5),
+            Err(PushError::Full(5))
+        ));
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn close_rejects_then_drains() {
+        let q = JobQueue::new(4, 4);
+        q.push(Priority::Batch, 7).unwrap();
+        q.close();
+        assert!(matches!(
+            q.push(Priority::Interactive, 1),
+            Err(PushError::Closed(1))
+        ));
+        assert_eq!(q.pop(), Some((Priority::Batch, 7)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(JobQueue::new(4, 4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.push(Priority::Interactive, 42).unwrap();
+        q.push(Priority::Batch, 43).unwrap();
+        q.close();
+        let mut got: Vec<Option<(Priority, i32)>> =
+            consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        got.sort_by_key(|r| r.map(|(_, v)| v));
+        assert_eq!(
+            got,
+            vec![
+                None,
+                Some((Priority::Interactive, 42)),
+                Some((Priority::Batch, 43)),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = JobQueue::new(0, 0);
+        assert!(matches!(
+            q.push(Priority::Interactive, 1),
+            Err(PushError::Full(1))
+        ));
+        assert!(matches!(
+            q.push(Priority::Batch, 2),
+            Err(PushError::Full(2))
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Request/response vocabulary of the serving layer.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use asa_graph::CsrGraph;
+use asa_infomap::{InfomapConfig, InfomapResult};
+
+/// Scheduling class of a request. Interactive requests are drained before
+/// batch requests and are never quality-degraded under load; batch
+/// requests absorb the degradation ladder first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive; dequeued first, never degraded by load pressure.
+    Interactive,
+    /// Throughput work; degraded (fewer outer loops / sweeps) before the
+    /// engine sheds anything.
+    Batch,
+}
+
+impl Priority {
+    /// Stable lowercase name for telemetry labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// One community-detection request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The graph to partition. `Arc` so the caller, queue, and cache can
+    /// share one copy.
+    pub graph: Arc<CsrGraph>,
+    /// Requested Infomap parameters. The engine may lower `outer_loops` /
+    /// `max_sweeps` for batch requests under load (the response reports
+    /// this as [`Outcome::Degraded`]).
+    pub config: InfomapConfig,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Optional completion deadline, relative to submission. A request
+    /// that expires in the queue terminates [`Outcome::DeadlineExceeded`];
+    /// one that expires mid-run stops at the next sweep boundary and
+    /// returns the best partition found so far as [`Outcome::Degraded`].
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// An interactive request with default parameters and no deadline.
+    pub fn interactive(graph: Arc<CsrGraph>) -> Self {
+        Self::new(graph, Priority::Interactive)
+    }
+
+    /// A batch request with default parameters and no deadline.
+    pub fn batch(graph: Arc<CsrGraph>) -> Self {
+        Self::new(graph, Priority::Batch)
+    }
+
+    fn new(graph: Arc<CsrGraph>, priority: Priority) -> Self {
+        Request {
+            graph,
+            config: InfomapConfig::default(),
+            priority,
+            deadline: None,
+        }
+    }
+
+    /// Sets the completion deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the Infomap configuration.
+    pub fn with_config(mut self, config: InfomapConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Why a result was served at reduced quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The deadline expired mid-run; the run stopped at a sweep boundary
+    /// and this is the best partition found by then.
+    Deadline,
+    /// Queue pressure made the engine lower the request's quality knobs
+    /// (batch class only) before running it.
+    LoadPressure,
+}
+
+/// Terminal state of a request. Every submitted request resolves to
+/// exactly one of these.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Full-quality result at the requested configuration.
+    Ok(Arc<InfomapResult>),
+    /// A complete, valid partition at reduced quality.
+    Degraded {
+        /// The (still complete and valid) partition.
+        result: Arc<InfomapResult>,
+        /// What forced the reduction.
+        reason: DegradeReason,
+    },
+    /// Rejected at admission: the queue for this priority class was full.
+    Overloaded,
+    /// The deadline expired before any work ran; there is no partial
+    /// result to return.
+    DeadlineExceeded,
+}
+
+impl Outcome {
+    /// The partition-bearing result, if any.
+    pub fn result(&self) -> Option<&Arc<InfomapResult>> {
+        match self {
+            Outcome::Ok(r) | Outcome::Degraded { result: r, .. } => Some(r),
+            Outcome::Overloaded | Outcome::DeadlineExceeded => None,
+        }
+    }
+
+    /// Stable lowercase name for telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Ok(_) => "ok",
+            Outcome::Degraded { .. } => "degraded",
+            Outcome::Overloaded => "overloaded",
+            Outcome::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
+/// Completed response: the outcome plus where the request's time went.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Time spent queued (zero for cache hits and admission rejections).
+    pub queued: Duration,
+    /// Time spent running Infomap (zero unless a worker ran the request).
+    pub service: Duration,
+    /// Submission-to-completion wall time.
+    pub total: Duration,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Shared completion slot between a [`JobHandle`] and the worker that
+/// resolves it.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    state: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn fill(&self, response: Response) {
+        let mut state = self.state.lock().unwrap();
+        debug_assert!(state.is_none(), "a request resolves exactly once");
+        *state = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// Caller-side handle to an in-flight request.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+impl JobHandle {
+    /// Blocks until the request resolves and returns its response.
+    pub fn wait(&self) -> Response {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(response) = state.as_ref() {
+                return response.clone();
+            }
+            state = self.slot.ready.wait(state).unwrap();
+        }
+    }
+
+    /// The response, if the request already resolved.
+    pub fn try_get(&self) -> Option<Response> {
+        self.slot.state.lock().unwrap().clone()
+    }
+}

@@ -1,0 +1,270 @@
+//! Overload stress tests for the serving engine — the acceptance
+//! criteria of the serving layer:
+//!
+//! * under sustained overload the engine never panics or deadlocks,
+//! * queue depth never exceeds the configured bound,
+//! * every submitted request terminates in exactly one of
+//!   `Ok` / `Degraded` / `Overloaded` / `DeadlineExceeded`,
+//! * overload actually sheds (`Overloaded` occurs), and
+//! * the degradation ladder fires for batch work under pressure.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use asa_graph::{CsrGraph, GraphBuilder};
+use asa_infomap::InfomapConfig;
+use asa_serve::{Outcome, Priority, Request, ServeConfig, ServeEngine};
+
+/// A ring of cliques: enough structure that Infomap does real work, small
+/// enough that a stress test stays fast.
+fn clique_ring(cliques: usize, size: usize, seed: u64) -> Arc<CsrGraph> {
+    let n = cliques * size;
+    let mut b = GraphBuilder::undirected(n);
+    for c in 0..cliques {
+        let base = (c * size) as u32;
+        for i in 0..size as u32 {
+            for j in (i + 1)..size as u32 {
+                b.add_edge(base + i, base + j, 1.0 + ((seed + j as u64) % 3) as f64);
+            }
+        }
+        b.add_edge(base, (((c + 1) % cliques) * size) as u32, 0.5);
+    }
+    Arc::new(b.build())
+}
+
+#[test]
+fn overload_never_panics_every_request_terminates() {
+    const QUEUE_INTERACTIVE: usize = 4;
+    const QUEUE_BATCH: usize = 8;
+    const SUBMITTERS: usize = 4;
+    const PER_SUBMITTER: usize = 64;
+
+    let engine = Arc::new(ServeEngine::start(ServeConfig {
+        workers: 2,
+        queue_capacity_interactive: QUEUE_INTERACTIVE,
+        queue_capacity_batch: QUEUE_BATCH,
+        cache_capacity: 16,
+        cache_shards: 4,
+        cache_ttl: Duration::from_secs(60),
+        degrade_depth: 2,
+        ..ServeConfig::default()
+    }));
+
+    // A few distinct graphs so the cache absorbs some load but not all.
+    let graphs: Vec<Arc<CsrGraph>> = (0..6).map(|s| clique_ring(8, 6, s)).collect();
+
+    let max_depth_seen = Arc::new(AtomicUsize::new(0));
+    let counts = Arc::new([
+        AtomicUsize::new(0), // ok
+        AtomicUsize::new(0), // degraded
+        AtomicUsize::new(0), // overloaded
+        AtomicUsize::new(0), // deadline_exceeded
+    ]);
+
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let graphs = graphs.clone();
+            let max_depth_seen = Arc::clone(&max_depth_seen);
+            let counts = Arc::clone(&counts);
+            std::thread::spawn(move || {
+                let mut handles = Vec::with_capacity(PER_SUBMITTER);
+                for i in 0..PER_SUBMITTER {
+                    let graph = Arc::clone(&graphs[(t + i) % graphs.len()]);
+                    let mut req = if i % 3 == 0 {
+                        Request::interactive(graph)
+                    } else {
+                        Request::batch(graph)
+                    };
+                    if i % 7 == 0 {
+                        // Mix of generous and already-hopeless deadlines.
+                        let ms = if i % 14 == 0 { 0 } else { 30_000 };
+                        req = req.with_deadline(Duration::from_millis(ms));
+                    }
+                    handles.push(engine.submit(req));
+                    max_depth_seen.fetch_max(engine.queue_depth(), Ordering::Relaxed);
+                }
+                for h in handles {
+                    let response = h.wait();
+                    let slot = match response.outcome {
+                        Outcome::Ok(ref r) | Outcome::Degraded { result: ref r, .. } => {
+                            // Any returned partition is complete and valid.
+                            assert_eq!(r.partition.len(), graphs[0].num_nodes());
+                            assert!(r.codelength.is_finite());
+                            if matches!(response.outcome, Outcome::Ok(_)) {
+                                0
+                            } else {
+                                1
+                            }
+                        }
+                        Outcome::Overloaded => 2,
+                        Outcome::DeadlineExceeded => 3,
+                    };
+                    counts[slot].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    for s in submitters {
+        s.join().expect("submitter thread must not panic");
+    }
+
+    let stats = engine.stats();
+    let resolved: usize = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    assert_eq!(
+        resolved,
+        SUBMITTERS * PER_SUBMITTER,
+        "every request terminates in exactly one outcome"
+    );
+    assert_eq!(stats.submitted as usize, SUBMITTERS * PER_SUBMITTER);
+    assert!(
+        max_depth_seen.load(Ordering::Relaxed) <= QUEUE_INTERACTIVE + QUEUE_BATCH,
+        "queue depth must stay within the configured bound"
+    );
+    assert!(
+        counts[2].load(Ordering::Relaxed) > 0,
+        "an overloaded engine must shed: tiny queues, 256 requests, 2 workers"
+    );
+    assert!(
+        stats.completed + stats.shed + stats.deadline_exceeded == stats.submitted,
+        "engine accounting must balance: {stats:?}"
+    );
+    assert!(stats.cache_hits > 0, "repeated graphs must hit the cache");
+
+    // Cleanly drains whatever is still queued.
+    let final_stats = Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("all clones dropped"))
+        .shutdown();
+    assert_eq!(final_stats.queue_depth_last, 0);
+}
+
+#[test]
+fn pressure_degrades_batch_before_shedding() {
+    // One worker, deep batch queue, degrade threshold 1: every batch job
+    // dequeued while others wait runs degraded.
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        queue_capacity_interactive: 4,
+        queue_capacity_batch: 64,
+        cache_capacity: 0, // force every request to run
+        degrade_depth: 1,
+        ..ServeConfig::default()
+    });
+    let graph = clique_ring(6, 5, 1);
+    let handles: Vec<_> = (0..24)
+        .map(|_| engine.submit(Request::batch(Arc::clone(&graph))))
+        .collect();
+    let mut degraded = 0usize;
+    for h in handles {
+        match h.wait().outcome {
+            Outcome::Degraded { .. } => degraded += 1,
+            Outcome::Ok(_) => {}
+            other => panic!("unexpected outcome under pressure: {}", other.name()),
+        }
+    }
+    assert!(
+        degraded > 0,
+        "queue pressure must lower batch quality before shedding"
+    );
+    let stats = engine.shutdown();
+    assert_eq!(stats.degraded_pressure as usize, degraded);
+    assert_eq!(stats.shed, 0, "nothing sheds while the queue has room");
+}
+
+#[test]
+fn interactive_never_degraded_by_pressure() {
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        queue_capacity_interactive: 64,
+        queue_capacity_batch: 64,
+        cache_capacity: 0,
+        degrade_depth: 1, // aggressive ladder — must still spare interactive
+        ..ServeConfig::default()
+    });
+    let graph = clique_ring(6, 5, 2);
+    let handles: Vec<_> = (0..24)
+        .map(|_| engine.submit(Request::interactive(Arc::clone(&graph))))
+        .collect();
+    for h in handles {
+        assert!(
+            matches!(h.wait().outcome, Outcome::Ok(_)),
+            "interactive requests are never quality-degraded by load"
+        );
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.degraded_pressure, 0);
+}
+
+#[test]
+fn tight_deadline_terminates_promptly_with_valid_or_no_result() {
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 2,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    // A slower config so mid-run expiry is plausible alongside
+    // queue-expiry; either way the request must terminate quickly.
+    let graph = clique_ring(24, 8, 3);
+    let cfg = InfomapConfig {
+        outer_loops: 8,
+        max_sweeps: 200,
+        ..InfomapConfig::default()
+    };
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            engine.submit(
+                Request::batch(Arc::clone(&graph))
+                    .with_config(cfg.clone())
+                    .with_deadline(Duration::from_micros(200 * (i as u64 + 1))),
+            )
+        })
+        .collect();
+    for h in handles {
+        let response = h.wait();
+        match response.outcome {
+            Outcome::DeadlineExceeded => {}
+            Outcome::Degraded { ref result, .. } | Outcome::Ok(ref result) => {
+                // If it raced the deadline and finished (or stopped at a
+                // sweep boundary), the partition is complete and valid.
+                assert_eq!(result.partition.len(), graph.num_nodes());
+                assert!(result.codelength.is_finite());
+            }
+            Outcome::Overloaded => panic!("queues are large enough not to shed here"),
+        }
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn priority_classes_share_the_engine() {
+    // Interleave classes and distinct graphs; everything resolves, and
+    // per-class latency histograms both record.
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let a = clique_ring(4, 5, 10);
+    let b = clique_ring(5, 4, 11);
+    let handles: Vec<_> = (0..20)
+        .map(|i| {
+            let graph = if i % 2 == 0 { &a } else { &b };
+            let req = if i % 2 == 0 {
+                Request::interactive(Arc::clone(graph))
+            } else {
+                Request::batch(Arc::clone(graph))
+            };
+            (req.priority, engine.submit(req))
+        })
+        .collect();
+    for (_, h) in &handles {
+        assert!(h.wait().outcome.result().is_some());
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.completed, 20);
+    assert!(stats.latency_interactive.count >= 10);
+    assert!(stats.latency_batch.count >= 10);
+    assert!(stats.latency_interactive.p50_us >= 0.0);
+    let _ = (Priority::Interactive.name(), Priority::Batch.name());
+}
