@@ -9,8 +9,10 @@
 //! summary-sink record per experiment and exports `ASA_PROGRESS=1` so
 //! every child streams its own per-sweep heartbeat lines); `--obs-out
 //! <path>` gives each child its own derived JSONL trace (`<stem>-<bin>`)
-//! next to the driver's, via `ASA_OBS_OUT`; `--smoke` is passed through
-//! to the binaries that support it (`simthroughput`, `serve`).
+//! next to the driver's, via `ASA_OBS_OUT`; `--trace-out <path>` does the
+//! same for Chrome flight-recorder traces via `ASA_TRACE_OUT` (binaries
+//! that support it each write `<stem>-<bin>.<ext>`); `--smoke` is passed
+//! through to the binaries that support it (`simthroughput`, `serve`).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -68,6 +70,9 @@ fn main() {
         }
         if let Some(base) = &args.obs_out {
             cmd.env("ASA_OBS_OUT", child_obs_path(base, bin));
+        }
+        if let Some(base) = &args.trace_out {
+            cmd.env("ASA_TRACE_OUT", child_obs_path(base, bin));
         }
         if smoke && SMOKE_AWARE.contains(&bin) {
             cmd.arg("--smoke");

@@ -16,10 +16,14 @@
 //! exit; `--progress` adds per-sweep heartbeat lines on stderr. Both also
 //! respect `ASA_OBS_OUT` / `ASA_PROGRESS=1`.
 //!
-//! `--obs-overhead` runs a dedicated A/B check instead of the bench: the
-//! SPA sweep phase with obs fully disabled versus enabled with a no-op
-//! sink, failing if the instrumented run is more than `ASA_OBS_TOL`
-//! percent slower (default 5). CI runs this as the overhead smoke gate.
+//! `--trace-out <path>` (also `ASA_TRACE_OUT`) attaches the flight
+//! recorder and writes a Chrome trace of the run for Perfetto.
+//!
+//! `--obs-overhead` runs a dedicated A/B/C check instead of the bench:
+//! the SPA sweep phase with obs fully disabled, versus enabled with a
+//! no-op sink, versus enabled with the flight recorder attached — failing
+//! if either instrumented run is more than `ASA_OBS_TOL` percent slower
+//! (default 5). CI runs this as the overhead smoke gate.
 
 use asa_bench::{
     fmt_secs, infomap_config, load_network, render_table, run_metadata, scale_div, ObsArgs,
@@ -83,9 +87,10 @@ fn run_path(
     best.unwrap()
 }
 
-/// `--obs-overhead`: the disabled path vs an enabled handle draining into
-/// a no-op sink, on the SPA sweep phase. Exits non-zero when the
-/// instrumented sweep is more than the tolerance slower.
+/// `--obs-overhead`: the disabled path vs two instrumented legs — an
+/// enabled handle draining into a no-op sink, and the same with the
+/// flight recorder attached — on the SPA sweep phase. Exits non-zero when
+/// either instrumented sweep is more than the tolerance slower.
 fn obs_overhead_check(reps: usize) {
     let tol_pct: f64 = std::env::var("ASA_OBS_TOL")
         .ok()
@@ -93,29 +98,41 @@ fn obs_overhead_check(reps: usize) {
         .unwrap_or(5.0);
     let (graph, _) = load_network(PaperNetwork::Dblp);
 
-    // Warm up caches/allocator so neither side pays first-run costs.
+    // Warm up caches/allocator so no side pays first-run costs.
     let _ = run_path(&graph, AccumulatorKind::Spa, 1, &Obs::disabled());
 
     let off = run_path(&graph, AccumulatorKind::Spa, reps, &Obs::disabled());
     let noop = Obs::new_enabled();
     noop.add_sink(Box::new(NullSink));
     let on = run_path(&graph, AccumulatorKind::Spa, reps, &noop);
+    let traced = Obs::new_enabled();
+    traced.add_sink(Box::new(NullSink));
+    traced.attach_recorder(asa_bench::trace_capacity());
+    let rec = run_path(&graph, AccumulatorKind::Spa, reps, &traced);
 
-    assert_eq!(
-        off.result.partition.labels(),
-        on.result.partition.labels(),
-        "telemetry must not change the answer"
-    );
-    let overhead_pct = (on.find_best / off.find_best - 1.0) * 100.0;
-    println!(
-        "obs overhead on {}-like SPA sweeps (best of {reps}): \
-         disabled {} vs no-op sink {} => {overhead_pct:+.2}% (tolerance {tol_pct}%)",
-        PaperNetwork::Dblp.name(),
-        fmt_secs(off.find_best),
-        fmt_secs(on.find_best),
-    );
-    if overhead_pct > tol_pct {
-        eprintln!("obs overhead {overhead_pct:.2}% exceeds tolerance {tol_pct}%");
+    for (leg, timing) in [("no-op sink", &on), ("recorder", &rec)] {
+        assert_eq!(
+            off.result.partition.labels(),
+            timing.result.partition.labels(),
+            "telemetry ({leg}) must not change the answer"
+        );
+    }
+    let mut failed = false;
+    for (leg, timing) in [("no-op sink", &on), ("recorder attached", &rec)] {
+        let overhead_pct = (timing.find_best / off.find_best - 1.0) * 100.0;
+        println!(
+            "obs overhead on {}-like SPA sweeps (best of {reps}): \
+             disabled {} vs {leg} {} => {overhead_pct:+.2}% (tolerance {tol_pct}%)",
+            PaperNetwork::Dblp.name(),
+            fmt_secs(off.find_best),
+            fmt_secs(timing.find_best),
+        );
+        if overhead_pct > tol_pct {
+            eprintln!("obs overhead ({leg}) {overhead_pct:.2}% exceeds tolerance {tol_pct}%");
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }
@@ -126,7 +143,8 @@ fn main() {
         obs_overhead_check(reps);
         return;
     }
-    let obs = ObsArgs::parse().build();
+    let args = ObsArgs::parse();
+    let obs = args.build();
     let _root = obs.span("hostperf");
     let networks = [PaperNetwork::Dblp, PaperNetwork::Pokec];
     let mut rows = Vec::new();
@@ -213,5 +231,6 @@ fn main() {
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
     println!("\nwrote {out}");
     drop(_root);
+    args.export_trace(&obs);
     let _ = obs.flush();
 }

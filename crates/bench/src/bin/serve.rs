@@ -17,6 +17,10 @@
 //! Telemetry: `--obs-out <path>` / `--progress` (also `ASA_OBS_OUT`,
 //! `ASA_PROGRESS=1`) stream per-level records and the engine's serving
 //! metrics (queue-depth gauge, per-class latency histograms, counters).
+//! `--trace-out <path>` (also `ASA_TRACE_OUT`) attaches the flight
+//! recorder, prints a tail-latency attribution for the slowest
+//! `ASA_TAIL_PCT`% of requests (default 5%), and writes a Chrome trace —
+//! load it at <https://ui.perfetto.dev>.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -347,5 +351,21 @@ fn main() {
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
     println!("\nwrote {out}");
     drop(_root);
+
+    // With `--trace-out` the recorder captured every request's stage
+    // tiling across all levels: attribute the slowest tail before dumping
+    // the Chrome trace for Perfetto.
+    if let Some(snap) = obs.trace_snapshot() {
+        let tail_pct = std::env::var("ASA_TAIL_PCT")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|p| *p > 0.0 && *p <= 100.0)
+            .unwrap_or(5.0);
+        print!(
+            "\n{}",
+            asa_obs::tail::TailReport::from_snapshot(&snap, "request", tail_pct).render()
+        );
+    }
+    args.export_trace(&obs);
     let _ = obs.flush();
 }

@@ -10,6 +10,8 @@
 //! denominator of the synthetic networks; `ASA_SCALE_DIV=32` doubles
 //! workload sizes, etc. All generation is seeded and deterministic.
 
+pub mod regress;
+
 use asa_graph::generators::{NetworkSpec, PaperNetwork};
 use asa_graph::{CsrGraph, Partition};
 use asa_infomap::instrumented::{simulate_infomap, Device, SimulatedRun};
@@ -106,9 +108,10 @@ pub fn run_metadata(dataset: &str, icfg: &InfomapConfig) -> serde_json::Value {
 
 /// Telemetry switches shared by the experiment binaries.
 ///
-/// Parsed from the command line (`--obs-out <path>`, `--progress`) with
-/// environment fallbacks (`ASA_OBS_OUT`, `ASA_PROGRESS=1`) so the `all`
-/// driver can forward them to child experiment processes.
+/// Parsed from the command line (`--obs-out <path>`, `--trace-out <path>`,
+/// `--progress`) with environment fallbacks (`ASA_OBS_OUT`,
+/// `ASA_TRACE_OUT`, `ASA_PROGRESS=1`) so the `all` driver can forward them
+/// to child experiment processes.
 #[derive(Debug, Clone, Default)]
 pub struct ObsArgs {
     /// JSONL event-trace destination (`--obs-out` / `ASA_OBS_OUT`).
@@ -116,6 +119,21 @@ pub struct ObsArgs {
     /// Per-record heartbeat lines on stderr (`--progress` /
     /// `ASA_PROGRESS=1`).
     pub progress: bool,
+    /// Chrome trace-event destination (`--trace-out` / `ASA_TRACE_OUT`).
+    /// Attaches a flight recorder to the handle; export the snapshot at
+    /// the end of the run with [`ObsArgs::export_trace`], then load the
+    /// file in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    pub trace_out: Option<std::path::PathBuf>,
+}
+
+/// Per-thread flight-recorder ring bound used by `--trace-out`
+/// (`ASA_TRACE_CAP` overrides; default 65536 events per thread).
+pub fn trace_capacity() -> usize {
+    std::env::var("ASA_TRACE_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(1 << 16)
 }
 
 impl ObsArgs {
@@ -123,35 +141,72 @@ impl ObsArgs {
     /// their existing positional/flag handling).
     pub fn parse() -> Self {
         let argv: Vec<String> = std::env::args().collect();
-        let mut obs_out = None;
-        for (i, a) in argv.iter().enumerate() {
-            if let Some(v) = a.strip_prefix("--obs-out=") {
-                obs_out = Some(std::path::PathBuf::from(v));
-            } else if a == "--obs-out" {
-                obs_out = argv.get(i + 1).map(std::path::PathBuf::from);
+        let path_flag = |flag: &str, env: &str| {
+            let prefix = format!("{flag}=");
+            let mut out = None;
+            for (i, a) in argv.iter().enumerate() {
+                if let Some(v) = a.strip_prefix(&prefix) {
+                    out = Some(std::path::PathBuf::from(v));
+                } else if a == flag {
+                    out = argv.get(i + 1).map(std::path::PathBuf::from);
+                }
             }
-        }
-        if obs_out.is_none() {
-            obs_out = std::env::var_os("ASA_OBS_OUT").map(std::path::PathBuf::from);
-        }
+            out.or_else(|| std::env::var_os(env).map(std::path::PathBuf::from))
+        };
+        let obs_out = path_flag("--obs-out", "ASA_OBS_OUT");
+        let trace_out = path_flag("--trace-out", "ASA_TRACE_OUT");
         let progress = argv.iter().any(|a| a == "--progress")
             || std::env::var("ASA_PROGRESS").is_ok_and(|v| v == "1");
-        Self { obs_out, progress }
+        Self {
+            obs_out,
+            progress,
+            trace_out,
+        }
     }
 
-    /// Builds the telemetry handle: disabled unless a JSONL path or
-    /// progress heartbeats were requested. With `--obs-out` the summary
-    /// table also prints at flush so a trace run is self-describing.
+    /// Builds the telemetry handle: disabled unless a JSONL path, a trace
+    /// destination, or progress heartbeats were requested. With
+    /// `--obs-out` the summary table also prints at flush so a trace run
+    /// is self-describing; with `--trace-out` a flight recorder is
+    /// attached.
     pub fn build(&self) -> Obs {
         ObsConfig {
-            enabled: self.obs_out.is_some() || self.progress,
+            enabled: self.obs_out.is_some() || self.progress || self.trace_out.is_some(),
             jsonl_path: self.obs_out.clone(),
             summary: self.obs_out.is_some() || self.progress,
             progress: self.progress,
             ring_capacity: 0,
+            trace_capacity: if self.trace_out.is_some() {
+                trace_capacity()
+            } else {
+                0
+            },
         }
         .build()
         .expect("create --obs-out file")
+    }
+
+    /// Writes the handle's flight-recorder snapshot as Chrome trace-event
+    /// JSON to the `--trace-out` path. No-op without a destination or a
+    /// recorder; call once at the end of the run.
+    pub fn export_trace(&self, obs: &Obs) {
+        let Some(path) = &self.trace_out else { return };
+        let Some(snap) = obs.trace_snapshot() else {
+            return;
+        };
+        let write = std::fs::File::create(path)
+            .map(std::io::BufWriter::new)
+            .and_then(|w| asa_obs::chrome::write_chrome_trace(&snap, w));
+        match write {
+            Ok(()) => eprintln!(
+                "wrote Chrome trace ({} events, {} threads, {} dropped) to {} — load it in Perfetto",
+                snap.num_events(),
+                snap.threads.len(),
+                snap.total_dropped(),
+                path.display()
+            ),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 }
 

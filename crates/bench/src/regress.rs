@@ -1,0 +1,486 @@
+//! Perf-regression sentinel over the committed `BENCH_*.json` files.
+//!
+//! Each benchmark binary (`hostperf`, `simthroughput`, `serve`) writes a
+//! JSON document whose committed copy at the repository root is the
+//! performance baseline. This module extracts the *key* metrics from those
+//! documents — SPA sweep time and speedup, simulator ingest/charge/replay
+//! ns-per-event, serving p50/p95 latency, cache hit rate, and shed rate —
+//! and compares a fresh run against the baseline under per-metric noise
+//! tolerances.
+//!
+//! Tolerances come in two flavors: **relative** for time-like metrics
+//! (machine-to-machine and run-to-run wall-clock noise scales with the
+//! value) and **absolute** for rates (a shed rate of exactly `0.0` in the
+//! baseline would make any relative bound vacuous or infinitely strict).
+//! The `tol_scale` knob (CLI `--tol-scale`, env `ASA_REGRESS_TOL_SCALE`)
+//! multiplies every tolerance, so CI can loosen the gate on noisy shared
+//! runners without touching the per-metric defaults.
+//!
+//! The `regress` binary drives this: `regress --smoke` gates the committed
+//! files themselves (parse + sanity + self-compare — it proves the sentinel
+//! wiring without paying for a bench run), and `regress --fresh-dir <dir>`
+//! compares freshly produced documents against the baseline, exiting
+//! non-zero with a readable delta table on any regression.
+
+use serde_json::Value;
+
+/// Whether a tolerance bounds the ratio or the difference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Allowed fractional change: `0.5` lets the metric move 50% in the
+    /// regressing direction before tripping. For time-like metrics.
+    Relative(f64),
+    /// Allowed additive change in the metric's own units. For rates in
+    /// `[0, 1]`, where a zero baseline makes relative bounds meaningless.
+    Absolute(f64),
+}
+
+/// Which direction of movement is a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Times: a regression is the fresh value rising above baseline.
+    LowerIsBetter,
+    /// Speedups and hit rates: a regression is the fresh value falling.
+    HigherIsBetter,
+}
+
+/// One extracted metric: a named scalar plus its comparison policy.
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// Stable dotted name, e.g. `hostperf.dblp-like.sweep_spa_seconds`.
+    pub name: String,
+    /// The extracted value.
+    pub value: f64,
+    /// Noise bound for the comparison.
+    pub tolerance: Tolerance,
+    /// Regressing direction.
+    pub direction: Direction,
+}
+
+impl MetricSpec {
+    fn time(name: String, value: f64) -> Self {
+        MetricSpec {
+            name,
+            value,
+            tolerance: Tolerance::Relative(0.5),
+            direction: Direction::LowerIsBetter,
+        }
+    }
+
+    fn speedup(name: String, value: f64) -> Self {
+        MetricSpec {
+            name,
+            value,
+            tolerance: Tolerance::Relative(0.3),
+            direction: Direction::HigherIsBetter,
+        }
+    }
+
+    fn rate(name: String, value: f64, direction: Direction) -> Self {
+        MetricSpec {
+            name,
+            value,
+            tolerance: Tolerance::Absolute(0.15),
+            direction,
+        }
+    }
+}
+
+fn get_f64(doc: &Value, path: &[&str]) -> Option<f64> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64()
+}
+
+/// Extracts the gated metrics from a `BENCH_hostperf.json` document: per
+/// network, the SPA sweep seconds and the SPA-over-hash sweep speedup (the
+/// paper's headline host-side numbers).
+pub fn extract_hostperf(doc: &Value) -> Vec<MetricSpec> {
+    let mut out = Vec::new();
+    let Some(networks) = doc.get("networks").and_then(Value::as_array) else {
+        return out;
+    };
+    for nw in networks {
+        let Some(name) = nw.get("network").and_then(Value::as_str) else {
+            continue;
+        };
+        if let Some(v) = get_f64(nw, &["sweep_seconds", "spa"]) {
+            out.push(MetricSpec::time(
+                format!("hostperf.{name}.sweep_spa_seconds"),
+                v,
+            ));
+        }
+        if let Some(v) = get_f64(nw, &["sweep_speedup_spa_over_hash"]) {
+            out.push(MetricSpec::speedup(
+                format!("hostperf.{name}.sweep_speedup_spa_over_hash"),
+                v,
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts the gated metrics from a `BENCH_simthroughput.json` document:
+/// the kernel-level ingest/charge/replay costs in ns per event.
+pub fn extract_simthroughput(doc: &Value) -> Vec<MetricSpec> {
+    let mut out = Vec::new();
+    for key in [
+        "ingest_ns_per_event",
+        "charge_ns_per_event",
+        "replay_ns_per_event",
+    ] {
+        if let Some(v) = get_f64(doc, &["kernel", key]) {
+            out.push(MetricSpec::time(format!("simthroughput.{key}"), v));
+        }
+    }
+    out
+}
+
+/// Extracts the gated metrics from a `BENCH_serve.json` document: per
+/// offered-load level, p50/p95 latency (relative), cache hit rate and shed
+/// rate (absolute — the rates sit in `[0, 1]` and are often exactly 0).
+pub fn extract_serve(doc: &Value) -> Vec<MetricSpec> {
+    let mut out = Vec::new();
+    let Some(levels) = doc.get("levels").and_then(Value::as_array) else {
+        return out;
+    };
+    for (i, level) in levels.iter().enumerate() {
+        if let Some(v) = get_f64(level, &["latency_us", "p50"]) {
+            out.push(MetricSpec::time(format!("serve.level{i}.p50_us"), v));
+        }
+        if let Some(v) = get_f64(level, &["latency_us", "p95"]) {
+            out.push(MetricSpec::time(format!("serve.level{i}.p95_us"), v));
+        }
+        if let Some(v) = get_f64(level, &["cache_hit_rate"]) {
+            out.push(MetricSpec::rate(
+                format!("serve.level{i}.cache_hit_rate"),
+                v,
+                Direction::HigherIsBetter,
+            ));
+        }
+        if let Some(v) = get_f64(level, &["shed_rate"]) {
+            out.push(MetricSpec::rate(
+                format!("serve.level{i}.shed_rate"),
+                v,
+                Direction::LowerIsBetter,
+            ));
+        }
+    }
+    out
+}
+
+/// Dispatches on the document's `bench` field.
+pub fn extract_metrics(doc: &Value) -> Vec<MetricSpec> {
+    match doc.get("bench").and_then(Value::as_str) {
+        Some("hostperf") => extract_hostperf(doc),
+        Some("simthroughput") => extract_simthroughput(doc),
+        Some("serve") => extract_serve(doc),
+        _ => Vec::new(),
+    }
+}
+
+/// Structural sanity of a baseline document's metrics: every gated metric
+/// is present, finite, and in range (times and speedups strictly positive,
+/// rates inside `[0, 1]`). This is what `--smoke` enforces on the
+/// committed files.
+pub fn sanity_errors(metrics: &[MetricSpec]) -> Vec<String> {
+    let mut errors = Vec::new();
+    if metrics.is_empty() {
+        errors.push("no gated metrics extracted (wrong or empty document?)".to_string());
+    }
+    for m in metrics {
+        if !m.value.is_finite() {
+            errors.push(format!("{}: non-finite value {}", m.name, m.value));
+            continue;
+        }
+        match m.tolerance {
+            Tolerance::Relative(_) => {
+                if m.value <= 0.0 {
+                    errors.push(format!("{}: expected > 0, got {}", m.name, m.value));
+                }
+            }
+            Tolerance::Absolute(_) => {
+                if !(0.0..=1.0).contains(&m.value) {
+                    errors.push(format!("{}: rate outside [0, 1]: {}", m.name, m.value));
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Metric name (shared between baseline and fresh).
+    pub name: String,
+    /// Baseline value, `None` when the metric only appeared fresh.
+    pub baseline: Option<f64>,
+    /// Fresh value, `None` when the fresh document lost the metric.
+    pub fresh: Option<f64>,
+    /// Signed fractional change `(fresh - baseline) / baseline` when both
+    /// sides are present and the baseline is nonzero.
+    pub change: Option<f64>,
+    /// Whether this metric trips the gate.
+    pub regressed: bool,
+    /// Human-readable bound that was applied.
+    pub bound: String,
+}
+
+fn exceeded(baseline: f64, fresh: f64, tol: Tolerance, dir: Direction, scale: f64) -> bool {
+    match (tol, dir) {
+        (Tolerance::Relative(t), Direction::LowerIsBetter) => fresh > baseline * (1.0 + t * scale),
+        (Tolerance::Relative(t), Direction::HigherIsBetter) => {
+            fresh < baseline * (1.0 - (t * scale).min(1.0))
+        }
+        (Tolerance::Absolute(t), Direction::LowerIsBetter) => fresh > baseline + t * scale,
+        (Tolerance::Absolute(t), Direction::HigherIsBetter) => fresh < baseline - t * scale,
+    }
+}
+
+fn bound_repr(tol: Tolerance, dir: Direction, scale: f64) -> String {
+    let arrow = match dir {
+        Direction::LowerIsBetter => "+",
+        Direction::HigherIsBetter => "-",
+    };
+    match tol {
+        Tolerance::Relative(t) => format!("{arrow}{:.0}%", t * scale * 100.0),
+        Tolerance::Absolute(t) => format!("{arrow}{:.2} abs", t * scale),
+    }
+}
+
+/// Compares fresh metrics against the baseline, metric by metric.
+/// `tol_scale` multiplies every tolerance (1.0 = the defaults). A metric
+/// present in the baseline but missing fresh counts as a regression — a
+/// gate that silently loses its metrics is not a gate.
+pub fn compare(baseline: &[MetricSpec], fresh: &[MetricSpec], tol_scale: f64) -> Vec<Delta> {
+    let fresh_by_name: std::collections::HashMap<&str, &MetricSpec> =
+        fresh.iter().map(|m| (m.name.as_str(), m)).collect();
+    let mut deltas = Vec::with_capacity(baseline.len());
+    for base in baseline {
+        match fresh_by_name.get(base.name.as_str()) {
+            Some(f) => {
+                let regressed = exceeded(
+                    base.value,
+                    f.value,
+                    base.tolerance,
+                    base.direction,
+                    tol_scale,
+                );
+                let change = (base.value != 0.0).then(|| (f.value - base.value) / base.value);
+                deltas.push(Delta {
+                    name: base.name.clone(),
+                    baseline: Some(base.value),
+                    fresh: Some(f.value),
+                    change,
+                    regressed,
+                    bound: bound_repr(base.tolerance, base.direction, tol_scale),
+                });
+            }
+            None => deltas.push(Delta {
+                name: base.name.clone(),
+                baseline: Some(base.value),
+                fresh: None,
+                change: None,
+                regressed: true,
+                bound: "present".to_string(),
+            }),
+        }
+    }
+    deltas
+}
+
+/// Renders the comparison as an aligned delta table; regressed rows are
+/// marked `REGRESSED`, clean ones `ok`.
+pub fn render_deltas(title: &str, deltas: &[Delta]) -> String {
+    let fmt = |v: Option<f64>| v.map_or_else(|| "missing".to_string(), |v| format!("{v:.4}"));
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                fmt(d.baseline),
+                fmt(d.fresh),
+                d.change
+                    .map_or_else(|| "-".to_string(), |c| format!("{:+.1}%", c * 100.0)),
+                d.bound.clone(),
+                if d.regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        title,
+        &[
+            "metric", "baseline", "fresh", "change", "allowed", "verdict",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fixtures go through the parser (the vendored `json!` macro does not
+    // nest objects inside arrays), which also exercises the exact path the
+    // `regress` binary takes on real files.
+    fn hostperf_doc(spa_seconds: f64, speedup: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+                "bench": "hostperf",
+                "networks": [{{
+                    "network": "dblp-like",
+                    "sweep_seconds": {{"hash": 0.035, "spa": {spa_seconds}}},
+                    "sweep_speedup_spa_over_hash": {speedup}
+                }}]
+            }}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    fn serve_doc(p95: f64, hit_rate: f64, shed_rate: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+                "bench": "serve",
+                "levels": [{{
+                    "latency_us": {{"p50": 10000.0, "p95": {p95}}},
+                    "cache_hit_rate": {hit_rate},
+                    "shed_rate": {shed_rate}
+                }}]
+            }}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn extraction_names_and_counts() {
+        let host = extract_metrics(&hostperf_doc(0.023, 1.5));
+        assert_eq!(host.len(), 2);
+        assert_eq!(host[0].name, "hostperf.dblp-like.sweep_spa_seconds");
+        assert_eq!(host[1].direction, Direction::HigherIsBetter);
+
+        let serve = extract_metrics(&serve_doc(56_000.0, 0.4, 0.0));
+        let names: Vec<&str> = serve.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "serve.level0.p50_us",
+                "serve.level0.p95_us",
+                "serve.level0.cache_hit_rate",
+                "serve.level0.shed_rate",
+            ]
+        );
+
+        let sim = extract_metrics(
+            &serde_json::from_str(
+                r#"{
+                    "bench": "simthroughput",
+                    "kernel": {
+                        "ingest_ns_per_event": 4.5,
+                        "charge_ns_per_event": 11.7,
+                        "replay_ns_per_event": 12.0
+                    }
+                }"#,
+            )
+            .expect("fixture parses"),
+        );
+        assert_eq!(sim.len(), 3);
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let m = extract_metrics(&hostperf_doc(0.023, 1.5));
+        let deltas = compare(&m, &m, 1.0);
+        assert!(deltas.iter().all(|d| !d.regressed), "{deltas:?}");
+    }
+
+    #[test]
+    fn perturbed_time_metric_regresses() {
+        // SPA sweep 2x slower: beyond the 50% relative tolerance.
+        let base = extract_metrics(&hostperf_doc(0.023, 1.5));
+        let fresh = extract_metrics(&hostperf_doc(0.046, 1.5));
+        let deltas = compare(&base, &fresh, 1.0);
+        let sweep = deltas
+            .iter()
+            .find(|d| d.name.ends_with("sweep_spa_seconds"))
+            .unwrap();
+        assert!(sweep.regressed, "{deltas:?}");
+        // ... while the untouched speedup stays clean.
+        assert!(
+            !deltas
+                .iter()
+                .find(|d| d.name.ends_with("speedup_spa_over_hash"))
+                .unwrap()
+                .regressed
+        );
+        // The rendered table is readable: names, values, and verdicts.
+        let table = render_deltas("regressions", &deltas);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("sweep_spa_seconds"));
+        assert!(table.contains("+100.0%"));
+    }
+
+    #[test]
+    fn within_tolerance_noise_is_clean() {
+        let base = extract_metrics(&hostperf_doc(0.023, 1.5));
+        // 30% slower: inside the 50% relative bound.
+        let fresh = extract_metrics(&hostperf_doc(0.030, 1.45));
+        assert!(compare(&base, &fresh, 1.0).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn speedup_collapse_regresses() {
+        let base = extract_metrics(&hostperf_doc(0.023, 1.5));
+        let fresh = extract_metrics(&hostperf_doc(0.023, 0.9)); // -40%
+        let deltas = compare(&base, &fresh, 1.0);
+        assert!(deltas.iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn zero_baseline_shed_rate_uses_absolute_tolerance() {
+        let base = extract_metrics(&serve_doc(56_000.0, 0.4, 0.0));
+        // Shedding appears but stays under the 0.15 absolute bound.
+        let mild = extract_metrics(&serve_doc(56_000.0, 0.4, 0.1));
+        assert!(compare(&base, &mild, 1.0).iter().all(|d| !d.regressed));
+        // Heavy shedding trips it.
+        let heavy = extract_metrics(&serve_doc(56_000.0, 0.4, 0.4));
+        let deltas = compare(&base, &heavy, 1.0);
+        let shed = deltas
+            .iter()
+            .find(|d| d.name.ends_with("shed_rate"))
+            .unwrap();
+        assert!(shed.regressed);
+    }
+
+    #[test]
+    fn hit_rate_collapse_regresses_and_tol_scale_loosens() {
+        let base = extract_metrics(&serve_doc(56_000.0, 0.4, 0.0));
+        let worse = extract_metrics(&serve_doc(56_000.0, 0.1, 0.0)); // -0.3 abs
+        assert!(compare(&base, &worse, 1.0).iter().any(|d| d.regressed));
+        // Scaling every tolerance 3x admits the same drop.
+        assert!(compare(&base, &worse, 3.0).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn missing_fresh_metric_is_a_regression() {
+        let base = extract_metrics(&hostperf_doc(0.023, 1.5));
+        let deltas = compare(&base, &[], 1.0);
+        assert!(deltas.iter().all(|d| d.regressed));
+        assert!(render_deltas("t", &deltas).contains("missing"));
+    }
+
+    #[test]
+    fn sanity_flags_bad_baselines() {
+        assert!(!sanity_errors(&[]).is_empty(), "empty set must fail");
+        let good = extract_metrics(&serve_doc(56_000.0, 0.4, 0.0));
+        assert!(sanity_errors(&good).is_empty());
+        let bad = vec![
+            MetricSpec::time("t".into(), -1.0),
+            MetricSpec::rate("r".into(), 1.5, Direction::LowerIsBetter),
+            MetricSpec::time("n".into(), f64::NAN),
+        ];
+        assert_eq!(sanity_errors(&bad).len(), 3);
+    }
+}

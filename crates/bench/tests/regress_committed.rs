@@ -1,0 +1,59 @@
+//! The regression sentinel against the *committed* `BENCH_*.json`
+//! baselines: exactly what `regress --smoke` gates in CI, asserted as a
+//! test so `cargo test` catches a broken baseline or extractor without
+//! running any binary.
+
+use std::path::Path;
+
+use asa_bench::regress::{compare, extract_metrics, sanity_errors};
+
+fn load(file: &str) -> serde_json::Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed baseline {file} must be readable: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{file} must parse: {e:?}"))
+}
+
+#[test]
+fn committed_baselines_pass_the_smoke_gate() {
+    for file in [
+        "BENCH_hostperf.json",
+        "BENCH_simthroughput.json",
+        "BENCH_serve.json",
+    ] {
+        let metrics = extract_metrics(&load(file));
+        assert!(
+            !metrics.is_empty(),
+            "{file}: extractor must find gated metrics"
+        );
+        let errors = sanity_errors(&metrics);
+        assert!(errors.is_empty(), "{file}: {errors:?}");
+        let deltas = compare(&metrics, &metrics, 1.0);
+        assert_eq!(deltas.len(), metrics.len());
+        assert!(
+            deltas.iter().all(|d| !d.regressed),
+            "{file}: self-compare must be clean"
+        );
+    }
+}
+
+#[test]
+fn committed_hostperf_keeps_the_headline_speedup() {
+    // The paper's host-side claim: the SPA sweep beats the hash sweep.
+    let metrics = extract_metrics(&load("BENCH_hostperf.json"));
+    let speedups: Vec<&_> = metrics
+        .iter()
+        .filter(|m| m.name.ends_with("sweep_speedup_spa_over_hash"))
+        .collect();
+    assert!(!speedups.is_empty());
+    for m in speedups {
+        assert!(
+            m.value > 1.0,
+            "{}: committed speedup must exceed 1.0, got {}",
+            m.name,
+            m.value
+        );
+    }
+}

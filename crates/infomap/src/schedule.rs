@@ -189,6 +189,10 @@ pub fn optimize_multilevel_cancellable<E: DecideEngine>(
         };
 
         for level in 0..cfg.max_levels {
+            // Covers the whole level — sweeps plus the coarsen/project
+            // step — so a flight-recorder track shows one "level" box per
+            // hierarchy level with "sweep" boxes nested inside.
+            let _level_sp = obs.span("level");
             let mut partition = Partition::singletons(flow.num_nodes());
             let mut state = MapState::with_options(&flow, &partition, node_plogp0, mode);
             let before = state.codelength();
@@ -212,6 +216,7 @@ pub fn optimize_multilevel_cancellable<E: DecideEngine>(
                 if active.is_empty() {
                     break;
                 }
+                let _sweep_sp = obs.span("sweep");
                 let t = Instant::now();
                 labels.clear();
                 labels.extend_from_slice(partition.labels());
@@ -277,6 +282,7 @@ pub fn optimize_multilevel_cancellable<E: DecideEngine>(
                 info.sweep_active.push(active.len());
                 if cancel.poll() {
                     interrupted = true;
+                    obs.trace_instant("infomap.cancelled", "infomap");
                     break;
                 }
                 if applied.applied == 0 {
@@ -331,6 +337,8 @@ pub fn optimize_multilevel_cancellable<E: DecideEngine>(
         if interrupted || outer + 1 >= outer_loops {
             break;
         }
+        // Covers the whole fine-tuning pass; its sweeps nest inside.
+        let _refine_sp = obs.span("refine");
         composed.compact();
         let mut state = MapState::with_options(flow0, &composed, node_plogp0, mode);
         let before = state.codelength();
@@ -351,6 +359,7 @@ pub fn optimize_multilevel_cancellable<E: DecideEngine>(
             if active.is_empty() {
                 break;
             }
+            let _sweep_sp = obs.span("sweep");
             let t = Instant::now();
             labels.clear();
             labels.extend_from_slice(composed.labels());
@@ -414,6 +423,7 @@ pub fn optimize_multilevel_cancellable<E: DecideEngine>(
             total_moves += applied.applied;
             if cancel.poll() {
                 interrupted = true;
+                obs.trace_instant("infomap.cancelled", "infomap");
                 break;
             }
             if applied.applied == 0 {

@@ -1,0 +1,207 @@
+//! Chrome trace-event JSON exporter for flight-recorder snapshots.
+//!
+//! Writes the "JSON Array Format" of the Trace Event specification, which
+//! both `chrome://tracing` and Perfetto load directly:
+//!
+//! - one **thread track** per recorded thread (`ph: "B"/"E"` duration
+//!   events from [`TraceKind::Begin`]/[`TraceKind::End`], plus `"i"`
+//!   instants and `"C"` counters), named via `"M"` metadata events;
+//! - one **async track** per traced request (`ph: "b"/"e"` events keyed by
+//!   `cat` + `id`, where `id` is the request's [`TraceId`] in hex), so a
+//!   request's stages line up on a single row no matter which worker
+//!   thread executed them.
+//!
+//! Everything runs under one process (`pid` 1). Timestamps are the
+//! snapshot's microseconds-since-obs-epoch, which the spec expects (`ts`
+//! is in microseconds).
+//!
+//! [`TraceKind::Begin`]: crate::trace::TraceKind::Begin
+//! [`TraceKind::End`]: crate::trace::TraceKind::End
+//! [`TraceId`]: crate::trace::TraceId
+
+use std::io::{self, Write};
+
+use crate::json::write_json_string;
+use crate::trace::{TraceKind, TraceSnapshot};
+
+/// Process id used for every event (single-process trace).
+const PID: u64 = 1;
+
+fn write_common(out: &mut String, ph: char, tid: u64, t_us: u64, name: &str, cat: &str) {
+    out.push_str("{\"ph\":\"");
+    out.push(ph);
+    out.push_str(&format!(
+        "\",\"pid\":{PID},\"tid\":{tid},\"ts\":{t_us},\"name\":"
+    ));
+    write_json_string(name, out);
+    out.push_str(",\"cat\":");
+    write_json_string(cat, out);
+}
+
+/// Serializes `snap` as Chrome trace-event JSON to `w`.
+///
+/// The output is a single JSON array; every event object is on its own
+/// line so the file stays greppable. Dropped-event counts are surfaced as
+/// one metadata-like instant per affected thread (`name:
+/// "trace.dropped"`), so a truncated recording is visible in the viewer
+/// rather than silently incomplete.
+pub fn write_chrome_trace<W: Write>(snap: &TraceSnapshot, mut w: W) -> io::Result<()> {
+    let mut first = true;
+    let mut emit = |w: &mut W, line: &str| -> io::Result<()> {
+        if first {
+            first = false;
+            w.write_all(b"[\n")?;
+        } else {
+            w.write_all(b",\n")?;
+        }
+        w.write_all(line.as_bytes())
+    };
+
+    let mut line = String::with_capacity(160);
+    line.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"asa\"}}}}"
+    ));
+    emit(&mut w, &line)?;
+
+    for track in &snap.threads {
+        line.clear();
+        line.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":",
+            track.tid
+        ));
+        write_json_string(&track.name, &mut line);
+        line.push_str("}}");
+        emit(&mut w, &line)?;
+    }
+
+    for track in &snap.threads {
+        if track.dropped > 0 {
+            let t0 = track.events.first().map_or(0, |e| e.t_us);
+            line.clear();
+            write_common(&mut line, 'i', track.tid, t0, "trace.dropped", "trace");
+            line.push_str(&format!(
+                ",\"s\":\"t\",\"args\":{{\"dropped\":{}}}}}",
+                track.dropped
+            ));
+            emit(&mut w, &line)?;
+        }
+        for ev in &track.events {
+            line.clear();
+            match ev.kind {
+                TraceKind::Begin => {
+                    write_common(&mut line, 'B', track.tid, ev.t_us, ev.name, ev.cat);
+                    line.push('}');
+                }
+                TraceKind::End => {
+                    write_common(&mut line, 'E', track.tid, ev.t_us, ev.name, ev.cat);
+                    line.push('}');
+                }
+                TraceKind::Instant => {
+                    write_common(&mut line, 'i', track.tid, ev.t_us, ev.name, ev.cat);
+                    line.push_str(",\"s\":\"t\"}");
+                }
+                TraceKind::Counter(v) => {
+                    write_common(&mut line, 'C', track.tid, ev.t_us, ev.name, ev.cat);
+                    line.push_str(&format!(",\"args\":{{\"value\":{v}}}}}"));
+                }
+                TraceKind::AsyncBegin | TraceKind::AsyncEnd => {
+                    let ph = if ev.kind == TraceKind::AsyncBegin {
+                        'b'
+                    } else {
+                        'e'
+                    };
+                    write_common(&mut line, ph, track.tid, ev.t_us, ev.name, ev.cat);
+                    line.push_str(&format!(",\"id\":\"{:#x}\"}}", ev.trace));
+                }
+            }
+            emit(&mut w, &line)?;
+        }
+    }
+    if first {
+        w.write_all(b"[\n")?;
+    }
+    w.write_all(b"\n]\n")
+}
+
+/// [`write_chrome_trace`] into an owned string (test and report helper).
+pub fn chrome_trace_string(snap: &TraceSnapshot) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(snap, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceId;
+    use crate::Obs;
+
+    #[test]
+    fn empty_snapshot_is_an_empty_array() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(16);
+        let text = chrome_trace_string(&obs.trace_snapshot().unwrap());
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn events_render_expected_phases() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(64);
+        let id = obs.mint_trace_id();
+        obs.trace_async_begin(id, "request", "request");
+        {
+            let _scope = obs.trace_scope(id);
+            let _sp = obs.span("execute");
+            obs.trace_instant("cancelled", "infomap");
+            obs.trace_counter("depth", 3);
+        }
+        obs.trace_async_end(id, "request", "request");
+        let text = chrome_trace_string(&obs.trace_snapshot().unwrap());
+        for needle in [
+            "\"ph\":\"M\"",
+            "\"process_name\"",
+            "\"thread_name\"",
+            "\"ph\":\"B\"",
+            "\"ph\":\"E\"",
+            "\"ph\":\"b\"",
+            "\"ph\":\"e\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"C\"",
+            "\"id\":\"0x",
+            "\"args\":{\"value\":3}",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Every line between the brackets is one JSON object.
+        for l in text.lines() {
+            let l = l.trim().trim_end_matches(',');
+            if l == "[" || l == "]" || l.is_empty() {
+                continue;
+            }
+            assert!(l.starts_with('{') && l.ends_with('}'), "bad line: {l}");
+        }
+    }
+
+    #[test]
+    fn dropped_events_surface_as_instant() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(16);
+        for _ in 0..40 {
+            obs.trace_instant("tick", "t");
+        }
+        let text = chrome_trace_string(&obs.trace_snapshot().unwrap());
+        assert!(text.contains("trace.dropped"));
+        assert!(text.contains("\"dropped\":24"));
+    }
+
+    #[test]
+    fn async_id_is_hex_of_trace_id() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(16);
+        obs.trace_async_begin(TraceId(255), "stage", "request");
+        let text = chrome_trace_string(&obs.trace_snapshot().unwrap());
+        assert!(text.contains("\"id\":\"0xff\""));
+    }
+}

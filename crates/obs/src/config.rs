@@ -20,6 +20,11 @@ pub struct ObsConfig {
     /// Keep the last N records in an in-memory ring (0 = no ring sink);
     /// read back via [`Obs::ring`](crate::Obs::ring).
     pub ring_capacity: usize,
+    /// Attach a flight recorder bounding each thread's trace-event ring to
+    /// N events (0 = no recorder). Read back via
+    /// [`Obs::trace_snapshot`](crate::Obs::trace_snapshot); export with
+    /// [`chrome::write_chrome_trace`](crate::chrome::write_chrome_trace).
+    pub trace_capacity: usize,
 }
 
 impl ObsConfig {

@@ -34,20 +34,25 @@
 //! assert_eq!(obs.ring().unwrap().records().len(), 1);
 //! ```
 
+pub mod chrome;
 pub mod config;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod tail;
+pub mod trace;
 
 pub use config::ObsConfig;
 pub use json::{Record, Value};
 pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Hist, HistSnapshot};
 pub use sink::{FlushReport, JsonlSink, NullSink, RingHandle, RingSink, Sink, SummarySink};
 pub use span::{Span, SpanSnapshot};
+pub use tail::{RequestAttribution, TailReport};
+pub use trace::{FlightRecorder, TraceEvent, TraceId, TraceKind, TraceScope, TraceSnapshot};
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use metrics::{CounterCore, GaugeCore, HistCore};
@@ -70,6 +75,10 @@ pub(crate) struct ObsInner {
     registry: Mutex<Registry>,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
     ring: Mutex<Option<RingHandle>>,
+    /// Flight recorder, set at most once; `get()` is one pointer load on
+    /// the hot path, so span instrumentation without a recorder stays a
+    /// no-op branch.
+    pub(crate) trace: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for ObsInner {
@@ -100,6 +109,7 @@ impl Obs {
             registry: Mutex::new(Registry::default()),
             sinks: Mutex::new(Vec::new()),
             ring: Mutex::new(None),
+            trace: OnceLock::new(),
         })))
     }
 
@@ -121,6 +131,9 @@ impl Obs {
             if let Some(inner) = &obs.0 {
                 *inner.ring.lock().unwrap() = Some(handle);
             }
+        }
+        if cfg.trace_capacity > 0 {
+            obs.attach_recorder(cfg.trace_capacity);
         }
         Ok(obs)
     }
@@ -221,6 +234,97 @@ impl Obs {
                 sink.record(&rec);
             }
         }
+    }
+
+    /// Attaches a [`FlightRecorder`] with the given per-thread event
+    /// bound. Idempotent — a second call keeps the first recorder — and a
+    /// no-op on a disabled handle. Once attached, every [`Span`] also
+    /// records begin/end trace events and the `trace_*` methods go live.
+    pub fn attach_recorder(&self, per_thread_capacity: usize) {
+        if let Some(inner) = &self.0 {
+            inner.trace.get_or_init(|| {
+                Arc::new(FlightRecorder::new(
+                    inner.id,
+                    inner.start,
+                    per_thread_capacity,
+                ))
+            });
+        }
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.0.as_ref().and_then(|inner| inner.trace.get().cloned())
+    }
+
+    /// Whether a flight recorder is attached (and events are recorded).
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|inner| inner.trace.get().is_some())
+    }
+
+    /// Mints a fresh per-request [`TraceId`]; [`TraceId::NONE`] when no
+    /// recorder is attached.
+    pub fn mint_trace_id(&self) -> TraceId {
+        self.recorder().map_or(TraceId::NONE, |rec| rec.mint())
+    }
+
+    /// Pins `id` as the current trace on this thread until the returned
+    /// guard drops; span and instant events recorded inside carry it.
+    pub fn trace_scope(&self, id: TraceId) -> TraceScope {
+        match self.recorder() {
+            Some(rec) => rec.scope(id),
+            None => TraceScope::disabled(),
+        }
+    }
+
+    /// Records a point event tagged with the current trace scope.
+    #[inline]
+    pub fn trace_instant(&self, name: &'static str, cat: &'static str) {
+        if let Some(inner) = &self.0 {
+            if let Some(rec) = inner.trace.get() {
+                rec.record_current(name, cat, TraceKind::Instant);
+            }
+        }
+    }
+
+    /// Records a sampled counter value (rendered as a counter track by the
+    /// Chrome exporter), tagged with the current trace scope.
+    #[inline]
+    pub fn trace_counter(&self, name: &'static str, value: i64) {
+        if let Some(inner) = &self.0 {
+            if let Some(rec) = inner.trace.get() {
+                rec.record_current(name, "counter", TraceKind::Counter(value));
+            }
+        }
+    }
+
+    /// Opens an async request stage; may be closed on another thread via
+    /// [`Obs::trace_async_end`] with the same `id` and `name`.
+    #[inline]
+    pub fn trace_async_begin(&self, id: TraceId, name: &'static str, cat: &'static str) {
+        if let Some(inner) = &self.0 {
+            if let Some(rec) = inner.trace.get() {
+                rec.record(id.0, name, cat, TraceKind::AsyncBegin);
+            }
+        }
+    }
+
+    /// Closes an async request stage opened by [`Obs::trace_async_begin`].
+    #[inline]
+    pub fn trace_async_end(&self, id: TraceId, name: &'static str, cat: &'static str) {
+        if let Some(inner) = &self.0 {
+            if let Some(rec) = inner.trace.get() {
+                rec.record(id.0, name, cat, TraceKind::AsyncEnd);
+            }
+        }
+    }
+
+    /// Snapshot of the flight recorder's rings; `None` without a recorder.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.recorder().map(|rec| rec.snapshot())
     }
 
     /// Microseconds since this handle was created (0 when disabled).

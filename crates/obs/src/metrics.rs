@@ -202,10 +202,13 @@ fn bucket_upper(idx: usize) -> u64 {
     }
 }
 
-/// Quantile estimate over bucket counts: finds the bucket holding the
-/// rank-`q` sample and linearly interpolates the rank's position within
-/// the bucket's value range. Exact for samples below 32 (unit buckets);
-/// above that the error is bounded by the power-of-two bucket width.
+/// Quantile estimate over bucket counts: nearest-rank selection of the
+/// rank-`q` sample's bucket, then reporting its value. Exact for samples
+/// below 32 (a unit bucket holds one value, so nearest-rank selection
+/// *is* the answer — including the single-sample and single-bucket
+/// cases). Above 32 the rank's position is lower-edge interpolated within
+/// the bucket's value range, with error bounded by the power-of-two
+/// bucket width. An empty histogram reports 0 at every `q`.
 fn quantile_from_buckets(
     counts: impl Iterator<Item = (usize, u64)>,
     total: u64,
@@ -227,10 +230,17 @@ fn quantile_from_buckets(
         seen += n;
         if (seen as f64) >= rank {
             let lo = bucket_lower(idx) as f64;
+            if idx < 32 {
+                // Unit bucket: every sample in it is exactly `lo`, so the
+                // nearest-rank quantile is exact — no interpolation.
+                return lo;
+            }
             // Cap the last occupied bucket at the observed maximum so the
             // interpolation never exceeds any recorded sample.
             let hi = (bucket_upper(idx).min(max.saturating_add(1))).max(lo as u64 + 1) as f64;
-            let within = (rank - before as f64) / n as f64;
+            // Lower edge of the rank's sub-interval: 0 for the bucket's
+            // first sample, so a one-sample bucket reports its lower edge.
+            let within = (rank - before as f64 - 1.0) / n as f64;
             return lo + (hi - lo) * within.clamp(0.0, 1.0);
         }
     }
@@ -338,6 +348,11 @@ impl Hist {
     /// 99th-percentile estimate. See [`Hist::quantile`].
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate. See [`Hist::quantile`].
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 }
 
@@ -499,7 +514,77 @@ mod tests {
         let core = Arc::new(HistCore::new("e"));
         let h = Hist(Some(core.clone()));
         assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p999(), 0.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
         assert_eq!(snapshot_hist(&core).quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_the_sample() {
+        // Nearest-rank edge case: one sample at `v` must report exactly
+        // `v` at every q, not `v + bucket_width` (regression guard for the
+        // old upper-edge interpolation).
+        for v in [0u64, 7, 31] {
+            let core = Arc::new(HistCore::new("s"));
+            let h = Hist(Some(core.clone()));
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.95, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), v as f64, "v={v} q={q}");
+            }
+            assert_eq!(h.p999(), v as f64);
+            assert_eq!(snapshot_hist(&core).quantile(0.5), v as f64);
+        }
+    }
+
+    #[test]
+    fn single_bucket_many_samples_reports_the_value() {
+        // All mass in one unit bucket: every quantile is that value.
+        let core = Arc::new(HistCore::new("b"));
+        let h = Hist(Some(core));
+        for _ in 0..1000 {
+            h.record(3);
+        }
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 3.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn unit_buckets_are_exact_nearest_rank() {
+        // Distinct unit-bucket samples 1..=4: quantiles select the exact
+        // nearest-rank sample (rank = ceil(q*n), 1-based).
+        let core = Arc::new(HistCore::new("nr"));
+        let h = Hist(Some(core));
+        for v in 1..=4u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.26), 2.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.75), 3.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn p999_tracks_the_extreme_tail() {
+        let core = Arc::new(HistCore::new("t"));
+        let h = Hist(Some(core));
+        // 99 fast samples and one huge outlier: p99 stays in the fast
+        // bucket, p999 lands in the outlier's bucket.
+        for _ in 0..99 {
+            h.record(5);
+        }
+        h.record(100_000);
+        assert!(h.p99() < 6.0, "p99={} stays in the fast bucket", h.p99());
+        let p999 = h.p999();
+        assert!(
+            (65536.0..=100_001.0).contains(&p999),
+            "p999={p999} must land in the outlier's log bucket"
+        );
+        assert!(h.p999() >= h.p99());
+        assert!(h.p999() <= h.max() as f64 + 1.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::trace::TraceKind;
 use crate::ObsInner;
 
 /// Synthetic root node id; real spans hang below it.
@@ -186,6 +187,7 @@ pub struct Span {
 struct SpanGuard {
     obs: Arc<ObsInner>,
     node: usize,
+    name: &'static str,
     start: Instant,
 }
 
@@ -202,10 +204,16 @@ impl Span {
         let parent = current_parent(obs.id);
         let node = obs.spans.lock().unwrap().enter(parent, name);
         push_span(obs.id, node);
+        // With a flight recorder attached, spans double as trace-track
+        // events; without one this is a single pointer load.
+        if let Some(rec) = obs.trace.get() {
+            rec.record_current(name, "span", TraceKind::Begin);
+        }
         Span {
             inner: Some(SpanGuard {
                 obs,
                 node,
+                name,
                 start: Instant::now(),
             }),
             _not_send: PhantomData,
@@ -217,6 +225,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(guard) = self.inner.take() {
             let nanos = guard.start.elapsed().as_nanos() as u64;
+            if let Some(rec) = guard.obs.trace.get() {
+                rec.record_current(guard.name, "span", TraceKind::End);
+            }
             pop_span(guard.obs.id, guard.node);
             guard.obs.spans.lock().unwrap().exit(guard.node, nanos);
         }

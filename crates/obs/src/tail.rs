@@ -1,0 +1,372 @@
+//! Tail-latency attribution from flight-recorder snapshots.
+//!
+//! Takes the async request-stage events recorded by the serving layer
+//! (`AsyncBegin`/`AsyncEnd` pairs keyed by `(trace, name)`), reconstructs
+//! each request's timeline, and answers the question aggregate histograms
+//! cannot: *where* did the slowest requests lose their time — queue wait,
+//! cache probe, dispatch, execution, or response delivery?
+//!
+//! One stage name is the **envelope** (the serving layer uses
+//! `"request"`): its interval is the request's wall time; every other
+//! stage is attributed against it. The report ranks requests by wall
+//! time, keeps the slowest `k%`, and compares their per-stage means
+//! against the median request's breakdown — the shape of "p99 is queue
+//! wait, not compute" drops straight out of the table.
+//!
+//! Attribution coverage (attributed stage time / wall time) is reported
+//! per tail request; the serving layer's stages tile the request timeline,
+//! so coverage below ~95 % signals missing instrumentation rather than
+//! expected gaps.
+
+use std::collections::HashMap;
+
+use crate::trace::{TraceEvent, TraceKind, TraceSnapshot};
+
+/// One request's reconstructed timeline.
+#[derive(Debug, Clone)]
+pub struct RequestAttribution {
+    /// The request's trace id.
+    pub trace: u64,
+    /// Envelope start, microseconds since the obs epoch.
+    pub start_us: u64,
+    /// Envelope duration (wall time), microseconds.
+    pub wall_us: u64,
+    /// Summed duration per stage, in first-seen order, envelope excluded.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl RequestAttribution {
+    /// Total microseconds attributed to named stages.
+    pub fn attributed_us(&self) -> u64 {
+        self.stages.iter().map(|(_, us)| us).sum()
+    }
+
+    /// Attributed fraction of wall time, in `[0, 1]`-ish (stages measured
+    /// on the worker can overrun the envelope by scheduling jitter, so
+    /// values slightly above 1 are possible). A zero-wall request counts
+    /// as fully attributed.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_us == 0 {
+            1.0
+        } else {
+            self.attributed_us() as f64 / self.wall_us as f64
+        }
+    }
+
+    /// Duration of one stage (0 when absent).
+    pub fn stage_us(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, us)| *us)
+    }
+}
+
+/// Stage-by-stage tail-vs-median comparison. Build with
+/// [`TailReport::from_snapshot`], render with [`TailReport::render`].
+#[derive(Debug, Clone)]
+pub struct TailReport {
+    /// Envelope stage name the report was built with.
+    pub envelope: &'static str,
+    /// Tail fraction requested (e.g. 5.0 for the slowest 5 %).
+    pub k_pct: f64,
+    /// Completed requests found in the snapshot.
+    pub requests: usize,
+    /// Wall time of the median request, microseconds.
+    pub median_wall_us: u64,
+    /// The median request's stage breakdown.
+    pub median_stages: Vec<(&'static str, u64)>,
+    /// The slowest `k%` requests, slowest first.
+    pub tail: Vec<RequestAttribution>,
+}
+
+/// Reconstructs per-request intervals from the snapshot's async events.
+///
+/// Events are merged across threads and time-sorted (begin before end on
+/// timestamp ties) so a stage that starts on the submitter thread and ends
+/// on a worker pairs correctly. Unpaired begins (requests still in flight
+/// at snapshot time) and stray ends (begin overwritten by the ring bound)
+/// are ignored.
+pub fn attribute_requests(snap: &TraceSnapshot, envelope: &'static str) -> Vec<RequestAttribution> {
+    let mut events: Vec<&TraceEvent> = snap
+        .threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.trace != 0 && matches!(e.kind, TraceKind::AsyncBegin | TraceKind::AsyncEnd))
+        .collect();
+    events.sort_by_key(|e| (e.t_us, e.kind == TraceKind::AsyncEnd));
+
+    // (trace, name) -> stack of open begin timestamps.
+    let mut open: HashMap<(u64, &str), Vec<u64>> = HashMap::new();
+    // trace -> accumulating attribution.
+    let mut requests: HashMap<u64, RequestAttribution> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+
+    for ev in events {
+        match ev.kind {
+            TraceKind::AsyncBegin => {
+                open.entry((ev.trace, ev.name)).or_default().push(ev.t_us);
+            }
+            TraceKind::AsyncEnd => {
+                let Some(begin) = open.get_mut(&(ev.trace, ev.name)).and_then(Vec::pop) else {
+                    continue; // stray end: begin lost to the ring bound
+                };
+                let dur = ev.t_us.saturating_sub(begin);
+                let req = requests.entry(ev.trace).or_insert_with(|| {
+                    order.push(ev.trace);
+                    RequestAttribution {
+                        trace: ev.trace,
+                        start_us: begin,
+                        wall_us: 0,
+                        stages: Vec::new(),
+                    }
+                });
+                if ev.name == envelope {
+                    req.start_us = begin;
+                    req.wall_us = dur;
+                } else if let Some(slot) = req.stages.iter_mut().find(|(n, _)| *n == ev.name) {
+                    slot.1 += dur;
+                } else {
+                    req.stages.push((ev.name, dur));
+                }
+            }
+            _ => unreachable!("filtered to async events"),
+        }
+    }
+
+    // Requests appear here only once a pair matched; an envelope that
+    // never closed (still in flight) contributes nothing.
+    order
+        .into_iter()
+        .filter_map(|t| requests.remove(&t))
+        .collect()
+}
+
+impl TailReport {
+    /// Builds the report for the slowest `k_pct`% of requests (at least
+    /// one request when any completed). `envelope` names the wall-time
+    /// stage — the serving layer records `"request"`.
+    pub fn from_snapshot(snap: &TraceSnapshot, envelope: &'static str, k_pct: f64) -> Self {
+        let mut requests = attribute_requests(snap, envelope);
+        requests.sort_by_key(|r| std::cmp::Reverse(r.wall_us));
+        let n = requests.len();
+        let k_pct = k_pct.clamp(0.0, 100.0);
+        let tail_len = if n == 0 {
+            0
+        } else {
+            (((n as f64) * k_pct / 100.0).ceil() as usize).clamp(1, n)
+        };
+        let (median_wall_us, median_stages) = if n == 0 {
+            (0, Vec::new())
+        } else {
+            let median = &requests[n / 2];
+            (median.wall_us, median.stages.clone())
+        };
+        TailReport {
+            envelope,
+            k_pct,
+            requests: n,
+            median_wall_us,
+            median_stages,
+            tail: requests.into_iter().take(tail_len).collect(),
+        }
+    }
+
+    /// Mean wall time across the tail, microseconds.
+    pub fn tail_mean_wall_us(&self) -> f64 {
+        if self.tail.is_empty() {
+            0.0
+        } else {
+            self.tail.iter().map(|r| r.wall_us as f64).sum::<f64>() / self.tail.len() as f64
+        }
+    }
+
+    /// Smallest attribution coverage across the tail (1.0 when empty).
+    pub fn min_coverage(&self) -> f64 {
+        self.tail
+            .iter()
+            .map(RequestAttribution::coverage)
+            .fold(1.0f64, f64::min)
+    }
+
+    /// Stage names across median and tail, in first-seen order.
+    fn stage_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for (n, _) in &self.median_stages {
+            if !names.contains(n) {
+                names.push(n);
+            }
+        }
+        for r in &self.tail {
+            for (n, _) in &r.stages {
+                if !names.contains(n) {
+                    names.push(n);
+                }
+            }
+        }
+        names
+    }
+
+    /// Plain-text table: per stage, the median request's duration vs the
+    /// tail mean, with the blow-up ratio. Ends with the coverage line the
+    /// acceptance gate reads.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Tail latency attribution (slowest {:.1}% = {} of {} requests)\n\n",
+            self.k_pct,
+            self.tail.len(),
+            self.requests
+        ));
+        if self.tail.is_empty() {
+            out.push_str("no completed requests in the trace\n");
+            return out;
+        }
+        let tail_mean = self.tail_mean_wall_us();
+        out.push_str(&format!(
+            "{:<14} {:>14} {:>14} {:>8}\n",
+            "stage", "median_us", "tail_mean_us", "ratio"
+        ));
+        for name in self.stage_names() {
+            let med = self
+                .median_stages
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, us)| *us);
+            let tail: f64 = self
+                .tail
+                .iter()
+                .map(|r| r.stage_us(name) as f64)
+                .sum::<f64>()
+                / self.tail.len() as f64;
+            let ratio = if med == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}x", tail / med as f64)
+            };
+            out.push_str(&format!("{name:<14} {med:>14} {tail:>14.0} {ratio:>8}\n"));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>14} {:>14.0}\n",
+            "(wall)", self.median_wall_us, tail_mean
+        ));
+        out.push_str(&format!(
+            "tail attribution coverage: min {:.1}% across {} requests\n",
+            self.min_coverage() * 100.0,
+            self.tail.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceId;
+    use crate::Obs;
+
+    /// Records one synthetic request whose stages tile the envelope.
+    fn record_request(obs: &Obs, id: TraceId, stage_ms: &[(&'static str, u64)]) {
+        obs.trace_async_begin(id, "request", "request");
+        for &(name, ms) in stage_ms {
+            obs.trace_async_begin(id, name, "request");
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            obs.trace_async_end(id, name, "request");
+        }
+        obs.trace_async_end(id, "request", "request");
+    }
+
+    #[test]
+    fn stages_sum_to_wall_within_epsilon() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(1024);
+        let id = obs.mint_trace_id();
+        record_request(&obs, id, &[("queue", 5), ("execute", 10)]);
+        let reqs = attribute_requests(&obs.trace_snapshot().unwrap(), "request");
+        assert_eq!(reqs.len(), 1);
+        let r = &reqs[0];
+        assert!(r.wall_us >= 15_000);
+        assert!(r.stage_us("queue") >= 5_000);
+        assert!(r.stage_us("execute") >= 10_000);
+        assert!(
+            r.coverage() >= 0.95,
+            "tiled stages must attribute >=95%, got {}",
+            r.coverage()
+        );
+        assert!(
+            r.attributed_us() <= r.wall_us,
+            "stages nest inside envelope"
+        );
+    }
+
+    #[test]
+    fn tail_selects_slowest_and_compares_to_median() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(4096);
+        // 9 fast requests, 1 slow one dominated by "queue".
+        for _ in 0..9 {
+            let id = obs.mint_trace_id();
+            record_request(&obs, id, &[("queue", 1), ("execute", 2)]);
+        }
+        let slow = obs.mint_trace_id();
+        record_request(&obs, slow, &[("queue", 40), ("execute", 2)]);
+
+        let report = TailReport::from_snapshot(&obs.trace_snapshot().unwrap(), "request", 10.0);
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.tail.len(), 1);
+        assert_eq!(report.tail[0].trace, slow.0);
+        assert!(report.tail[0].wall_us > report.median_wall_us);
+        assert!(report.tail[0].stage_us("queue") > 10 * report.median_wall_us.max(1) / 10);
+        assert!(report.min_coverage() >= 0.95);
+        let text = report.render();
+        assert!(text.contains("queue"));
+        assert!(text.contains("execute"));
+        assert!(text.contains("coverage"));
+    }
+
+    #[test]
+    fn unpaired_begins_and_stray_ends_are_ignored() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(64);
+        let in_flight = obs.mint_trace_id();
+        obs.trace_async_begin(in_flight, "request", "request");
+        let stray = obs.mint_trace_id();
+        obs.trace_async_end(stray, "queue", "request");
+        let done = obs.mint_trace_id();
+        record_request(&obs, done, &[]);
+        let reqs = attribute_requests(&obs.trace_snapshot().unwrap(), "request");
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].trace, done.0);
+    }
+
+    #[test]
+    fn cross_thread_stage_pairs_by_trace_and_name() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(64);
+        let id = obs.mint_trace_id();
+        obs.trace_async_begin(id, "request", "request");
+        obs.trace_async_begin(id, "queue", "request");
+        let obs2 = obs.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            obs2.trace_async_end(id, "queue", "request");
+            obs2.trace_async_end(id, "request", "request");
+        })
+        .join()
+        .unwrap();
+        let reqs = attribute_requests(&obs.trace_snapshot().unwrap(), "request");
+        assert_eq!(reqs.len(), 1);
+        assert!(reqs[0].stage_us("queue") >= 3_000);
+        assert!(reqs[0].coverage() >= 0.9);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let obs = Obs::new_enabled();
+        obs.attach_recorder(16);
+        let report = TailReport::from_snapshot(&obs.trace_snapshot().unwrap(), "request", 5.0);
+        assert_eq!(report.requests, 0);
+        assert!(report.render().contains("no completed requests"));
+        assert_eq!(report.min_coverage(), 1.0);
+    }
+}

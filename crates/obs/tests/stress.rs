@@ -153,6 +153,54 @@ fn metrics_and_spans_mix_under_rayon() {
     assert_eq!(span_shape(&report), vec![("sweep".to_string(), 4)]);
 }
 
+#[test]
+fn flight_recorder_rings_stay_consistent_under_contention() {
+    // Many threads recording spans and instants concurrently with
+    // snapshot reads: every track stays balanced and bounded, and drop
+    // accounting is exact (events recorded = retained + dropped).
+    let obs = Obs::new_enabled();
+    let capacity = 64usize;
+    obs.attach_recorder(capacity);
+    let threads = 8usize;
+    let per_thread = 50u64; // 50 spans -> 100 events + 50 instants
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let obs = obs.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    let _sp = obs.span("stress");
+                    obs.trace_counter("i", i as i64);
+                    if i % 10 == 0 {
+                        // Concurrent snapshots must not corrupt the rings.
+                        let _ = obs.trace_snapshot();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = obs.trace_snapshot().unwrap();
+    assert_eq!(snap.threads.len(), threads);
+    for track in &snap.threads {
+        assert!(track.events.len() <= capacity, "ring bound holds");
+        assert_eq!(
+            track.events.len() as u64 + track.dropped,
+            per_thread * 3,
+            "retained + dropped = recorded on tid {}",
+            track.tid
+        );
+        assert!(
+            track.events.windows(2).all(|w| w[0].t_us <= w[1].t_us),
+            "track timestamps monotone"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

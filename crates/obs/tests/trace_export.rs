@@ -1,0 +1,183 @@
+//! Schema validation for the Chrome trace-event exporter.
+//!
+//! Drives a multi-threaded serve-shaped workload through the flight
+//! recorder, exports it, then re-parses the JSON and checks the structural
+//! invariants Perfetto relies on: every event carries the single pid, B/E
+//! duration events balance per thread track, timestamps never run
+//! backwards within a track, every referenced tid has a `thread_name`
+//! metadata record, and async stage events carry ids. On top of the
+//! schema, the attribution invariant: each request's stage durations sum
+//! to within ε of its envelope wall time.
+//!
+//! CI runs this file at `RAYON_NUM_THREADS=1` and `=8`; the recorder does
+//! not use rayon, but the matrix guards against thread-count-sensitive
+//! regressions in the TLS registration path.
+
+use std::time::Duration;
+
+use asa_obs::chrome::chrome_trace_string;
+use asa_obs::tail::{attribute_requests, TailReport};
+use asa_obs::Obs;
+
+/// Runs `workers` threads, each serving `requests` synthetic requests with
+/// tiled stages (queue -> execute) and nested spans inside execute.
+fn synthetic_serve_run(workers: usize, requests: usize) -> Obs {
+    let obs = Obs::new_enabled();
+    obs.attach_recorder(1 << 14);
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let obs = obs.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("worker-{w}"))
+                .spawn(move || {
+                    for i in 0..requests {
+                        let id = obs.mint_trace_id();
+                        obs.trace_async_begin(id, "request", "request");
+                        obs.trace_async_begin(id, "queue", "request");
+                        std::thread::sleep(Duration::from_millis(1));
+                        obs.trace_async_end(id, "queue", "request");
+                        obs.trace_async_begin(id, "execute", "request");
+                        {
+                            let _scope = obs.trace_scope(id);
+                            let _infomap = obs.span("infomap");
+                            let _sweep = obs.span("sweep");
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        obs.trace_async_end(id, "execute", "request");
+                        obs.trace_async_end(id, "request", "request");
+                        obs.trace_counter("serve.queue.depth", i as i64);
+                    }
+                })
+                .unwrap(),
+        );
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    obs
+}
+
+fn parse_events(text: &str) -> Vec<serde_json::Value> {
+    let doc: serde_json::Value = serde_json::from_str(text).expect("exporter emits valid JSON");
+    doc.as_array().expect("top level is an array").clone()
+}
+
+#[test]
+fn chrome_trace_schema_is_valid() {
+    let obs = synthetic_serve_run(3, 4);
+    let text = chrome_trace_string(&obs.trace_snapshot().unwrap());
+    let events = parse_events(&text);
+    assert!(!events.is_empty());
+
+    let mut named_tids = std::collections::HashSet::new();
+    let mut used_tids = std::collections::HashSet::new();
+    // tid -> (open B count, last ts)
+    let mut tracks: std::collections::HashMap<u64, (i64, u64)> = std::collections::HashMap::new();
+
+    for ev in &events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph present");
+        assert_eq!(
+            ev.get("pid").and_then(serde_json::Value::as_u64),
+            Some(1),
+            "single-process trace"
+        );
+        let tid = ev
+            .get("tid")
+            .and_then(serde_json::Value::as_u64)
+            .expect("tid present");
+        if ph == "M" {
+            if ev.get("name").and_then(|v| v.as_str()) == Some("thread_name") {
+                named_tids.insert(tid);
+            }
+            continue;
+        }
+        used_tids.insert(tid);
+        let ts = ev
+            .get("ts")
+            .and_then(serde_json::Value::as_u64)
+            .expect("ts present");
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(ev.get("cat").and_then(|v| v.as_str()).is_some());
+        let entry = tracks.entry(tid).or_insert((0, 0));
+        assert!(
+            ts >= entry.1,
+            "timestamps must be monotone within tid {tid}: {ts} < {}",
+            entry.1
+        );
+        entry.1 = ts;
+        match ph {
+            "B" => entry.0 += 1,
+            "E" => {
+                entry.0 -= 1;
+                assert!(entry.0 >= 0, "E without matching B on tid {tid}");
+            }
+            "b" | "e" => {
+                assert!(
+                    ev.get("id").and_then(|v| v.as_str()).is_some(),
+                    "async events need an id"
+                );
+            }
+            "i" => {
+                assert_eq!(ev.get("s").and_then(|v| v.as_str()), Some("t"));
+            }
+            "C" => {
+                assert!(ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .is_some_and(|v| v.as_i64().is_some() || v.as_u64().is_some()));
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+
+    for (tid, (depth, _)) in &tracks {
+        assert_eq!(*depth, 0, "unbalanced B/E on tid {tid}");
+    }
+    for tid in &used_tids {
+        assert!(
+            named_tids.contains(tid),
+            "tid {tid} has events but no thread_name metadata"
+        );
+    }
+    assert_eq!(used_tids.len(), 3, "one track per worker thread");
+}
+
+#[test]
+fn request_stages_sum_to_wall_time() {
+    let obs = synthetic_serve_run(2, 5);
+    let snap = obs.trace_snapshot().unwrap();
+    let requests = attribute_requests(&snap, "request");
+    assert_eq!(requests.len(), 10, "every request completed");
+    for r in &requests {
+        assert!(r.wall_us >= 3_000, "two sleeps inside: {}us", r.wall_us);
+        let attributed = r.attributed_us();
+        assert!(
+            attributed <= r.wall_us,
+            "stages tile inside the envelope: {attributed} > {}",
+            r.wall_us
+        );
+        assert!(
+            r.coverage() >= 0.95,
+            "stage durations must cover >=95% of wall, got {:.3} for trace {}",
+            r.coverage(),
+            r.trace
+        );
+    }
+    // The tail report over the same snapshot agrees.
+    let report = TailReport::from_snapshot(&snap, "request", 20.0);
+    assert_eq!(report.requests, 10);
+    assert_eq!(report.tail.len(), 2);
+    assert!(report.min_coverage() >= 0.95);
+}
+
+#[test]
+fn distinct_trace_ids_across_threads() {
+    let obs = synthetic_serve_run(4, 3);
+    let snap = obs.trace_snapshot().unwrap();
+    let requests = attribute_requests(&snap, "request");
+    let mut ids: Vec<u64> = requests.iter().map(|r| r.trace).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 12, "minted ids are process-unique");
+}

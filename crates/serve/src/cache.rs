@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use asa_infomap::InfomapResult;
+use asa_obs::Counter;
 
 /// Cache key: `(graph fingerprint, config hash)`.
 pub type CacheKey = (u64, u64);
@@ -40,6 +41,16 @@ pub struct ResultCache {
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Entries dropped because their TTL elapsed (on touch or as a
+    /// preferred eviction victim) — distinct from capacity pressure.
+    expired: AtomicU64,
+    /// Live entries evicted by LRU capacity pressure.
+    evicted: AtomicU64,
+    /// Optional telemetry mirrors of the two drop counts
+    /// (`serve.cache.expired` / `serve.cache.evicted` when attached by
+    /// the engine; disabled no-ops otherwise).
+    on_expired: Counter,
+    on_evicted: Counter,
 }
 
 impl ResultCache {
@@ -47,6 +58,24 @@ impl ResultCache {
     /// (each shard holds `ceil(capacity / shards)`), expiring entries
     /// `ttl` after insertion. `capacity == 0` disables caching entirely.
     pub fn new(capacity: usize, shards: usize, ttl: Duration) -> Self {
+        Self::with_counters(
+            capacity,
+            shards,
+            ttl,
+            Counter::disabled(),
+            Counter::disabled(),
+        )
+    }
+
+    /// [`ResultCache::new`] with telemetry counters mirroring TTL-expiry
+    /// drops (`on_expired`) and LRU-capacity evictions (`on_evicted`).
+    pub fn with_counters(
+        capacity: usize,
+        shards: usize,
+        ttl: Duration,
+        on_expired: Counter,
+        on_evicted: Counter,
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard_capacity = capacity.div_ceil(shards);
         ResultCache {
@@ -56,7 +85,21 @@ impl ResultCache {
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            on_expired,
+            on_evicted,
         }
+    }
+
+    fn count_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.on_expired.incr();
+    }
+
+    fn count_evicted(&self) {
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+        self.on_evicted.incr();
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -81,6 +124,7 @@ impl ResultCache {
             }
             Some(_) => {
                 shard.map.remove(key);
+                self.count_expired();
                 None
             }
             None => None,
@@ -107,9 +151,14 @@ impl ResultCache {
                 .map
                 .iter()
                 .min_by_key(|(_, e)| (e.inserted.elapsed() <= self.ttl, e.last_used))
-                .map(|(k, _)| *k);
-            if let Some(victim) = victim {
+                .map(|(k, e)| (*k, e.inserted.elapsed() > self.ttl));
+            if let Some((victim, was_expired)) = victim {
                 shard.map.remove(&victim);
+                if was_expired {
+                    self.count_expired();
+                } else {
+                    self.count_evicted();
+                }
             }
         }
         shard.map.insert(
@@ -141,6 +190,16 @@ impl ResultCache {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Lifetime `(ttl_expired, lru_evicted)` drop counts across all
+    /// shards: entries dropped because their TTL elapsed vs live entries
+    /// evicted purely by capacity pressure.
+    pub fn eviction_stats(&self) -> (u64, u64) {
+        (
+            self.expired.load(Ordering::Relaxed),
+            self.evicted.load(Ordering::Relaxed),
         )
     }
 }

@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use asa_graph::fnv1a64;
 use asa_infomap::{detect_communities_cancellable, CancelToken, InfomapConfig, InfomapResult};
-use asa_obs::{Counter, Gauge, Hist, Obs};
+use asa_obs::{Counter, Gauge, Hist, Obs, TraceId};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::queue::{JobQueue, PushError};
@@ -99,6 +99,8 @@ struct Metrics {
     deadline_exceeded: Counter,
     cache_hits: Counter,
     cache_misses: Counter,
+    cache_expired: Counter,
+    cache_evicted: Counter,
     queue_depth: Gauge,
     latency_interactive_us: Hist,
     latency_batch_us: Hist,
@@ -115,6 +117,8 @@ impl Metrics {
             deadline_exceeded: obs.counter("serve.deadline_exceeded"),
             cache_hits: obs.counter("serve.cache.hits"),
             cache_misses: obs.counter("serve.cache.misses"),
+            cache_expired: obs.counter("serve.cache.expired"),
+            cache_evicted: obs.counter("serve.cache.evicted"),
             queue_depth: obs.gauge("serve.queue.depth"),
             latency_interactive_us: obs.hist("serve.latency_us.interactive"),
             latency_batch_us: obs.hist("serve.latency_us.batch"),
@@ -173,6 +177,10 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Requests that had to run Infomap.
     pub cache_misses: u64,
+    /// Cache entries dropped because their TTL elapsed.
+    pub cache_expired: u64,
+    /// Live cache entries evicted by LRU capacity pressure.
+    pub cache_evicted: u64,
     /// Queue depth when the stats were read.
     pub queue_depth_last: u64,
     /// Highest queue depth ever observed.
@@ -211,6 +219,10 @@ struct Job {
     slot: Arc<ResponseSlot>,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// Flight-recorder id minted at admission; [`TraceId::NONE`] when the
+    /// configured [`Obs`] has no recorder attached (every trace call is
+    /// then a no-op).
+    trace: TraceId,
 }
 
 struct Shared {
@@ -267,10 +279,17 @@ impl ServeEngine {
             // Private registry so `stats()` works without telemetry wiring.
             Obs::new_enabled()
         };
+        let metrics = Metrics::new(&metrics_obs);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity_interactive, cfg.queue_capacity_batch),
-            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards, cfg.cache_ttl),
-            metrics: Metrics::new(&metrics_obs),
+            cache: ResultCache::with_counters(
+                cfg.cache_capacity,
+                cfg.cache_shards,
+                cfg.cache_ttl,
+                metrics.cache_expired.clone(),
+                metrics.cache_evicted.clone(),
+            ),
+            metrics,
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -289,8 +308,15 @@ impl ServeEngine {
     /// rejections resolve the handle before this returns; everything else
     /// resolves when a worker finishes the job. Every submission
     /// terminates in exactly one [`Outcome`].
+    ///
+    /// When the configured [`Obs`] carries a flight recorder, a
+    /// [`TraceId`] is minted here and threaded through every lifecycle
+    /// stage as async trace events (`request` envelope, `cache_probe`,
+    /// `queue`, `dispatch`, `execute`, `respond`); the id comes back in
+    /// [`Response::trace_id`].
     pub fn submit(&self, request: Request) -> JobHandle {
         let m = &self.shared.metrics;
+        let obs = &self.shared.cfg.obs;
         m.submitted.incr();
         let submitted = Instant::now();
         let slot = Arc::new(ResponseSlot::default());
@@ -298,9 +324,14 @@ impl ServeEngine {
             slot: Arc::clone(&slot),
         };
         let key = (request.graph.fingerprint(), config_hash(&request.config));
+        let trace = obs.mint_trace_id();
+        obs.trace_async_begin(trace, "request", "request");
 
         // Admission-time cache check: hits never consume queue capacity.
-        if let Some(hit) = self.shared.cache.get(&key) {
+        obs.trace_async_begin(trace, "cache_probe", "request");
+        let admission_hit = self.shared.cache.get(&key);
+        obs.trace_async_end(trace, "cache_probe", "request");
+        if let Some(hit) = admission_hit {
             m.cache_hits.incr();
             m.completed.incr();
             let total = submitted.elapsed();
@@ -311,7 +342,9 @@ impl ServeEngine {
                 service: Duration::ZERO,
                 total,
                 cache_hit: true,
+                trace_id: trace.0,
             });
+            obs.trace_async_end(trace, "request", "request");
             return handle;
         }
 
@@ -323,18 +356,26 @@ impl ServeEngine {
             slot,
             submitted,
             deadline,
+            trace,
         };
+        obs.trace_async_begin(trace, "queue", "request");
         match self.shared.queue.push(priority, job) {
-            Ok(depth) => m.queue_depth.set(depth as u64),
+            Ok(depth) => {
+                m.queue_depth.set(depth as u64);
+                obs.trace_counter("serve.queue.depth", depth as i64);
+            }
             Err(PushError::Full(job) | PushError::Closed(job)) => {
                 m.shed.incr();
+                obs.trace_async_end(trace, "queue", "request");
                 job.slot.fill(Response {
                     outcome: Outcome::Overloaded,
                     queued: Duration::ZERO,
                     service: Duration::ZERO,
                     total: submitted.elapsed(),
                     cache_hit: false,
+                    trace_id: trace.0,
                 });
+                obs.trace_async_end(trace, "request", "request");
             }
         }
         handle
@@ -357,6 +398,8 @@ impl ServeEngine {
             deadline_exceeded: m.deadline_exceeded.value(),
             cache_hits: m.cache_hits.value(),
             cache_misses: m.cache_misses.value(),
+            cache_expired: m.cache_expired.value(),
+            cache_evicted: m.cache_evicted.value(),
             queue_depth_last: self.shared.queue.depth() as u64,
             queue_depth_max: m.queue_depth.max(),
             latency_interactive: LatencyStats::from_hist(&m.latency_interactive_us),
@@ -402,9 +445,19 @@ fn degraded_config(cfg: &InfomapConfig, rung: u8) -> InfomapConfig {
 
 fn worker_loop(shared: &Shared) {
     let m = &shared.metrics;
+    let obs = &shared.cfg.obs;
     while let Some((priority, job)) = shared.queue.pop() {
+        let trace = job.trace;
+        // The queue stage spans push (submitter thread) to pop (here);
+        // async events pair across threads by (name, id).
+        obs.trace_async_end(trace, "queue", "request");
+        obs.trace_async_begin(trace, "dispatch", "request");
+        // Spans and instants recorded on this thread while the job runs
+        // (degradation rungs, infomap levels/sweeps) attribute to it.
+        let _scope = obs.trace_scope(trace);
         let depth = shared.queue.depth();
         m.queue_depth.set(depth as u64);
+        obs.trace_counter("serve.queue.depth", depth as i64);
         let dequeued = Instant::now();
         let queued = dequeued - job.submitted;
 
@@ -412,13 +465,16 @@ fn worker_loop(shared: &Shared) {
         if job.deadline.is_some_and(|d| dequeued >= d) {
             m.deadline_exceeded.incr();
             m.latency(priority).record(queued.as_micros() as u64);
+            obs.trace_async_end(trace, "dispatch", "request");
             job.slot.fill(Response {
                 outcome: Outcome::DeadlineExceeded,
                 queued,
                 service: Duration::ZERO,
                 total: queued,
                 cache_hit: false,
+                trace_id: trace.0,
             });
+            obs.trace_async_end(trace, "request", "request");
             continue;
         }
 
@@ -428,13 +484,16 @@ fn worker_loop(shared: &Shared) {
             m.completed.incr();
             let total = job.submitted.elapsed();
             m.latency(priority).record(total.as_micros() as u64);
+            obs.trace_async_end(trace, "dispatch", "request");
             job.slot.fill(Response {
                 outcome: Outcome::Ok(hit),
                 queued,
                 service: Duration::ZERO,
                 total,
                 cache_hit: true,
+                trace_id: trace.0,
             });
+            obs.trace_async_end(trace, "request", "request");
             continue;
         }
         m.cache_misses.incr();
@@ -453,6 +512,14 @@ fn worker_loop(shared: &Shared) {
         };
         let effective = if rung > 0 {
             m.degraded_pressure.incr();
+            obs.trace_instant(
+                if rung == 1 {
+                    "serve.degrade.rung1"
+                } else {
+                    "serve.degrade.rung2"
+                },
+                "serve",
+            );
             degraded_config(&job.request.config, rung)
         } else {
             job.request.config.clone()
@@ -462,18 +529,25 @@ fn worker_loop(shared: &Shared) {
             None => CancelToken::none(),
         };
 
-        // Per-request runs are deliberately unobserved: per-sweep record
-        // streams from concurrent requests would interleave uselessly and
-        // dominate the serving telemetry. Serving-level metrics capture
-        // what the operator needs.
+        // Per-request runs stay off the metric/sink path by default:
+        // per-sweep record streams from concurrent requests would
+        // interleave uselessly and dominate the serving telemetry. With a
+        // flight recorder attached, though, the run gets the real handle
+        // so its level/sweep spans land on this worker's trace track
+        // tagged with the request id (the `_scope` above).
+        let run_obs = if obs.trace_enabled() {
+            obs.clone()
+        } else {
+            Obs::disabled()
+        };
+        obs.trace_async_end(trace, "dispatch", "request");
+        obs.trace_async_begin(trace, "execute", "request");
         let t = Instant::now();
-        let result = detect_communities_cancellable(
-            &job.request.graph,
-            &effective,
-            &Obs::disabled(),
-            &cancel,
-        );
+        let result =
+            detect_communities_cancellable(&job.request.graph, &effective, &run_obs, &cancel);
         let service = t.elapsed();
+        obs.trace_async_end(trace, "execute", "request");
+        obs.trace_async_begin(trace, "respond", "request");
         let interrupted = result.interrupted;
         if interrupted {
             m.degraded_deadline.incr();
@@ -507,7 +581,10 @@ fn worker_loop(shared: &Shared) {
             service,
             total,
             cache_hit: false,
+            trace_id: trace.0,
         });
+        obs.trace_async_end(trace, "respond", "request");
+        obs.trace_async_end(trace, "request", "request");
     }
 }
 

@@ -144,6 +144,11 @@ pub struct Response {
     pub total: Duration,
     /// Whether the result came from the cache.
     pub cache_hit: bool,
+    /// Flight-recorder trace id minted for this request at admission, for
+    /// correlating the response with its track in an exported Chrome
+    /// trace (see `asa_obs::chrome`). Zero when the engine's [`asa_obs::Obs`]
+    /// handle has no recorder attached.
+    pub trace_id: u64,
 }
 
 /// Shared completion slot between a [`JobHandle`] and the worker that

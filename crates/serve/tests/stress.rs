@@ -238,6 +238,46 @@ fn tight_deadline_terminates_promptly_with_valid_or_no_result() {
 }
 
 #[test]
+fn cache_distinguishes_ttl_expiry_from_lru_eviction() {
+    // Single-shard cache of capacity 2 with a short TTL. Three distinct
+    // graphs inserted back-to-back force exactly one LRU eviction of a
+    // *live* entry; re-requesting a cached graph after the TTL elapses
+    // drops it as *expired*. The two must be counted separately.
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        cache_capacity: 2,
+        cache_shards: 1,
+        cache_ttl: Duration::from_millis(40),
+        ..ServeConfig::default()
+    });
+    let graphs: Vec<Arc<CsrGraph>> = (0..3).map(|s| clique_ring(4, 5, 20 + s)).collect();
+
+    // Sequential waits keep the insert order deterministic: g0, g1 fill
+    // the shard, g2 evicts the live LRU entry (g0).
+    for g in &graphs {
+        let r = engine.submit(Request::interactive(Arc::clone(g))).wait();
+        assert!(!r.cache_hit);
+    }
+    let mid = engine.stats();
+    assert_eq!(mid.cache_evicted, 1, "third insert evicts the live LRU");
+    assert_eq!(mid.cache_expired, 0, "nothing has aged out yet");
+
+    // Past the TTL, a resident entry is dropped on touch as expired — not
+    // as an eviction.
+    std::thread::sleep(Duration::from_millis(60));
+    let r = engine
+        .submit(Request::interactive(Arc::clone(&graphs[1])))
+        .wait();
+    assert!(!r.cache_hit, "expired entry must not be served");
+    let stats = engine.shutdown();
+    assert_eq!(stats.cache_evicted, 1, "expiry must not count as eviction");
+    assert!(
+        stats.cache_expired >= 1,
+        "TTL drop must count as expiry: {stats:?}"
+    );
+}
+
+#[test]
 fn priority_classes_share_the_engine() {
     // Interleave classes and distinct graphs; everything resolves, and
     // per-class latency histograms both record.

@@ -59,6 +59,9 @@ struct PipeObs {
     /// Events per shipped batch (buffer occupancy at handoff; partial
     /// batches come from sweep-barrier flushes).
     fill: Hist,
+    /// Handle for `pipeline.ingest` spans and `pipeline.stall` trace
+    /// instants when a flight recorder is attached.
+    obs: Obs,
 }
 
 impl PipeObs {
@@ -67,6 +70,7 @@ impl PipeObs {
             batches: obs.counter("pipeline.batches"),
             stalls: obs.counter("pipeline.stalls"),
             fill: obs.hist("pipeline.batch_fill"),
+            obs: obs.clone(),
         })
     }
 }
@@ -79,6 +83,9 @@ struct SeatObs {
     /// Nanoseconds spent inside `consume_batch` (replay throughput =
     /// `replay_events / replay_nanos`).
     replay_nanos: Counter,
+    /// Handle for `pipeline.replay` spans on the simulation thread's
+    /// flight-recorder track.
+    obs: Obs,
 }
 
 impl SeatObs {
@@ -86,6 +93,7 @@ impl SeatObs {
         obs.enabled().then(|| SeatObs {
             replay_events: obs.counter("pipeline.replay_events"),
             replay_nanos: obs.counter("pipeline.replay_nanos"),
+            obs: obs.clone(),
         })
     }
 }
@@ -104,6 +112,7 @@ fn worker_loop(rx: Receiver<(usize, Cmd)>, mut seats: Vec<Seat>) {
         match cmd {
             Cmd::Batch(mut buf) => {
                 if let Some(obs) = &seat.obs {
+                    let _sp = obs.obs.span("pipeline.replay");
                     let t = Instant::now();
                     seat.model.consume_batch(&buf);
                     obs.replay_nanos.add(t.elapsed().as_nanos() as u64);
@@ -165,12 +174,14 @@ impl CorePipe {
         // shipping the full one. With telemetry attached, distinguish the
         // free-list fast path from an actual backpressure stall.
         let empty = if let Some(obs) = &self.obs {
+            let _sp = obs.obs.span("pipeline.ingest");
             obs.batches.incr();
             obs.fill.record(self.buf.len() as u64);
             match self.free_rx.try_recv() {
                 Ok(buf) => buf,
                 Err(TryRecvError::Empty) => {
                     obs.stalls.incr();
+                    obs.obs.trace_instant("pipeline.stall", "sim");
                     self.free_rx.recv().expect("simulation thread alive")
                 }
                 Err(TryRecvError::Disconnected) => panic!("simulation thread alive"),
