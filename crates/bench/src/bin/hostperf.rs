@@ -8,7 +8,15 @@
 //!
 //! Writes `BENCH_hostperf.json` into the working directory (override with
 //! `ASA_HOSTPERF_OUT`); repetitions via `ASA_HOSTPERF_REPS` (default 5,
-//! best-of reported).
+//! best-of reported). `--smoke` shrinks to CI size (`ASA_SCALE_DIV=256`,
+//! one repetition) unless the env vars already say otherwise.
+//!
+//! `--kernel-breakdown` adds two extra SPA legs per network — the
+//! dispatched kernel (AVX2 where compiled with `--features simd` and the
+//! CPU has it) and the forced-scalar portable kernel — reporting each
+//! leg's sweep time and its accumulate/gather/scan phase split, asserting
+//! all legs' partitions match the hash path bit-for-bit, and emitting
+//! `kernel_breakdown` + `sweep_speedup_spa_scalar_over_hash` JSON fields.
 //!
 //! Telemetry: `--obs-out <path>` streams per-sweep convergence records
 //! (sweep index, moves, codelength, ΔL, SPA-vs-hash path, scratch-pool
@@ -30,6 +38,7 @@ use asa_bench::{
 };
 use asa_graph::generators::PaperNetwork;
 use asa_infomap::config::AccumulatorKind;
+use asa_infomap::kernel;
 use asa_infomap::{detect_communities_observed, InfomapConfig, InfomapResult};
 use asa_obs::{record, NullSink, Obs};
 
@@ -137,17 +146,84 @@ fn obs_overhead_check(reps: usize) {
     }
 }
 
+/// Whether `ASA_FORCE_SCALAR` asks for the portable kernel (the state to
+/// restore after the breakdown's forced-scalar leg).
+fn env_force_scalar() -> bool {
+    std::env::var(kernel::FORCE_SCALAR_ENV)
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// One `--kernel-breakdown` leg: the dispatched (SIMD where compiled and
+/// available) or forced-scalar sweep kernel, with its sweep time and
+/// per-phase attribution.
+struct KernelLeg {
+    label: &'static str,
+    kernel_path: &'static str,
+    sweep_seconds: f64,
+    breakdown: kernel::KernelBreakdown,
+    result: InfomapResult,
+}
+
+/// Runs the SPA path twice for one leg: untimed (best-of-`reps` sweep
+/// seconds, so phase-timing overhead never taints the headline numbers)
+/// and once with per-phase attribution enabled for the gather/accumulate/
+/// scan split.
+fn run_kernel_leg(
+    graph: &asa_graph::CsrGraph,
+    label: &'static str,
+    force_scalar: bool,
+    reps: usize,
+) -> KernelLeg {
+    kernel::set_force_scalar(force_scalar || env_force_scalar());
+    let kernel_path = kernel::kernel_path_name();
+    let timing = run_path(graph, AccumulatorKind::Spa, reps, &Obs::disabled());
+    kernel::set_phase_timing(true);
+    let before = kernel::global_phase_times().snapshot();
+    let timed = run_path(graph, AccumulatorKind::Spa, 1, &Obs::disabled());
+    let after = kernel::global_phase_times().snapshot();
+    kernel::set_phase_timing(false);
+    kernel::set_force_scalar(env_force_scalar());
+    assert_eq!(
+        timing.result.partition.labels(),
+        timed.result.partition.labels(),
+        "phase timing must not change the answer ({label})"
+    );
+    KernelLeg {
+        label,
+        kernel_path,
+        sweep_seconds: timing.find_best,
+        breakdown: kernel::KernelBreakdown {
+            accumulate_seconds: after.accumulate_seconds - before.accumulate_seconds,
+            gather_seconds: after.gather_seconds - before.gather_seconds,
+            scan_seconds: after.scan_seconds - before.scan_seconds,
+        },
+        result: timing.result,
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI-sized run: tiny scale, single repetition (env still wins).
+        if std::env::var("ASA_SCALE_DIV").is_err() {
+            std::env::set_var("ASA_SCALE_DIV", "256");
+        }
+        if std::env::var("ASA_HOSTPERF_REPS").is_err() {
+            std::env::set_var("ASA_HOSTPERF_REPS", "1");
+        }
+    }
     let reps = reps();
     if std::env::args().any(|a| a == "--obs-overhead") {
         obs_overhead_check(reps);
         return;
     }
+    let kernel_breakdown = std::env::args().any(|a| a == "--kernel-breakdown");
     let args = ObsArgs::parse();
     let obs = args.build();
     let _root = obs.span("hostperf");
     let networks = [PaperNetwork::Dblp, PaperNetwork::Pokec];
     let mut rows = Vec::new();
+    let mut breakdown_rows = Vec::new();
     let mut docs = Vec::new();
 
     for network in networks {
@@ -188,7 +264,7 @@ fn main() {
             fmt_secs(spa.convert),
             format!("{speedup:.2}x"),
         ]);
-        docs.push(serde_json::json!({
+        let mut doc = serde_json::json!({
             "network": format!("{}-like", network.name()),
             "nodes": graph.num_nodes(),
             "arcs": graph.num_arcs(),
@@ -199,7 +275,58 @@ fn main() {
             "sweep_seconds": serde_json::json!({ "hash": hash.find_best, "spa": spa.find_best }),
             "convert_seconds": serde_json::json!({ "hash": hash.convert, "spa": spa.convert }),
             "sweep_speedup_spa_over_hash": speedup,
-        }));
+        });
+
+        if kernel_breakdown {
+            let legs = [
+                run_kernel_leg(&graph, "dispatched", false, reps),
+                run_kernel_leg(&graph, "scalar", true, reps),
+            ];
+            let mut legs_json = Vec::new();
+            for leg in &legs {
+                // Partitions are bit-identical across hash / scalar SPA /
+                // SIMD SPA — the dispatch is a pure perf substitution.
+                assert_eq!(
+                    hash.result.partition.labels(),
+                    leg.result.partition.labels(),
+                    "{} partitions diverged on the {} kernel leg",
+                    network.name(),
+                    leg.label
+                );
+                let leg_speedup = hash.find_best / leg.sweep_seconds;
+                breakdown_rows.push(vec![
+                    format!("{}-like", network.name()),
+                    leg.label.to_string(),
+                    leg.kernel_path.to_string(),
+                    fmt_secs(leg.sweep_seconds),
+                    fmt_secs(leg.breakdown.accumulate_seconds),
+                    fmt_secs(leg.breakdown.gather_seconds),
+                    fmt_secs(leg.breakdown.scan_seconds),
+                    format!("{leg_speedup:.2}x"),
+                ]);
+                legs_json.push((
+                    leg.label.to_string(),
+                    serde_json::json!({
+                        "kernel_path": leg.kernel_path,
+                        "sweep_seconds": leg.sweep_seconds,
+                        "accumulate_seconds": leg.breakdown.accumulate_seconds,
+                        "gather_seconds": leg.breakdown.gather_seconds,
+                        "scan_seconds": leg.breakdown.scan_seconds,
+                    }),
+                ));
+            }
+            if let serde_json::Value::Object(entries) = &mut doc {
+                entries.push((
+                    "kernel_breakdown".to_string(),
+                    serde_json::Value::Object(legs_json),
+                ));
+                entries.push((
+                    "sweep_speedup_spa_scalar_over_hash".to_string(),
+                    serde_json::json!(hash.find_best / legs[1].sweep_seconds),
+                ));
+            }
+        }
+        docs.push(doc);
     }
 
     print!(
@@ -219,6 +346,25 @@ fn main() {
             &rows,
         )
     );
+    if kernel_breakdown {
+        print!(
+            "\n{}",
+            render_table(
+                "Sweep kernel breakdown (phase split from one attributed run)",
+                &[
+                    "network",
+                    "leg",
+                    "kernel path",
+                    "sweeps",
+                    "accumulate",
+                    "gather",
+                    "scan",
+                    "vs hash",
+                ],
+                &breakdown_rows,
+            )
+        );
+    }
 
     let out = std::env::var("ASA_HOSTPERF_OUT").unwrap_or_else(|_| "BENCH_hostperf.json".into());
     let doc = serde_json::json!({

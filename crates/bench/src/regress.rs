@@ -95,8 +95,10 @@ fn get_f64(doc: &Value, path: &[&str]) -> Option<f64> {
 }
 
 /// Extracts the gated metrics from a `BENCH_hostperf.json` document: per
-/// network, the SPA sweep seconds and the SPA-over-hash sweep speedup (the
-/// paper's headline host-side numbers).
+/// network, the SPA sweep seconds, the SPA-over-hash sweep speedup (the
+/// paper's headline host-side numbers), and — when the document carries a
+/// `--kernel-breakdown` section — the forced-scalar speedup, so both the
+/// SIMD and the portable kernel claims are regression-gated.
 pub fn extract_hostperf(doc: &Value) -> Vec<MetricSpec> {
     let mut out = Vec::new();
     let Some(networks) = doc.get("networks").and_then(Value::as_array) else {
@@ -115,6 +117,12 @@ pub fn extract_hostperf(doc: &Value) -> Vec<MetricSpec> {
         if let Some(v) = get_f64(nw, &["sweep_speedup_spa_over_hash"]) {
             out.push(MetricSpec::speedup(
                 format!("hostperf.{name}.sweep_speedup_spa_over_hash"),
+                v,
+            ));
+        }
+        if let Some(v) = get_f64(nw, &["sweep_speedup_spa_scalar_over_hash"]) {
+            out.push(MetricSpec::speedup(
+                format!("hostperf.{name}.sweep_speedup_spa_scalar_over_hash"),
                 v,
             ));
         }
@@ -333,7 +341,8 @@ mod tests {
                 "networks": [{{
                     "network": "dblp-like",
                     "sweep_seconds": {{"hash": 0.035, "spa": {spa_seconds}}},
-                    "sweep_speedup_spa_over_hash": {speedup}
+                    "sweep_speedup_spa_over_hash": {speedup},
+                    "sweep_speedup_spa_scalar_over_hash": {speedup}
                 }}]
             }}"#
         ))
@@ -357,9 +366,14 @@ mod tests {
     #[test]
     fn extraction_names_and_counts() {
         let host = extract_metrics(&hostperf_doc(0.023, 1.5));
-        assert_eq!(host.len(), 2);
+        assert_eq!(host.len(), 3);
         assert_eq!(host[0].name, "hostperf.dblp-like.sweep_spa_seconds");
         assert_eq!(host[1].direction, Direction::HigherIsBetter);
+        assert_eq!(
+            host[2].name,
+            "hostperf.dblp-like.sweep_speedup_spa_scalar_over_hash"
+        );
+        assert_eq!(host[2].direction, Direction::HigherIsBetter);
 
         let serve = extract_metrics(&serve_doc(56_000.0, 0.4, 0.0));
         let names: Vec<&str> = serve.iter().map(|m| m.name.as_str()).collect();

@@ -70,6 +70,8 @@ fn hostperf_json_schema() {
     assert_meta(&doc, "BENCH_hostperf.json");
     let networks = doc["networks"].as_array().expect("networks array");
     assert!(!networks.is_empty());
+    let mut best_speedup = 0.0f64;
+    let mut best_scalar = 0.0f64;
     for n in networks {
         assert!(n["network"].as_str().is_some());
         assert!(n["nodes"].as_u64().is_some());
@@ -77,8 +79,45 @@ fn hostperf_json_schema() {
         assert_eq!(n["identical_paths"].as_bool(), Some(true));
         assert!(n["sweep_seconds"]["hash"].as_f64().is_some());
         assert!(n["sweep_seconds"]["spa"].as_f64().is_some());
-        assert!(n["sweep_speedup_spa_over_hash"].as_f64().is_some());
+        let speedup = n["sweep_speedup_spa_over_hash"]
+            .as_f64()
+            .expect("sweep speedup");
+        best_speedup = best_speedup.max(speedup);
+        best_scalar = best_scalar.max(
+            n["sweep_speedup_spa_scalar_over_hash"]
+                .as_f64()
+                .expect("committed baselines carry the forced-scalar leg"),
+        );
+        // The committed baseline carries the per-phase attribution for
+        // both kernel legs, and the split must account for (most of) the
+        // measured sweep time.
+        for leg in ["dispatched", "scalar"] {
+            let b = &n["kernel_breakdown"][leg];
+            assert!(
+                b["kernel_path"]
+                    .as_str()
+                    .is_some_and(|p| p.starts_with("spa-")),
+                "kernel_breakdown.{leg}.kernel_path"
+            );
+            let sweep = b["sweep_seconds"].as_f64().expect("leg sweep seconds");
+            let phases = b["accumulate_seconds"].as_f64().expect("accumulate")
+                + b["gather_seconds"].as_f64().expect("gather")
+                + b["scan_seconds"].as_f64().expect("scan");
+            assert!(sweep > 0.0 && phases > 0.0, "kernel_breakdown.{leg} times");
+        }
     }
+    // The paper-parity claim the issue gates: the SPA sweep kernel beats
+    // the hash path by >= 2.5x on at least one committed dataset, with the
+    // portable (forced-scalar) kernel alone at >= 1.8x. Committed on a
+    // machine where the dispatched leg ran AVX2.
+    assert!(
+        best_speedup >= 2.5,
+        "committed sweep_speedup_spa_over_hash fell below the gated 2.5x claim: {best_speedup}"
+    );
+    assert!(
+        best_scalar >= 1.8,
+        "committed sweep_speedup_spa_scalar_over_hash fell below the gated 1.8x claim: {best_scalar}"
+    );
 }
 
 #[test]

@@ -32,6 +32,7 @@ pub mod generators;
 pub mod io;
 pub mod kcore;
 pub mod partition;
+pub mod reorder;
 pub mod stats;
 pub mod subgraph;
 
@@ -39,4 +40,5 @@ pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, NodeId};
 pub use fingerprint::{fnv1a64, Fnv64};
 pub use partition::Partition;
+pub use reorder::{degree_order, renumber, VertexPermutation};
 pub use stats::GraphStats;

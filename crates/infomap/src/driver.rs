@@ -10,10 +10,11 @@ use asa_graph::CsrGraph;
 use asa_obs::{Obs, Value};
 
 use crate::cancel::CancelToken;
-use crate::config::{AccumulatorKind, InfomapConfig};
+use crate::config::{AccumulatorKind, InfomapConfig, VertexOrder};
 use crate::find_best::MoveDecision;
 use crate::flow::FlowNetwork;
-use crate::local_move::{parallel_decide_with, ScratchPool};
+use crate::kernel;
+use crate::local_move::{parallel_decide, parallel_decide_spa_phased, KernelCounters, ScratchPool};
 use crate::result::InfomapResult;
 use crate::schedule::{optimize_multilevel_cancellable, DecideEngine, SweepCtx};
 
@@ -27,6 +28,10 @@ use crate::schedule::{optimize_multilevel_cancellable, DecideEngine, SweepCtx};
 pub struct HostEngine {
     kind: AccumulatorKind,
     spa_budget: usize,
+    order: VertexOrder,
+    /// Reused buffer for the reordered sweep schedule (empty while
+    /// `VertexOrder::Input`, which iterates the active set directly).
+    order_buf: Vec<u32>,
     scratch: ScratchPool,
     obs: Obs,
     /// Whether the most recent sweep took the SPA fast path.
@@ -35,6 +40,8 @@ pub struct HostEngine {
     /// convergence record carries per-sweep deltas rather than lifetime
     /// totals. `Cell` because `sweep_fields` takes `&self`.
     scratch_seen: Cell<(u64, u64)>,
+    /// Kernel counters at the previous sweep record (same delta scheme).
+    kernel_seen: Cell<KernelCounters>,
 }
 
 impl HostEngine {
@@ -50,32 +57,40 @@ impl HostEngine {
         Self {
             kind: cfg.accumulator,
             spa_budget: cfg.spa_budget,
+            order: cfg.vertex_order,
+            order_buf: Vec::new(),
             scratch: ScratchPool::new(),
             obs: obs.clone(),
             last_spa: false,
             scratch_seen: Cell::new((0, 0)),
+            kernel_seen: Cell::new(KernelCounters::default()),
         }
     }
 }
 
 impl DecideEngine for HostEngine {
     fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
-        // Mirror `parallel_decide_with`'s selection so the convergence
-        // record can name the path this sweep actually ran.
         self.last_spa = match self.kind {
             AccumulatorKind::Spa => true,
             AccumulatorKind::Hash => false,
             AccumulatorKind::Auto => ctx.flow.num_nodes() <= self.spa_budget,
         };
-        parallel_decide_with(
-            ctx.flow,
-            ctx.labels,
-            ctx.state,
-            ctx.active,
-            self.kind,
-            self.spa_budget,
-            &self.scratch,
-        )
+        // Reorder the sweep schedule for cache locality; decisions are
+        // re-sorted by vertex id downstream, so results are unaffected.
+        let order = kernel::sweep_order(ctx.flow, ctx.active, self.order, &mut self.order_buf);
+        if self.last_spa {
+            let phases = kernel::phase_timing().then(kernel::global_phase_times);
+            parallel_decide_spa_phased(
+                ctx.flow,
+                ctx.labels,
+                ctx.state,
+                order,
+                &self.scratch,
+                phases,
+            )
+        } else {
+            parallel_decide(ctx.flow, ctx.labels, ctx.state, order)
+        }
     }
 
     fn obs(&self) -> Obs {
@@ -87,6 +102,15 @@ impl DecideEngine for HostEngine {
             "path",
             Value::from(if self.last_spa { "spa" } else { "hash" }),
         ));
+        fields.push((
+            "kernel",
+            Value::from(if self.last_spa {
+                kernel::kernel_path_name()
+            } else {
+                "hash"
+            }),
+        ));
+        fields.push(("order", Value::from(kernel::order_name(self.order))));
         let (hits, misses) = self.scratch.stats();
         let (seen_h, seen_m) = self.scratch_seen.get();
         self.scratch_seen.set((hits, misses));
@@ -99,6 +123,25 @@ impl DecideEngine for HostEngine {
                 Value::from(dh as f64 / (dh + dm) as f64),
             ));
         }
+        // Kernel counter deltas: SPA touched-list clears (the O(touched)
+        // reset discipline) and scan-term cache effectiveness this sweep.
+        let k = self.scratch.kernel_stats();
+        let seen = self.kernel_seen.get();
+        self.kernel_seen.set(k);
+        fields.push((
+            "spa_reset_calls",
+            Value::from(k.spa_reset_calls - seen.spa_reset_calls),
+        ));
+        fields.push((
+            "spa_reset_entries",
+            Value::from(k.spa_reset_entries - seen.spa_reset_entries),
+        ));
+        let (df, dht) = (
+            k.term_cache_fills - seen.term_cache_fills,
+            k.term_cache_hits - seen.term_cache_hits,
+        );
+        fields.push(("term_cache_fills", Value::from(df)));
+        fields.push(("term_cache_hits", Value::from(dht)));
     }
 }
 
@@ -202,6 +245,28 @@ pub fn detect_communities_observed(
     Infomap::new(cfg.clone()).run_observed(graph, obs)
 }
 
+/// [`detect_communities`] on the degree-ordered renumbering of `graph`:
+/// the CSR is permuted so high-degree hubs occupy a dense low id range
+/// (warm adjacency and label lines across a sweep chunk), the detector
+/// runs on the isomorphic copy, and every returned partition is mapped
+/// back to the original vertex ids. Codelength and community structure
+/// are those of the renumbered run — bit-identical module *content*, but
+/// the sweep visits vertices in a different order than an un-renumbered
+/// run, so the partitions may differ the way any two legal sweep orders
+/// may. Combine with [`VertexOrder::Input`] to let the renumbering alone
+/// define locality, or [`VertexOrder::Blocked`] to additionally block the
+/// sweep.
+pub fn detect_communities_renumbered(graph: &CsrGraph, cfg: &InfomapConfig) -> InfomapResult {
+    let perm = asa_graph::degree_order(graph);
+    let renumbered = asa_graph::renumber(graph, &perm);
+    let mut result = Infomap::new(cfg.clone()).run(&renumbered);
+    result.partition = perm.map_partition_back(&result.partition);
+    for p in &mut result.level_partitions {
+        *p = perm.map_partition_back(p);
+    }
+    result
+}
+
 /// [`detect_communities`] with cooperative cancellation: the run stops at
 /// the first sweep boundary after `cancel` trips (deadline, manual cancel,
 /// or poll budget) and returns the best partition found so far, flagged
@@ -232,6 +297,39 @@ mod tests {
         assert_eq!(result.num_communities(), 2);
         assert!(result.codelength < result.initial_codelength);
         assert!(result.compression() > 0.0);
+    }
+
+    #[test]
+    fn renumbered_run_maps_partition_back() {
+        let (g, truth) = planted_partition(
+            &PlantedConfig {
+                communities: 6,
+                community_size: 30,
+                k_in: 10.0,
+                k_out: 0.5,
+            },
+            7,
+        );
+        let plain = detect_communities(&g, &InfomapConfig::default());
+        let renum = detect_communities_renumbered(&g, &InfomapConfig::default());
+        assert_eq!(renum.partition.len(), g.num_nodes());
+        // Both sweep orders recover the well-separated planted structure,
+        // and the mapped-back partition describes the original ids.
+        assert_eq!(renum.num_communities(), truth.num_communities());
+        assert_eq!(plain.num_communities(), renum.num_communities());
+        assert!((renum.codelength - plain.codelength).abs() < 1e-9);
+        for c in 0..truth.num_communities() as u32 {
+            let members: Vec<u32> = (0..g.num_nodes() as u32)
+                .filter(|&u| truth.community_of(u) == c)
+                .collect();
+            let label = renum.partition.community_of(members[0]);
+            assert!(
+                members
+                    .iter()
+                    .all(|&u| renum.partition.community_of(u) == label),
+                "planted community {c} split after map-back"
+            );
+        }
     }
 
     #[test]

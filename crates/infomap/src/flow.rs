@@ -65,6 +65,7 @@ impl FlowNetwork {
         };
 
         let mut arcs: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(graph.num_arcs());
+        let directed = graph.is_directed();
         for u in graph.nodes() {
             let s = graph.out_weight(u);
             if s <= 0.0 {
@@ -72,8 +73,21 @@ impl FlowNetwork {
             }
             let scale = node_flow[u as usize] / s;
             for e in graph.out_neighbors(u).iter() {
-                if e.target != u {
+                if e.target == u {
+                    continue;
+                }
+                if directed {
                     arcs.push((u, e.target, e.weight * scale));
+                } else if u < e.target {
+                    // Undirected: F(α→β) = F(β→α) = w/2W exactly. Emitting
+                    // both directions of each edge with the *same* computed
+                    // value (rather than re-deriving it from the mirror
+                    // arc's per-node scale, which rounds differently) makes
+                    // the two CSRs byte-identical, so `is_symmetric` holds
+                    // and the SPA kernels skip the in-direction entirely.
+                    let f = e.weight * scale;
+                    arcs.push((u, e.target, f));
+                    arcs.push((e.target, u, f));
                 }
             }
         }
@@ -172,6 +186,13 @@ impl FlowNetwork {
         // hash time inside FindBestCommunity only).
         const CHUNK: usize = 8192;
         let n = self.num_nodes as usize;
+        // On symmetric networks, visit each underlying edge once (from its
+        // lower-community direction) and emit both super-arc directions
+        // with the same accumulated value — the coarse network then stays
+        // byte-symmetric, so every level keeps the SPA one-direction fast
+        // path. The mirror arc's flow is bit-equal by symmetry, so this
+        // changes nothing numerically.
+        let symmetric = self.symmetric;
         let arcs: Vec<(NodeId, NodeId, f64)> = (0..n.div_ceil(CHUNK))
             .into_par_iter()
             .map(|ci| {
@@ -181,18 +202,26 @@ impl FlowNetwork {
                     let cu = partition.community_of(u);
                     for (v, f) in self.out_arcs(u) {
                         let cv = partition.community_of(v);
-                        if cu != cv {
+                        if cu != cv && !(symmetric && cu > cv) {
                             triples.push((cu, cv, f));
                         }
                     }
                 }
-                triples.sort_unstable_by_key(|&(s, t, _)| (s, t));
+                // Secondary key = flow bits: equal-pair contributions merge
+                // in a deterministic value order regardless of which
+                // direction produced them.
+                triples.sort_unstable_by_key(|&(s, t, f)| (s, t, f.to_bits()));
                 let mut merged: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(triples.len());
                 for (s, t, f) in triples {
                     match merged.last_mut() {
                         Some(last) if last.0 == s && last.1 == t => last.2 += f,
                         _ => merged.push((s, t, f)),
                     }
+                }
+                if symmetric {
+                    let mirrored: Vec<(NodeId, NodeId, f64)> =
+                        merged.iter().map(|&(s, t, f)| (t, s, f)).collect();
+                    merged.extend(mirrored);
                 }
                 merged
             })
@@ -273,6 +302,29 @@ impl FlowNetwork {
         (self.in_offsets[u as usize + 1] - self.in_offsets[u as usize]) as usize
     }
 
+    /// Raw CSR row of `u`'s outgoing arcs: `(targets, flows)` slices. The
+    /// vectorized sweep kernel consumes rows in this form so the label
+    /// gather and flow reads compile to unrolled indexed loads (and so the
+    /// next row can be software-prefetched before it is iterated).
+    #[inline]
+    pub fn out_arc_slices(&self, u: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = (
+            self.out_offsets[u as usize] as usize,
+            self.out_offsets[u as usize + 1] as usize,
+        );
+        (&self.out_targets[lo..hi], &self.out_flows[lo..hi])
+    }
+
+    /// Raw CSR row of `u`'s incoming arcs: `(sources, flows)` slices.
+    #[inline]
+    pub fn in_arc_slices(&self, u: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = (
+            self.in_offsets[u as usize] as usize,
+            self.in_offsets[u as usize + 1] as usize,
+        );
+        (&self.in_targets[lo..hi], &self.in_flows[lo..hi])
+    }
+
     /// Outgoing `(target, flow)` arcs of `u`.
     #[inline]
     pub fn out_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
@@ -343,7 +395,10 @@ where
         let row_f = &raw_flows[lo..hi];
         idx.clear();
         idx.extend(0..(hi - lo) as u32);
-        idx.sort_unstable_by_key(|&i| row_t[i as usize]);
+        // Secondary key = flow bits: parallel-arc duplicates then merge in
+        // a deterministic value order, so mirrored arc streams (undirected
+        // flow models) produce byte-identical rows in both CSR directions.
+        idx.sort_unstable_by_key(|&i| (row_t[i as usize], row_f[i as usize].to_bits()));
         for &i in &idx {
             let (t, f) = (row_t[i as usize], row_f[i as usize]);
             match targets.last() {

@@ -39,6 +39,7 @@ pub mod find_best;
 pub mod flow;
 pub mod hierarchy;
 pub mod instrumented;
+pub mod kernel;
 pub mod local_move;
 pub mod mapeq;
 pub mod module_stats;
@@ -49,7 +50,8 @@ pub mod schedule;
 pub use cancel::CancelToken;
 pub use config::InfomapConfig;
 pub use driver::{
-    detect_communities, detect_communities_cancellable, detect_communities_observed, Infomap,
+    detect_communities, detect_communities_cancellable, detect_communities_observed,
+    detect_communities_renumbered, Infomap,
 };
 pub use flow::FlowNetwork;
 pub use mapeq::MapState;

@@ -21,7 +21,10 @@ use rustc_hash::FxHashMap;
 use crate::config::AccumulatorKind;
 use crate::find_best::{find_best_community, FindBestScratch, MoveDecision};
 use crate::flow::FlowNetwork;
-use crate::mapeq::{module_flows_pair, MapState, ModuleFlows};
+use crate::kernel::{
+    self, find_best_community_vec, find_best_community_vec_timed, DualSpa, KernelPhaseTimes,
+};
+use crate::mapeq::{module_flows_pair, MapState, ModTermCache, ModuleFlows};
 
 /// Host-speed accumulator for uninstrumented runs: an `FxHashMap` with no
 /// event emission. This is what the *algorithm* uses when we only care
@@ -151,15 +154,14 @@ impl FlowAccumulator for SpaAccumulator {
     }
 }
 
-/// Per-worker reusable state for the SPA decision phase: one SPA device
-/// per flow direction, the candidate key buffer, and the decision output
-/// buffer. Checked out of a [`ScratchPool`] per rayon chunk instead of
-/// being re-allocated.
+/// Per-worker reusable state for the SPA decision phase: the fused
+/// dual-direction [`DualSpa`] (SoA lanes for both flow directions), the
+/// per-module scan-term cache, and the decision output buffer. Checked out
+/// of a [`ScratchPool`] per rayon chunk instead of being re-allocated.
 #[derive(Debug, Default)]
 pub struct WorkerScratch {
-    out_spa: SpaAccumulator,
-    in_spa: SpaAccumulator,
-    keys: Vec<u32>,
+    dual: DualSpa,
+    cache: ModTermCache,
     decisions: Vec<MoveDecision>,
 }
 
@@ -206,6 +208,40 @@ impl ScratchPool {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// Aggregated kernel counters over every pooled scratch: the SPA
+    /// touched-list clears (`reset_calls`/`reset_entries` — the O(touched)
+    /// discipline the obs layer asserts) and the scan-term cache's
+    /// `(fills, hits)`. Query between sweeps, when all scratches are
+    /// checked back in; checked-out scratches are not counted.
+    pub fn kernel_stats(&self) -> KernelCounters {
+        let slots = self.slots.lock().unwrap();
+        let mut out = KernelCounters::default();
+        for ws in slots.iter() {
+            let (calls, entries) = ws.dual.reset_stats();
+            let (fills, hits) = ws.cache.stats();
+            out.spa_reset_calls += calls;
+            out.spa_reset_entries += entries;
+            out.term_cache_fills += fills;
+            out.term_cache_hits += hits;
+        }
+        out
+    }
+}
+
+/// Lifetime kernel-counter aggregate of a [`ScratchPool`]; see
+/// [`ScratchPool::kernel_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Touched-list stamp clears (one per vertex evaluated).
+    pub spa_reset_calls: u64,
+    /// Stamp entries cleared — Σ touched-set sizes, proving resets are
+    /// O(touched) rather than O(communities).
+    pub spa_reset_entries: u64,
+    /// Scan-term cache misses (terms computed).
+    pub term_cache_fills: u64,
+    /// Scan-term cache hits (terms replayed).
+    pub term_cache_hits: u64,
 }
 
 /// Decides moves for a slice of vertices against frozen labels, using the
@@ -352,8 +388,9 @@ pub fn parallel_decide(
     decisions
 }
 
-/// Parallel decision phase on the SPA fast path: every chunk checks a
-/// [`WorkerScratch`] out of the pool, so no accumulator, merge buffer, or
+/// Parallel decision phase on the SPA fast path, running the vectorized
+/// kernel ([`find_best_community_vec`]): every chunk checks a
+/// [`WorkerScratch`] out of the pool, so no accumulator, lane buffer, or
 /// decision buffer is allocated after warm-up. Produces the identical
 /// decision stream as [`parallel_decide`] (per-vertex evaluations are
 /// independent, per-key addition order matches the hash path, and the
@@ -365,28 +402,65 @@ pub fn parallel_decide_spa(
     active: &[NodeId],
     pool: &ScratchPool,
 ) -> Vec<MoveDecision> {
+    parallel_decide_spa_phased(flow, labels, state, active, pool, None)
+}
+
+/// [`parallel_decide_spa`] with optional per-phase wall-clock attribution
+/// (`hostperf --kernel-breakdown`). Timing is chunk-local and flushed once
+/// per chunk, so the untimed path is bit-for-bit the same code.
+pub fn parallel_decide_spa_phased(
+    flow: &FlowNetwork,
+    labels: &[u32],
+    state: &MapState,
+    active: &[NodeId],
+    pool: &ScratchPool,
+    phases: Option<&KernelPhaseTimes>,
+) -> Vec<MoveDecision> {
     let chunk = decide_chunk_size(active.len());
-    let capacity = flow.num_nodes();
+    // Module labels index the state arrays; the level's module count bounds
+    // every key the kernel accumulates.
+    let capacity = state.num_modules();
+    let simd = kernel::simd_active();
     let collected: Mutex<Vec<MoveDecision>> = Mutex::new(Vec::new());
     active.par_chunks(chunk).for_each(|vertices| {
         let mut ws = pool.checkout();
-        ws.out_spa.ensure_capacity(capacity);
-        if !flow.is_symmetric() {
-            ws.in_spa.ensure_capacity(capacity);
-        }
+        ws.dual.ensure_capacity(capacity);
+        ws.cache.begin(capacity);
         ws.decisions.clear();
-        for &u in vertices {
-            let d = find_best_community_spa(
-                flow,
-                labels,
-                state,
-                u,
-                &mut ws.out_spa,
-                &mut ws.in_spa,
-                &mut ws.keys,
-            );
-            if d.best_module != labels[u as usize] {
-                ws.decisions.push(d);
+        if let Some(times) = phases {
+            let mut ns = (0u64, 0u64, 0u64);
+            for (i, &u) in vertices.iter().enumerate() {
+                kernel::prefetch_ahead(flow, labels, vertices, i);
+                let d = find_best_community_vec_timed(
+                    flow,
+                    labels,
+                    state,
+                    u,
+                    &mut ws.dual,
+                    &mut ws.cache,
+                    simd,
+                    &mut ns,
+                );
+                if d.best_module != labels[u as usize] {
+                    ws.decisions.push(d);
+                }
+            }
+            times.add_ns(ns.0, ns.1, ns.2);
+        } else {
+            for (i, &u) in vertices.iter().enumerate() {
+                kernel::prefetch_ahead(flow, labels, vertices, i);
+                let d = find_best_community_vec(
+                    flow,
+                    labels,
+                    state,
+                    u,
+                    &mut ws.dual,
+                    &mut ws.cache,
+                    simd,
+                );
+                if d.best_module != labels[u as usize] {
+                    ws.decisions.push(d);
+                }
             }
         }
         if !ws.decisions.is_empty() {

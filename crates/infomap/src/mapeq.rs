@@ -208,6 +208,18 @@ impl MapState {
         self.mod_link_exit[m as usize]
     }
 
+    /// Hints the cache hierarchy to pull module `m`'s entries in the three
+    /// per-module arrays the candidate evaluation reads.
+    #[inline]
+    pub fn prefetch_module(&self, m: u32) {
+        let i = m as usize;
+        if i < self.mod_link_exit.len() {
+            crate::kernel::prefetch_read(&self.mod_link_exit[i]);
+            crate::kernel::prefetch_read(&self.mod_flow[i]);
+            crate::kernel::prefetch_read(&self.mod_nodes[i]);
+        }
+    }
+
     /// Total visit rate of module `m`.
     pub fn flow(&self, m: u32) -> f64 {
         self.mod_flow[m as usize]
@@ -347,6 +359,272 @@ pub fn codelength(flow: &FlowNetwork, partition: &Partition) -> f64 {
     MapState::new(flow, partition).codelength()
 }
 
+/// One module's cached scan terms: epoch stamp plus the three values the
+/// candidate evaluation needs. 32 bytes, so a lookup touches exactly one
+/// cache line (the SoA layout this replaced paid up to four misses per
+/// cold candidate).
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct TermEntry {
+    stamp: u64,
+    /// Effective exit `e_n`.
+    e: f64,
+    /// `plogp(e_n)`.
+    plogp_e: f64,
+    /// `plogp(e_n + p_n)`.
+    plogp_ep: f64,
+}
+
+/// Epoch-stamped cache of the candidate-module terms the scan re-derives
+/// for every evaluation: a module's effective exit `e_n`, `plogp(e_n)`,
+/// and `plogp(e_n + p_n)`. Within one sweep the [`MapState`] is frozen, so
+/// these depend only on the module id — the dominant `plogp` (log₂) cost
+/// of the scan is paid once per touched module per sweep chunk instead of
+/// once per candidate evaluation.
+///
+/// Also memoizes `plogp(q)` of the frozen total exit (identical for every
+/// vertex of a chunk) via [`ModTermCache::plogp_total_exit`].
+#[derive(Debug, Default)]
+pub struct ModTermCache {
+    entries: Vec<TermEntry>,
+    epoch: u64,
+    /// `plogp(total_exit)` for this epoch (`f64::NAN` = unset).
+    plogp_q: f64,
+    /// Modules whose terms were computed this epoch (lifetime count).
+    fills: u64,
+    /// Cache-hit lookups (lifetime count).
+    hits: u64,
+}
+
+impl ModTermCache {
+    /// Invalidates every cached term and admits module ids `0..modules`.
+    /// Call once per checkout against a frozen [`MapState`]; O(1) except
+    /// for growth (the epoch is 64-bit, so it never wraps in practice).
+    pub fn begin(&mut self, modules: usize) {
+        if self.entries.len() < modules {
+            self.entries.resize(modules, TermEntry::default());
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.entries.fill(TermEntry::default());
+            self.epoch = 1;
+        }
+        self.plogp_q = f64::NAN;
+    }
+
+    /// `plogp(q)` of the frozen state, computed once per epoch.
+    #[inline]
+    pub fn plogp_total_exit(&mut self, state: &MapState) -> f64 {
+        if self.plogp_q.is_nan() {
+            self.plogp_q = plogp(state.total_exit);
+        }
+        self.plogp_q
+    }
+
+    /// `(e_n, plogp(e_n), plogp(e_n + p_n))` of module `m` under `state`,
+    /// computed on first touch and replayed bit-identically afterwards
+    /// (the fill calls the exact same pure functions the uncached scan
+    /// would).
+    #[inline]
+    pub fn terms(&mut self, state: &MapState, m: u32) -> (f64, f64, f64) {
+        let entry = &mut self.entries[m as usize];
+        if entry.stamp != self.epoch {
+            entry.stamp = self.epoch;
+            let e_n = state.exit(m);
+            entry.e = e_n;
+            entry.plogp_e = plogp(e_n);
+            entry.plogp_ep = plogp(e_n + state.mod_flow[m as usize]);
+            self.fills += 1;
+        } else {
+            self.hits += 1;
+        }
+        (entry.e, entry.plogp_e, entry.plogp_ep)
+    }
+
+    /// Hints the cache hierarchy to pull module `m`'s entry line.
+    #[inline]
+    pub fn prefetch(&self, m: u32) {
+        if let Some(e) = self.entries.get(m as usize) {
+            crate::kernel::prefetch_read(e);
+        }
+    }
+
+    /// Lifetime `(fills, hits)` of the term cache.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.fills, self.hits)
+    }
+}
+
+/// Hoisted per-vertex state for one candidate scan: everything in
+/// [`MapState::delta_move`] that depends only on the vertex's current
+/// module and its accumulated `flows_old` is computed once here, so each
+/// candidate evaluation pays exactly three `plogp` calls (for `q_new`,
+/// `e_n2`, and `e_n2 + p_n2`) plus cached lookups.
+///
+/// **Bit-exactness contract:** [`MoveEval::delta`] reproduces
+/// [`MapState::delta_move`]'s result to the last ULP. Every arithmetic
+/// operation of the original expression tree is performed on the same
+/// operands in the same association order — constants are hoisted as
+/// precomputed subexpression *values*, never re-associated — which the
+/// `move_eval_bit_identical_to_delta_move` test locks down.
+#[derive(Debug, Clone, Copy)]
+pub struct MoveEval {
+    old: u32,
+    node_out_total: f64,
+    node_flow: f64,
+    node_weight: u64,
+    /// `plogp(q)` of the frozen state.
+    plogp_total_exit: f64,
+    /// `2·(plogp(e_o2) − plogp(e_o))`.
+    old_exit_pair: f64,
+    /// `q + (e_o2 − e_o)`: the candidate-independent part of `q_new`.
+    base_q: f64,
+    /// `e_o` under the frozen state (needed to rebuild `q_new` exactly).
+    e_o: f64,
+    e_o2: f64,
+    /// `plogp(e_o2 + p_o2)`.
+    plogp_old_after: f64,
+    /// `plogp(e_o + p_o)`.
+    plogp_old_before: f64,
+}
+
+/// The old-module terms a [`MoveEval`] freezes before scanning candidates:
+/// pure functions of the frozen `MapState`, so they can be computed fresh
+/// or served from a [`ModTermCache`] with bit-identical results.
+#[derive(Clone, Copy, Debug)]
+struct FrozenTerms {
+    e_o: f64,
+    plogp_e_o: f64,
+    plogp_old_before: f64,
+    plogp_total_exit: f64,
+}
+
+impl MoveEval {
+    /// Hoists the old-module terms for vertex `node` currently in module
+    /// `old` with accumulated exchange `flows_old`.
+    pub fn new(state: &MapState, old: u32, node: &NodeSummary, flows_old: ModuleFlows) -> Self {
+        let e_o = state.exit(old);
+        Self::with_frozen_terms(
+            state,
+            old,
+            node,
+            flows_old,
+            FrozenTerms {
+                e_o,
+                plogp_e_o: plogp(e_o),
+                plogp_old_before: plogp(e_o + state.mod_flow[old as usize]),
+                plogp_total_exit: plogp(state.total_exit),
+            },
+        )
+    }
+
+    /// [`MoveEval::new`] with the frozen old-module terms and
+    /// `plogp(total_exit)` served from the per-chunk [`ModTermCache`]
+    /// instead of recomputed. The cached values come from the exact same
+    /// pure functions over the same frozen state, so the hoisted terms —
+    /// and therefore every delta — are bit-identical.
+    pub fn new_cached(
+        state: &MapState,
+        cache: &mut ModTermCache,
+        old: u32,
+        node: &NodeSummary,
+        flows_old: ModuleFlows,
+    ) -> Self {
+        let (e_o, plogp_e_o, plogp_old_before) = cache.terms(state, old);
+        let plogp_total_exit = cache.plogp_total_exit(state);
+        Self::with_frozen_terms(
+            state,
+            old,
+            node,
+            flows_old,
+            FrozenTerms {
+                e_o,
+                plogp_e_o,
+                plogp_old_before,
+                plogp_total_exit,
+            },
+        )
+    }
+
+    fn with_frozen_terms(
+        state: &MapState,
+        old: u32,
+        node: &NodeSummary,
+        flows_old: ModuleFlows,
+        terms: FrozenTerms,
+    ) -> Self {
+        let FrozenTerms {
+            e_o,
+            plogp_e_o,
+            plogp_old_before,
+            plogp_total_exit,
+        } = terms;
+        let o = old as usize;
+        let (q_o, p_o, n_o) = (
+            state.mod_link_exit[o],
+            state.mod_flow[o],
+            state.mod_nodes[o],
+        );
+        debug_assert_eq!(e_o.to_bits(), state.effective_exit(q_o, p_o, n_o).to_bits());
+        let link_o = q_o - (node.out_total - flows_old.out_flow) + flows_old.in_flow;
+        let po2 = p_o - node.flow;
+        let no2 = n_o - node.weight;
+        let e_o2 = state.effective_exit(link_o, po2, no2);
+        MoveEval {
+            old,
+            node_out_total: node.out_total,
+            node_flow: node.flow,
+            node_weight: node.weight,
+            plogp_total_exit,
+            old_exit_pair: 2.0 * (plogp(e_o2) - plogp_e_o),
+            base_q: state.total_exit + (e_o2 - e_o),
+            e_o,
+            e_o2,
+            plogp_old_after: plogp(e_o2 + po2),
+            plogp_old_before,
+        }
+    }
+
+    /// The module the vertex currently belongs to.
+    #[inline]
+    pub fn old_module(&self) -> u32 {
+        self.old
+    }
+
+    /// Codelength delta (bits) of moving into module `new` with exchange
+    /// `flows_new`; bit-identical to [`MapState::delta_move`].
+    #[inline]
+    pub fn delta(
+        &self,
+        state: &MapState,
+        cache: &mut ModTermCache,
+        new: u32,
+        flows_new: ModuleFlows,
+    ) -> f64 {
+        debug_assert_ne!(new, self.old);
+        let n = new as usize;
+        let (e_n, plogp_e_n, plogp_e_n_p_n) = cache.terms(state, new);
+        let link_n =
+            state.mod_link_exit[n] + (self.node_out_total - flows_new.out_flow) - flows_new.in_flow;
+        let pn2 = state.mod_flow[n] + self.node_flow;
+        let nn2 = state.mod_nodes[n] + self.node_weight;
+        let e_n2 = state.effective_exit(link_n, pn2, nn2);
+        // `q_new = q + (e_o2 − e_o) + (e_n2 − e_n)`: the first addition is
+        // hoisted into `base_q`; the association order matches
+        // `delta_move` exactly.
+        let q_new = self.base_q + (e_n2 - e_n);
+        debug_assert_eq!(
+            q_new.to_bits(),
+            (state.total_exit + (self.e_o2 - self.e_o) + (e_n2 - e_n)).to_bits()
+        );
+        plogp(q_new) - self.plogp_total_exit - self.old_exit_pair - 2.0 * (plogp(e_n2) - plogp_e_n)
+            + self.plogp_old_after
+            - self.plogp_old_before
+            + plogp(e_n2 + pn2)
+            - plogp_e_n_p_n
+    }
+}
+
 /// Accumulates, without any device model, the flow exchange between vertex
 /// `u` and module `m` under `partition`. Test/oracle helper mirroring what
 /// the accumulation device computes.
@@ -391,6 +669,14 @@ pub fn module_flows_pair(
         } else if c == b {
             fb.out_flow += f;
         }
+    }
+    if flow.is_symmetric() {
+        // The in-arc CSR is byte-identical to the out-arc CSR, so the in
+        // sums replay the exact same additions — mirror instead of
+        // re-traversing.
+        fa.in_flow = fa.out_flow;
+        fb.in_flow = fb.out_flow;
+        return (fa, fb);
     }
     for (v, f) in flow.in_arcs(u) {
         let c = partition.community_of(v);
@@ -573,6 +859,89 @@ mod tests {
                 assert_eq!(state.nodes(m), fresh.nodes(m));
             }
         }
+    }
+
+    #[test]
+    fn move_eval_bit_identical_to_delta_move() {
+        // Undirected (symmetric flows) and directed pseudo-random graphs,
+        // both teleport modes, every (vertex, candidate) pair — and a
+        // second pass per vertex so cached term replay is exercised too.
+        let mut b = GraphBuilder::directed(12);
+        let mut x = 17u64;
+        for _ in 0..60 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % 12) as u32;
+            let v = ((x >> 13) % 12) as u32;
+            if u != v {
+                b.add_edge(u, v, 1.0 + (x % 5) as f64);
+            }
+        }
+        let directed = FlowNetwork::from_graph(&b.build(), &InfomapConfig::default());
+        let dir_part = Partition::from_labels((0..12).map(|i| i % 4).collect());
+        let cases = [
+            (
+                two_triangles_flow(),
+                Partition::from_labels(vec![0, 0, 1, 1, 2, 2]),
+            ),
+            (directed, dir_part),
+        ];
+        for (flow, partition) in &cases {
+            let node_plogp: f64 = flow.node_flows().iter().copied().map(plogp).sum();
+            for mode in [
+                TeleportMode::Unrecorded,
+                TeleportMode::Recorded { tau: 0.15 },
+            ] {
+                let state = MapState::with_options(flow, partition, node_plogp, mode);
+                let m = partition.num_communities() as u32;
+                let mut cache = ModTermCache::default();
+                cache.begin(state.num_modules());
+                for u in 0..flow.num_nodes() as u32 {
+                    let old = partition.community_of(u);
+                    let node = flow.node_summary(u);
+                    let flows_old = module_flows_of(flow, partition, u, old);
+                    let eval = MoveEval::new(&state, old, &node, flows_old);
+                    assert_eq!(eval.old_module(), old);
+                    for pass in 0..2 {
+                        for new in 0..m {
+                            if new == old {
+                                continue;
+                            }
+                            let mf = module_flows_of(flow, partition, u, new);
+                            let a = state.delta_move(old, new, &node, flows_old, mf);
+                            let b = eval.delta(&state, &mut cache, new, mf);
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "{mode:?} u={u} {old}->{new} pass={pass}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+                let (fills, hits) = cache.stats();
+                assert!(
+                    fills > 0 && hits > 0,
+                    "cache never replayed: {fills}/{hits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod_term_cache_invalidates_on_begin() {
+        let flow = two_triangles_flow();
+        let p1 = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let p2 = Partition::from_labels(vec![0, 1, 0, 1, 0, 1]);
+        let s1 = MapState::new(&flow, &p1);
+        let s2 = MapState::new(&flow, &p2);
+        let mut cache = ModTermCache::default();
+        cache.begin(s1.num_modules());
+        let t1 = cache.terms(&s1, 0);
+        cache.begin(s2.num_modules());
+        let t2 = cache.terms(&s2, 0);
+        assert_eq!(t2.0.to_bits(), s2.exit(0).to_bits());
+        assert_ne!(t1.0.to_bits(), t2.0.to_bits(), "stale term survived begin");
     }
 
     #[test]

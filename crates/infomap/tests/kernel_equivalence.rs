@@ -1,0 +1,148 @@
+//! Equivalence: the three sweep-kernel execution paths are interchangeable.
+//!
+//! The hash path ([`asa_infomap::local_move::FastAccumulator`], the
+//! paper's Algorithm 1 reference), the scalar dual-SPA path, and the
+//! vectorized/dispatched dual-SPA path (AVX2 when built with
+//! `--features simd` on a capable CPU; the portable loops otherwise) must
+//! produce identical partitions and 0-ULP codelengths on every network —
+//! the fast paths are pure perf substitutions.
+//!
+//! Random weighted graphs, symmetric (undirected) and asymmetric
+//! (directed), run under degraded configurations too: recorded
+//! teleportation, single outer loop, tiny sweep budgets, and every
+//! [`VertexOrder`]. CI runs this suite at `RAYON_NUM_THREADS=1` and `8`,
+//! with and without `--features simd`, and under `ASA_FORCE_SCALAR=1`.
+//!
+//! The force-scalar toggle is a process-global; flipping it concurrently
+//! with another test only changes which kernel executes, never the
+//! result — which is exactly the property under test.
+
+use asa_graph::{CsrGraph, GraphBuilder};
+use asa_infomap::config::{AccumulatorKind, VertexOrder};
+use asa_infomap::{detect_communities, kernel, InfomapConfig};
+use proptest::prelude::*;
+
+/// Builds a graph from raw proptest edge triples, dropping self-loops.
+/// Node count is fixed so dangling vertices (no sampled edges) appear too.
+fn build_graph(edges: &[(u32, u32, u32)], nodes: u32, directed: bool) -> CsrGraph {
+    let mut b = if directed {
+        GraphBuilder::directed(nodes as usize)
+    } else {
+        GraphBuilder::undirected(nodes as usize)
+    };
+    for &(u, v, w) in edges {
+        let (u, v) = (u % nodes, v % nodes);
+        if u != v {
+            b.add_edge(u, v, f64::from(w) * 0.25);
+        }
+    }
+    b.build()
+}
+
+/// The restored force-scalar state: what `ASA_FORCE_SCALAR` asked for.
+fn env_force_scalar() -> bool {
+    std::env::var(kernel::FORCE_SCALAR_ENV)
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // hash == scalar SPA == dispatched SPA: identical partitions,
+    // codelengths equal to the bit.
+    #[test]
+    fn three_paths_bit_identical(
+        edges in prop::collection::vec((0u32..90, 0u32..90, 1u32..6), 60..400),
+        nodes in 30u32..90,
+        directed in any::<bool>(),
+        recorded in any::<bool>(),
+        outer in 1usize..3,
+        max_sweeps in prop::sample::select(vec![2usize, 5, 20]),
+        order in prop::sample::select(vec![
+            VertexOrder::Input,
+            VertexOrder::DegreeDesc,
+            VertexOrder::Blocked,
+        ]),
+    ) {
+        let graph = build_graph(&edges, nodes, directed);
+        let base = InfomapConfig {
+            recorded_teleport: recorded,
+            outer_loops: outer,
+            max_sweeps,
+            vertex_order: order,
+            ..InfomapConfig::default()
+        };
+        let hash = detect_communities(&graph, &InfomapConfig {
+            accumulator: AccumulatorKind::Hash,
+            ..base.clone()
+        });
+        let spa_cfg = InfomapConfig {
+            accumulator: AccumulatorKind::Spa,
+            ..base
+        };
+        let spa = detect_communities(&graph, &spa_cfg);
+        prop_assert_eq!(hash.partition.labels(), spa.partition.labels());
+        prop_assert_eq!(hash.codelength.to_bits(), spa.codelength.to_bits());
+
+        // Forced-scalar SPA (the portable kernel, even when the binary
+        // carries the AVX2 path) agrees with whatever the dispatcher chose.
+        kernel::set_force_scalar(true);
+        let scalar = detect_communities(&graph, &spa_cfg);
+        kernel::set_force_scalar(env_force_scalar());
+        prop_assert_eq!(scalar.partition.labels(), spa.partition.labels());
+        prop_assert_eq!(scalar.codelength.to_bits(), spa.codelength.to_bits());
+    }
+
+    // Sweep order is semantically free: every `VertexOrder` yields the
+    // bit-identical result (decisions are made against a frozen snapshot
+    // and re-sorted by vertex id before application).
+    #[test]
+    fn vertex_order_is_semantically_free(
+        edges in prop::collection::vec((0u32..120, 0u32..120, 1u32..4), 80..500),
+        nodes in 40u32..120,
+        directed in any::<bool>(),
+    ) {
+        let graph = build_graph(&edges, nodes, directed);
+        let run = |order: VertexOrder| {
+            detect_communities(&graph, &InfomapConfig {
+                accumulator: AccumulatorKind::Spa,
+                vertex_order: order,
+                ..InfomapConfig::default()
+            })
+        };
+        let input = run(VertexOrder::Input);
+        for order in [VertexOrder::DegreeDesc, VertexOrder::Blocked] {
+            let other = run(order);
+            prop_assert_eq!(input.partition.labels(), other.partition.labels());
+            prop_assert_eq!(input.codelength.to_bits(), other.codelength.to_bits());
+        }
+    }
+
+    // The degree-ordered renumbering entry point returns a partition of
+    // the original ids whose codelength matches a direct run on the
+    // renumbered graph (mapping back relabels vertices, not modules).
+    #[test]
+    fn renumbered_detection_is_consistent(
+        edges in prop::collection::vec((0u32..70, 0u32..70, 1u32..4), 50..300),
+        nodes in 25u32..70,
+        directed in any::<bool>(),
+    ) {
+        let graph = build_graph(&edges, nodes, directed);
+        let cfg = InfomapConfig::default();
+        let via_entry = asa_infomap::detect_communities_renumbered(&graph, &cfg);
+        let perm = asa_graph::degree_order(&graph);
+        let renumbered = asa_graph::renumber(&graph, &perm);
+        let direct = detect_communities(&renumbered, &cfg);
+        prop_assert_eq!(via_entry.codelength.to_bits(), direct.codelength.to_bits());
+        prop_assert_eq!(via_entry.partition.len(), graph.num_nodes());
+        for u in 0..graph.num_nodes() as u32 {
+            prop_assert_eq!(
+                via_entry.partition.community_of(u) ==
+                    via_entry.partition.community_of((u + 1) % nodes),
+                direct.partition.community_of(perm.apply(u)) ==
+                    direct.partition.community_of(perm.apply((u + 1) % nodes))
+            );
+        }
+    }
+}
