@@ -13,6 +13,9 @@
 //! same for Chrome flight-recorder traces via `ASA_TRACE_OUT` (binaries
 //! that support it each write `<stem>-<bin>.<ext>`); `--smoke` is passed
 //! through to the binaries that support it (`simthroughput`, `serve`).
+//! `--shards <n>`, `--steal`, and `--no-steal` are forwarded to `serve`
+//! so a sweep restricted to one shard count (or with stealing disabled)
+//! can run through the full driver.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -34,9 +37,28 @@ fn child_obs_path(base: &Path, bin: &str) -> PathBuf {
     }
 }
 
+/// Extracts the serve-only passthrough flags (`--shards <n>`,
+/// `--steal` / `--no-steal`) from the driver's argv.
+fn serve_flags(argv: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(i) = argv.iter().position(|a| a == "--shards") {
+        if let Some(v) = argv.get(i + 1) {
+            out.push("--shards".into());
+            out.push(v.clone());
+        }
+    }
+    for flag in ["--steal", "--no-steal"] {
+        if argv.iter().any(|a| a == flag) {
+            out.push(flag.into());
+        }
+    }
+    out
+}
+
 fn main() {
     let args = ObsArgs::parse();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
     let obs = args.build();
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
@@ -77,6 +99,9 @@ fn main() {
         if smoke && SMOKE_AWARE.contains(&bin) {
             cmd.arg("--smoke");
         }
+        if bin == "serve" {
+            cmd.args(serve_flags(&argv));
+        }
         let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
@@ -109,5 +134,16 @@ mod tests {
             child_obs_path(&PathBuf::from("trace"), "fig2"),
             PathBuf::from("trace-fig2")
         );
+    }
+
+    #[test]
+    fn serve_flags_forwarded_verbatim() {
+        let argv: Vec<String> = ["all", "--smoke", "--shards", "4", "--no-steal"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(serve_flags(&argv), vec!["--shards", "4", "--no-steal"]);
+        let bare: Vec<String> = ["all", "--smoke"].iter().map(ToString::to_string).collect();
+        assert!(serve_flags(&bare).is_empty());
     }
 }

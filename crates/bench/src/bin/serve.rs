@@ -1,22 +1,31 @@
 //! Serving-layer load generator: open-loop arrivals against
-//! [`asa_serve::ServeEngine`] at several offered-load levels.
+//! [`asa_serve::ServeEngine`] at several offered-load levels, swept
+//! across engine shard counts.
 //!
 //! The generator builds a pool of synthetic graphs (Barabási–Albert,
-//! R-MAT, and LFR families at two sizes each), estimates the engine's
-//! service capacity from sequential runs, then drives a fresh engine at
-//! several multiples of that capacity with fixed interarrival times —
-//! open loop: submission never waits for completions, exactly the arrival
-//! process that exposes queueing, degradation, and shedding behaviour.
+//! R-MAT, and LFR families at two sizes each), estimates a *single
+//! worker's* service capacity from sequential runs, then drives a fresh
+//! engine at several multiples of that capacity with fixed interarrival
+//! times — open loop: submission never waits for completions, exactly the
+//! arrival process that exposes queueing, degradation, and shedding
+//! behaviour. The same absolute offered loads repeat for shards ∈
+//! {1, 2, 4} (one worker per shard), so the scaling curve isolates what
+//! sharding buys: aggregate queue capacity, replication, and stealing.
 //!
 //! Per level it reports exact p50/p95/p99 latency over the resolved
-//! requests (computed from the collected samples, not histogram buckets),
-//! throughput, cache hit rate, and shed rate. Writes `BENCH_serve.json`
-//! into the working directory (override with `ASA_SERVE_OUT`).
+//! requests (computed from the collected samples, not histogram buckets)
+//! with the queue-wait and service components separated, throughput,
+//! cache hit rate, shed rate, and steal/replication counts. Writes
+//! `BENCH_serve.json` into the working directory (override with
+//! `ASA_SERVE_OUT`): the top-level `levels` array is the shards=1 curve
+//! (the historical schema), `shard_sweep` carries every shard count.
 //!
 //! `--smoke` shrinks the graph pool and request counts for CI.
+//! `--shards N` restricts the sweep to one shard count; `--no-steal`
+//! disables work stealing (`--steal` re-enables it explicitly).
 //! Telemetry: `--obs-out <path>` / `--progress` (also `ASA_OBS_OUT`,
 //! `ASA_PROGRESS=1`) stream per-level records and the engine's serving
-//! metrics (queue-depth gauge, per-class latency histograms, counters).
+//! metrics (queue-depth gauges, per-class latency histograms, counters).
 //! `--trace-out <path>` (also `ASA_TRACE_OUT`) attaches the flight
 //! recorder, prints a tail-latency attribution for the slowest
 //! `ASA_TAIL_PCT`% of requests (default 5%), and writes a Chrome trace —
@@ -94,8 +103,18 @@ fn percentile_us(sorted: &[u64], q: f64) -> f64 {
     sorted[rank - 1] as f64
 }
 
+/// p50/p95/p99 triple over unsorted microsecond samples.
+fn pct_triple(samples: &mut [u64]) -> (f64, f64, f64) {
+    samples.sort_unstable();
+    (
+        percentile_us(samples, 0.50),
+        percentile_us(samples, 0.95),
+        percentile_us(samples, 0.99),
+    )
+}
+
 /// Mean sequential service time over one pass of the pool: the basis of
-/// the capacity estimate (`workers / mean_service`).
+/// the single-worker capacity estimate (`1 / mean_service`).
 fn estimate_service(pool: &[Workload], cfg: &InfomapConfig) -> Duration {
     let t = Instant::now();
     for w in pool {
@@ -115,9 +134,47 @@ struct LevelReport {
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    queue_p50_us: f64,
+    queue_p95_us: f64,
+    queue_p99_us: f64,
+    service_p50_us: f64,
+    service_p95_us: f64,
+    service_p99_us: f64,
     cache_hit_rate: f64,
     shed_rate: f64,
     queue_depth_max: u64,
+    steals: u64,
+    replications: u64,
+    stolen_runs: usize,
+}
+
+impl LevelReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "offered_rps": self.offered_rps,
+            "requests": self.requests,
+            "resolved_with_result": self.resolved_with_result,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
+            "throughput_rps": self.throughput_rps,
+            "latency_us": serde_json::json!({
+                "p50": self.p50_us, "p95": self.p95_us, "p99": self.p99_us
+            }),
+            "queue_us": serde_json::json!({
+                "p50": self.queue_p50_us, "p95": self.queue_p95_us, "p99": self.queue_p99_us
+            }),
+            "service_us": serde_json::json!({
+                "p50": self.service_p50_us, "p95": self.service_p95_us, "p99": self.service_p99_us
+            }),
+            "cache_hit_rate": self.cache_hit_rate,
+            "shed_rate": self.shed_rate,
+            "queue_depth_max": self.queue_depth_max,
+            "steals": self.steals,
+            "replications": self.replications,
+            "stolen_runs": self.stolen_runs,
+        })
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -126,13 +183,17 @@ fn run_level(
     variants: &[InfomapConfig],
     offered_rps: f64,
     requests: usize,
-    workers: usize,
+    shards: usize,
+    steal: bool,
     obs: &asa_obs::Obs,
 ) -> LevelReport {
     // Fresh engine per level: each level starts with a cold cache and
-    // clean statistics, so levels are comparable.
+    // clean statistics, so levels are comparable. One worker per shard,
+    // and per-shard queue bounds — aggregate capacity grows with shards.
     let engine = ServeEngine::start(ServeConfig {
-        workers,
+        shards,
+        workers: 1,
+        steal,
         queue_capacity_interactive: 16,
         queue_capacity_batch: 32,
         cache_capacity: (pool.len() * variants.len()).div_ceil(2),
@@ -166,7 +227,10 @@ fn run_level(
     }
 
     let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    let mut queue_us: Vec<u64> = Vec::with_capacity(requests);
+    let mut service_us: Vec<u64> = Vec::with_capacity(requests);
     let (mut resolved, mut shed, mut deadline_exceeded, mut degraded, mut hits) = (0, 0, 0, 0, 0);
+    let mut stolen_runs = 0usize;
     for h in &handles {
         let response = h.wait();
         match response.outcome {
@@ -180,15 +244,22 @@ fn run_level(
         }
         if response.outcome.result().is_some() {
             latencies_us.push(response.total.as_micros() as u64);
+            queue_us.push(response.queued.as_micros() as u64);
+            service_us.push(response.service.as_micros() as u64);
             if response.cache_hit {
                 hits += 1;
+            }
+            if response.stolen {
+                stolen_runs += 1;
             }
         }
     }
     let elapsed = start.elapsed();
     let stats = engine.shutdown();
 
-    latencies_us.sort_unstable();
+    let (p50_us, p95_us, p99_us) = pct_triple(&mut latencies_us);
+    let (queue_p50_us, queue_p95_us, queue_p99_us) = pct_triple(&mut queue_us);
+    let (service_p50_us, service_p95_us, service_p99_us) = pct_triple(&mut service_us);
     let report = LevelReport {
         offered_rps,
         requests,
@@ -197,9 +268,15 @@ fn run_level(
         deadline_exceeded,
         degraded,
         throughput_rps: resolved as f64 / elapsed.as_secs_f64(),
-        p50_us: percentile_us(&latencies_us, 0.50),
-        p95_us: percentile_us(&latencies_us, 0.95),
-        p99_us: percentile_us(&latencies_us, 0.99),
+        p50_us,
+        p95_us,
+        p99_us,
+        queue_p50_us,
+        queue_p95_us,
+        queue_p99_us,
+        service_p50_us,
+        service_p95_us,
+        service_p99_us,
         cache_hit_rate: if resolved == 0 {
             0.0
         } else {
@@ -207,22 +284,38 @@ fn run_level(
         },
         shed_rate: shed as f64 / requests as f64,
         queue_depth_max: stats.queue_depth_max,
+        steals: stats.steals,
+        replications: stats.replications,
+        stolen_runs,
     };
     record!(obs, "serve.level", {
+        "shards": shards as u64,
         "offered_rps": report.offered_rps,
         "requests": report.requests,
         "throughput_rps": report.throughput_rps,
         "p50_us": report.p50_us,
         "p95_us": report.p95_us,
         "p99_us": report.p99_us,
+        "queue_p50_us": report.queue_p50_us,
+        "service_p50_us": report.service_p50_us,
         "cache_hit_rate": report.cache_hit_rate,
         "shed_rate": report.shed_rate,
+        "steals": report.steals,
+        "replications": report.replications,
     });
     report
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let steal = !argv.iter().any(|a| a == "--no-steal");
+    let only_shards: Option<usize> = argv
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1);
     let args = ObsArgs::parse();
     let obs = args.build();
     let _root = obs.span("serve-bench");
@@ -233,98 +326,91 @@ fn main() {
     };
     let variants = config_variants();
     let requests_per_level = if smoke { 30 } else { 120 };
-    let workers = std::thread::available_parallelism().map_or(2, |p| p.get().min(8));
+    let shard_counts: Vec<usize> = only_shards.map_or_else(|| vec![1, 2, 4], |n| vec![n]);
 
+    // Anchor every shard count to the same absolute offered loads, based
+    // on ONE worker's capacity: the scaling curve then shows what extra
+    // shards buy at identical arrival processes.
     let mean_service = {
         let _sp = obs.span("capacity-estimate");
         estimate_service(&pool, &variants[0])
     };
-    let capacity_rps = workers as f64 / mean_service.as_secs_f64().max(1e-9);
+    let capacity_rps = 1.0 / mean_service.as_secs_f64().max(1e-9);
     println!(
         "pool: {} graphs x {} configs, mean sequential service {}, \
-         estimated capacity {:.1} req/s ({} workers)",
+         single-worker capacity {:.1} req/s; shards {:?}, steal {}",
         pool.len(),
         variants.len(),
         fmt_secs(mean_service.as_secs_f64()),
         capacity_rps,
-        workers
+        shard_counts,
+        if steal { "on" } else { "off" },
     );
 
-    // Under, at, and well past capacity. The cache absorbs repeats, so
-    // the engine sustains more than the no-cache capacity estimate; the
-    // top level still drives it into degradation/shedding territory.
+    // Under, at, and well past single-worker capacity. The cache absorbs
+    // repeats, so the engine sustains more than the no-cache estimate;
+    // the top level still drives shards=1 into degradation/shedding.
     let load_factors = [0.5, 2.0, 8.0];
-    let mut reports = Vec::new();
-    for &factor in &load_factors {
-        let offered = (capacity_rps * factor).max(1.0);
-        let _sp = obs.span("level");
-        reports.push(run_level(
-            &pool,
-            &variants,
-            offered,
-            requests_per_level,
-            workers,
-            &obs,
-        ));
+    let mut sweep: Vec<(usize, Vec<LevelReport>)> = Vec::new();
+    for &shards in &shard_counts {
+        let mut reports = Vec::new();
+        for &factor in &load_factors {
+            let offered = (capacity_rps * factor).max(1.0);
+            let _sp = obs.span("level");
+            reports.push(run_level(
+                &pool,
+                &variants,
+                offered,
+                requests_per_level,
+                shards,
+                steal,
+                &obs,
+            ));
+        }
+        sweep.push((shards, reports));
     }
 
-    let rows: Vec<Vec<String>> = reports
-        .iter()
-        .map(|r| {
-            vec![
-                format!("{:.1}", r.offered_rps),
-                fmt_count(r.requests as u64),
-                format!("{:.1}", r.throughput_rps),
-                fmt_secs(r.p50_us / 1e6),
-                fmt_secs(r.p95_us / 1e6),
-                fmt_secs(r.p99_us / 1e6),
-                fmt_pct(r.cache_hit_rate),
-                fmt_pct(r.shed_rate),
-                format!("{}", r.degraded),
-                format!("{}", r.queue_depth_max),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            "Serving layer: open-loop load sweep",
-            &[
-                "offered req/s",
-                "requests",
-                "done req/s",
-                "p50",
-                "p95",
-                "p99",
-                "cache hits",
-                "shed",
-                "degraded",
-                "max depth",
-            ],
-            &rows,
-        )
-    );
-
-    let levels: Vec<serde_json::Value> = reports
-        .iter()
-        .map(|r| {
-            serde_json::json!({
-                "offered_rps": r.offered_rps,
-                "requests": r.requests,
-                "resolved_with_result": r.resolved_with_result,
-                "shed": r.shed,
-                "deadline_exceeded": r.deadline_exceeded,
-                "degraded": r.degraded,
-                "throughput_rps": r.throughput_rps,
-                "latency_us": serde_json::json!({
-                    "p50": r.p50_us, "p95": r.p95_us, "p99": r.p99_us
-                }),
-                "cache_hit_rate": r.cache_hit_rate,
-                "shed_rate": r.shed_rate,
-                "queue_depth_max": r.queue_depth_max,
+    for (shards, reports) in &sweep {
+        let rows: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.offered_rps),
+                    fmt_count(r.requests as u64),
+                    format!("{:.1}", r.throughput_rps),
+                    fmt_secs(r.p50_us / 1e6),
+                    fmt_secs(r.queue_p50_us / 1e6),
+                    fmt_secs(r.p99_us / 1e6),
+                    fmt_pct(r.cache_hit_rate),
+                    fmt_pct(r.shed_rate),
+                    format!("{}", r.steals),
+                    format!("{}", r.replications),
+                    format!("{}", r.queue_depth_max),
+                ]
             })
-        })
-        .collect();
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("Serving layer: open-loop load sweep, {shards} shard(s)"),
+                &[
+                    "offered req/s",
+                    "requests",
+                    "done req/s",
+                    "p50",
+                    "p50 queued",
+                    "p99",
+                    "cache hits",
+                    "shed",
+                    "steals",
+                    "replications",
+                    "max depth",
+                ],
+                &rows,
+            )
+        );
+    }
+
     let workloads: Vec<serde_json::Value> = pool
         .iter()
         .map(|w| {
@@ -335,17 +421,33 @@ fn main() {
             })
         })
         .collect();
+    let shard_sweep: Vec<serde_json::Value> = sweep
+        .iter()
+        .map(|(shards, reports)| {
+            serde_json::json!({
+                "shards": shards,
+                "workers_per_shard": 1,
+                "steal": steal,
+                "levels": reports.iter().map(LevelReport::to_json).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
     let doc = serde_json::json!({
         "bench": "serve",
         "scale_div": scale_div(),
         "smoke": smoke,
         "meta": run_metadata("ba+rmat+lfr", &variants[0]),
-        "workers": workers,
+        "workers": 1,
+        "steal": steal,
+        "shard_counts": shard_counts,
         "config_variants": variants.len(),
         "mean_service_seconds": mean_service.as_secs_f64(),
         "capacity_est_rps": capacity_rps,
         "workloads": workloads,
-        "levels": levels,
+        // Historical schema: the first swept shard count's curve (the
+        // shards=1 baseline unless `--shards` restricted the sweep).
+        "levels": sweep[0].1.iter().map(LevelReport::to_json).collect::<Vec<_>>(),
+        "shard_sweep": shard_sweep,
     });
     let out = std::env::var("ASA_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");

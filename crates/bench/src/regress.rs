@@ -84,6 +84,17 @@ impl MetricSpec {
             direction,
         }
     }
+
+    /// A cross-run ratio (e.g. shard-scaling throughput): noisier than a
+    /// single measurement, so it gets the loose relative bound.
+    fn ratio(name: String, value: f64) -> Self {
+        MetricSpec {
+            name,
+            value,
+            tolerance: Tolerance::Relative(0.5),
+            direction: Direction::HigherIsBetter,
+        }
+    }
 }
 
 fn get_f64(doc: &Value, path: &[&str]) -> Option<f64> {
@@ -174,6 +185,57 @@ pub fn extract_serve(doc: &Value) -> Vec<MetricSpec> {
                 v,
                 Direction::LowerIsBetter,
             ));
+        }
+    }
+    // Shard-scaling curve: per shard count, the top (most overloaded)
+    // level's latency, hit rate, and shed rate — direction-aware like the
+    // level metrics above — plus the top-level throughput ratio of the
+    // largest shard count over shards=1.
+    if let Some(sweep) = doc.get("shard_sweep").and_then(Value::as_array) {
+        let top =
+            |entry: &Value| -> Option<Value> { entry.get("levels")?.as_array()?.last().cloned() };
+        for entry in sweep {
+            let Some(s) = entry.get("shards").and_then(Value::as_u64) else {
+                continue;
+            };
+            let Some(level) = top(entry) else { continue };
+            if let Some(v) = get_f64(&level, &["latency_us", "p50"]) {
+                out.push(MetricSpec::time(format!("serve.shards{s}.top.p50_us"), v));
+            }
+            if let Some(v) = get_f64(&level, &["cache_hit_rate"]) {
+                out.push(MetricSpec::rate(
+                    format!("serve.shards{s}.top.cache_hit_rate"),
+                    v,
+                    Direction::HigherIsBetter,
+                ));
+            }
+            if let Some(v) = get_f64(&level, &["shed_rate"]) {
+                out.push(MetricSpec::rate(
+                    format!("serve.shards{s}.top.shed_rate"),
+                    v,
+                    Direction::LowerIsBetter,
+                ));
+            }
+        }
+        let throughput_at = |want: u64| -> Option<f64> {
+            sweep
+                .iter()
+                .find(|e| e.get("shards").and_then(Value::as_u64) == Some(want))
+                .and_then(|e| get_f64(&top(e)?, &["throughput_rps"]))
+        };
+        let max_shards = sweep
+            .iter()
+            .filter_map(|e| e.get("shards").and_then(Value::as_u64))
+            .max();
+        if let Some(max) = max_shards.filter(|&m| m > 1) {
+            if let (Some(one), Some(many)) = (throughput_at(1), throughput_at(max)) {
+                if one > 0.0 {
+                    out.push(MetricSpec::ratio(
+                        format!("serve.scaling.shards{max}_over_1.top_throughput_ratio"),
+                        many / one,
+                    ));
+                }
+            }
         }
     }
     out
@@ -401,6 +463,74 @@ mod tests {
             .expect("fixture parses"),
         );
         assert_eq!(sim.len(), 3);
+    }
+
+    fn sharded_serve_doc(hit4: f64, shed4: f64, tput4: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+                "bench": "serve",
+                "levels": [{{
+                    "latency_us": {{"p50": 10000.0, "p95": 56000.0}},
+                    "cache_hit_rate": 0.43,
+                    "shed_rate": 0.32
+                }}],
+                "shard_sweep": [
+                    {{"shards": 1, "levels": [{{
+                        "latency_us": {{"p50": 10000.0, "p95": 56000.0}},
+                        "cache_hit_rate": 0.43, "shed_rate": 0.32,
+                        "throughput_rps": 20.0
+                    }}]}},
+                    {{"shards": 4, "levels": [{{
+                        "latency_us": {{"p50": 8000.0, "p95": 40000.0}},
+                        "cache_hit_rate": {hit4}, "shed_rate": {shed4},
+                        "throughput_rps": {tput4}
+                    }}]}}
+                ]
+            }}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn shard_sweep_extraction_is_direction_aware() {
+        let base = extract_metrics(&sharded_serve_doc(0.55, 0.05, 40.0));
+        let names: Vec<&str> = base.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"serve.shards1.top.shed_rate"));
+        assert!(names.contains(&"serve.shards4.top.cache_hit_rate"));
+        assert!(names.contains(&"serve.scaling.shards4_over_1.top_throughput_ratio"));
+        assert!(sanity_errors(&base).is_empty());
+
+        // Hit-rate collapse on the sharded top level regresses...
+        let collapse = extract_metrics(&sharded_serve_doc(0.2, 0.05, 40.0));
+        let deltas = compare(&base, &collapse, 1.0);
+        assert!(
+            deltas
+                .iter()
+                .find(|d| d.name == "serve.shards4.top.cache_hit_rate")
+                .unwrap()
+                .regressed
+        );
+        // ...a shed-rate explosion regresses (LowerIsBetter)...
+        let sheds = extract_metrics(&sharded_serve_doc(0.55, 0.4, 40.0));
+        assert!(
+            compare(&base, &sheds, 1.0)
+                .iter()
+                .find(|d| d.name == "serve.shards4.top.shed_rate")
+                .unwrap()
+                .regressed
+        );
+        // ...and losing the scaling (ratio 2.0 -> 0.75) trips the gate,
+        // while mild noise (2.0 -> 1.5) stays inside the loose bound.
+        let flat = extract_metrics(&sharded_serve_doc(0.55, 0.05, 15.0));
+        assert!(
+            compare(&base, &flat, 1.0)
+                .iter()
+                .find(|d| d.name.starts_with("serve.scaling."))
+                .unwrap()
+                .regressed
+        );
+        let noisy = extract_metrics(&sharded_serve_doc(0.55, 0.05, 30.0));
+        assert!(compare(&base, &noisy, 1.0).iter().all(|d| !d.regressed));
     }
 
     #[test]

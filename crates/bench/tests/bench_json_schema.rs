@@ -140,12 +140,86 @@ fn simthroughput_json_schema() {
     assert_eq!(kernel["replay_identical"].as_bool(), Some(true));
 }
 
+/// An ordered positive p50 <= p95 <= p99 triple (latency, queue-wait, or
+/// service distributions); queue-wait p50 may be zero under light load.
+fn assert_pct_triple(obj: &serde_json::Value, what: &str, allow_zero_p50: bool) {
+    let p50 = obj["p50"].as_f64().unwrap_or_else(|| panic!("{what}: p50"));
+    let p95 = obj["p95"].as_f64().unwrap_or_else(|| panic!("{what}: p95"));
+    let p99 = obj["p99"].as_f64().unwrap_or_else(|| panic!("{what}: p99"));
+    assert!(
+        (allow_zero_p50 || p50 > 0.0) && p50 >= 0.0 && p50 <= p95 && p95 <= p99,
+        "{what}: percentiles must be ordered, got {p50}/{p95}/{p99}"
+    );
+}
+
+/// One offered-load level of a serve sweep. Returns the level's cache hit
+/// rate so the caller can assert the sweep demonstrated real hits.
+fn assert_serve_level(level: &serde_json::Value, what: &str) -> f64 {
+    assert!(level["requests"].as_u64().is_some_and(|r| r > 0));
+    assert!(level["throughput_rps"].as_f64().is_some_and(|t| t > 0.0));
+    assert_pct_triple(&level["latency_us"], &format!("{what}.latency_us"), false);
+    // Queue-wait vs service split: both ordered, and for the resolved
+    // requests the end-to-end latency dominates its own service component.
+    assert_pct_triple(&level["queue_us"], &format!("{what}.queue_us"), true);
+    assert_pct_triple(&level["service_us"], &format!("{what}.service_us"), true);
+    let hit_rate = level["cache_hit_rate"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("{what}: cache_hit_rate"));
+    assert!((0.0..=1.0).contains(&hit_rate));
+    let shed_rate = level["shed_rate"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("{what}: shed_rate"));
+    assert!((0.0..=1.0).contains(&shed_rate));
+    // Sharded-engine accounting fields must be present (zero is fine).
+    for field in ["steals", "replications", "stolen_runs", "queue_depth_max"] {
+        assert!(
+            level[field].as_u64().is_some(),
+            "{what}: missing counter field {field}"
+        );
+    }
+    // Accounting must balance: every request terminated somewhere.
+    let total = level["resolved_with_result"].as_u64().unwrap()
+        + level["shed"].as_u64().unwrap()
+        + level["deadline_exceeded"].as_u64().unwrap();
+    assert_eq!(
+        total,
+        level["requests"].as_u64().unwrap(),
+        "{what}: accounting"
+    );
+    hit_rate
+}
+
+/// A full load sweep (the legacy top-level `levels` array or one
+/// `shard_sweep` entry's curve): >= 3 levels at increasing offered load.
+fn assert_serve_sweep(levels: &[serde_json::Value], what: &str) -> Vec<f64> {
+    assert!(
+        levels.len() >= 3,
+        "{what}: the load sweep must cover at least three offered-load levels"
+    );
+    let mut prev_offered = 0.0;
+    let mut hit_rates = Vec::new();
+    for (i, level) in levels.iter().enumerate() {
+        let what = format!("{what}[{i}]");
+        let offered = level["offered_rps"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{what}: offered_rps"));
+        assert!(
+            offered > prev_offered,
+            "{what}: offered loads must be increasing"
+        );
+        prev_offered = offered;
+        hit_rates.push(assert_serve_level(level, &what));
+    }
+    hit_rates
+}
+
 #[test]
 fn serve_json_schema() {
     let doc = load("BENCH_serve.json");
     assert_eq!(doc["bench"], "serve");
     assert!(doc["scale_div"].as_u64().is_some());
     assert!(doc["workers"].as_u64().is_some_and(|w| w >= 1));
+    assert!(doc["steal"].as_bool().is_some());
     assert!(doc["capacity_est_rps"].as_f64().is_some_and(|c| c > 0.0));
     assert_meta(&doc, "BENCH_serve.json");
 
@@ -159,60 +233,52 @@ fn serve_json_schema() {
         assert!(w["arcs"].as_u64().is_some_and(|a| a > 0));
     }
 
+    // Legacy schema: the top-level `levels` array is the shards=1 curve.
     let levels = doc["levels"].as_array().expect("levels array");
+    let hit_rates = assert_serve_sweep(levels, "BENCH_serve.json levels");
     assert!(
-        levels.len() >= 3,
-        "the load sweep must cover at least three offered-load levels"
-    );
-    let mut any_cache_hits = false;
-    let mut prev_offered = 0.0;
-    for (i, level) in levels.iter().enumerate() {
-        let what = format!("BENCH_serve.json levels[{i}]");
-        let offered = level["offered_rps"]
-            .as_f64()
-            .unwrap_or_else(|| panic!("{what}: offered_rps"));
-        assert!(
-            offered > prev_offered,
-            "{what}: offered loads must be increasing"
-        );
-        prev_offered = offered;
-        assert!(level["requests"].as_u64().is_some_and(|r| r > 0));
-        assert!(level["throughput_rps"].as_f64().is_some_and(|t| t > 0.0));
-        let latency = &level["latency_us"];
-        let p50 = latency["p50"]
-            .as_f64()
-            .unwrap_or_else(|| panic!("{what}: p50"));
-        let p95 = latency["p95"]
-            .as_f64()
-            .unwrap_or_else(|| panic!("{what}: p95"));
-        let p99 = latency["p99"]
-            .as_f64()
-            .unwrap_or_else(|| panic!("{what}: p99"));
-        assert!(
-            p50 > 0.0 && p50 <= p95 && p95 <= p99,
-            "{what}: percentiles must be positive and ordered, got {p50}/{p95}/{p99}"
-        );
-        let hit_rate = level["cache_hit_rate"]
-            .as_f64()
-            .unwrap_or_else(|| panic!("{what}: cache_hit_rate"));
-        assert!((0.0..=1.0).contains(&hit_rate));
-        any_cache_hits |= hit_rate > 0.0;
-        let shed_rate = level["shed_rate"]
-            .as_f64()
-            .unwrap_or_else(|| panic!("{what}: shed_rate"));
-        assert!((0.0..=1.0).contains(&shed_rate));
-        // Accounting must balance: every request terminated somewhere.
-        let total = level["resolved_with_result"].as_u64().unwrap()
-            + level["shed"].as_u64().unwrap()
-            + level["deadline_exceeded"].as_u64().unwrap();
-        assert_eq!(
-            total,
-            level["requests"].as_u64().unwrap(),
-            "{what}: accounting"
-        );
-    }
-    assert!(
-        any_cache_hits,
+        hit_rates.iter().any(|&h| h > 0.0),
         "the committed sweep must demonstrate a non-zero cache hit rate"
+    );
+
+    // The shard-scaling sweep: the committed baseline carries the full
+    // shards in {1, 2, 4} curve at one worker per shard.
+    let sweep = doc["shard_sweep"].as_array().expect("shard_sweep array");
+    let shard_counts: Vec<u64> = sweep
+        .iter()
+        .map(|e| e["shards"].as_u64().expect("shard_sweep[*].shards"))
+        .collect();
+    assert_eq!(
+        shard_counts,
+        [1, 2, 4],
+        "the committed baseline sweeps shards 1, 2, 4"
+    );
+    for entry in sweep {
+        let shards = entry["shards"].as_u64().unwrap();
+        let what = format!("BENCH_serve.json shard_sweep shards={shards}");
+        assert!(
+            entry["workers_per_shard"].as_u64().is_some_and(|w| w >= 1),
+            "{what}: workers_per_shard"
+        );
+        assert!(entry["steal"].as_bool().is_some(), "{what}: steal");
+        let levels = entry["levels"].as_array().expect("shard_sweep levels");
+        assert_serve_sweep(levels, &what);
+    }
+
+    // The headline scaling claim the issue gates: at the top offered load
+    // (8x a single worker's capacity) the 4-shard engine converts routing
+    // affinity + aggregate queue capacity into cache hits instead of
+    // shedding. Committed thresholds; `regress` tracks drift within them.
+    let four_levels = sweep[2]["levels"].as_array().unwrap();
+    let four = &four_levels[four_levels.len() - 1];
+    let hit = four["cache_hit_rate"].as_f64().unwrap();
+    let shed = four["shed_rate"].as_f64().unwrap();
+    assert!(
+        hit >= 0.43,
+        "shards=4 top-level cache hit rate fell below the gated 0.43: {hit}"
+    );
+    assert!(
+        shed < 0.325,
+        "shards=4 top-level shed rate broke the gated 0.325 bound: {shed}"
     );
 }

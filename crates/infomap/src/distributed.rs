@@ -22,15 +22,22 @@
 //! codelength is monotone and the final partition matches the
 //! shared-memory optimizer's fixed points.
 
-use asa_graph::{NodeId, Partition};
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use asa_graph::{CsrGraph, NodeId, Partition};
+use asa_obs::{Counter, Obs, Value};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::CancelToken;
 use crate::config::InfomapConfig;
 use crate::find_best::{find_best_community, FindBestScratch, MoveDecision};
 use crate::flow::FlowNetwork;
-use crate::local_move::{apply_decisions, FastAccumulator};
+use crate::local_move::{apply_decisions, decide_range, AppliedMoves, FastAccumulator};
 use crate::mapeq::{plogp, MapState};
+use crate::result::InfomapResult;
+use crate::schedule::{optimize_multilevel_cancellable, DecideEngine, SweepCtx};
 
 /// Communication statistics of a distributed run.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -48,6 +55,17 @@ pub struct CommStats {
     pub cut_arcs: u64,
 }
 
+impl CommStats {
+    /// Accumulates another run's (or level's) accounting into this one.
+    pub fn absorb(&mut self, other: &CommStats) {
+        self.supersteps += other.supersteps;
+        self.messages += other.messages;
+        self.update_bytes += other.update_bytes;
+        self.allreduce_bytes += other.allreduce_bytes;
+        self.cut_arcs += other.cut_arcs;
+    }
+}
+
 /// Result of the distributed vertex-level optimization.
 #[derive(Debug, Clone)]
 pub struct DistributedResult {
@@ -59,6 +77,8 @@ pub struct DistributedResult {
     pub moves: usize,
     /// Communication accounting.
     pub comm: CommStats,
+    /// Whether a [`CancelToken`] stopped the run at a superstep boundary.
+    pub interrupted: bool,
 }
 
 /// One rank's view: owned range plus ghost labels for remote neighbours.
@@ -84,6 +104,20 @@ pub fn distributed_local_moves(
     flow: &FlowNetwork,
     cfg: &InfomapConfig,
     ranks: usize,
+) -> DistributedResult {
+    distributed_local_moves_cancellable(flow, cfg, ranks, &CancelToken::none())
+}
+
+/// [`distributed_local_moves`] with cooperative cancellation: `cancel` is
+/// polled once per completed superstep (the distributed analogue of the
+/// shared-memory sweep boundary). A tripped token stops the run there;
+/// the partition is complete and the codelength describes it exactly,
+/// with [`DistributedResult::interrupted`] set.
+pub fn distributed_local_moves_cancellable(
+    flow: &FlowNetwork,
+    cfg: &InfomapConfig,
+    ranks: usize,
+    cancel: &CancelToken,
 ) -> DistributedResult {
     assert!(ranks >= 1);
     let n = flow.num_nodes();
@@ -133,6 +167,7 @@ pub fn distributed_local_moves(
         ..Default::default()
     };
     let mut total_moves = 0usize;
+    let mut interrupted = false;
     // Bytes of one all-reduce: every rank contributes (exit, flow) per
     // module; we count one gather + broadcast of the module table.
     let allreduce_bytes_per_step = (state.num_modules() * 16 * 2 * ranks) as u64;
@@ -206,6 +241,10 @@ pub fn distributed_local_moves(
         if applied.applied == 0 {
             break;
         }
+        if cancel.poll() {
+            interrupted = true;
+            break;
+        }
     }
 
     DistributedResult {
@@ -213,7 +252,245 @@ pub fn distributed_local_moves(
         partition,
         moves: total_moves,
         comm,
+        interrupted,
     }
+}
+
+/// The distributed decision engine, promoted from a standalone prototype
+/// into a [`DecideEngine`] the multilevel schedule — and therefore a
+/// serving-engine shard — can run as its internal parallel phase.
+///
+/// Each sweep block-partitions the level's vertices across `ranks`
+/// emulated processes (real threads); every rank decides moves for its
+/// owned slice of the active set against the sweep's frozen labels —
+/// exactly the ghost state a cluster rank would hold after the previous
+/// superstep's exchange. Because decisions are per-vertex functions of
+/// frozen state and the schedule applies them in vertex order, the
+/// decision stream — and so the partition and codelength — is
+/// **bit-identical** to [`crate::HostEngine`]'s hash path (and therefore
+/// to the SPA and SIMD kernels, which are proven identical to it).
+///
+/// What the promotion adds is *accounting*: the communication a real
+/// cluster would incur — label-update messages to subscribing ranks, the
+/// per-superstep module-statistics all-reduce, and cut arcs per level
+/// layout — accumulates in a [`CommStats`] and streams through `obs`
+/// counters (`infomap.dist.*`), so a serving layer can export per-request
+/// communication cost next to its routing/steal counters.
+pub struct DistEngine {
+    ranks: usize,
+    obs: Obs,
+    comm: CommStats,
+    /// Node count the cached rank layout was built for (`usize::MAX`
+    /// before the first sweep). Levels re-partition lazily: refinement
+    /// passes return to the vertex-level node count and reuse its layout.
+    layout_nodes: usize,
+    ranges: Vec<std::ops::Range<usize>>,
+    /// `(messages, update_bytes)` at the previous sweep record, so
+    /// convergence records carry per-sweep deltas.
+    seen: Cell<(u64, u64)>,
+    c_messages: Counter,
+    c_update_bytes: Counter,
+    c_allreduce_bytes: Counter,
+    c_supersteps: Counter,
+    c_cut_arcs: Counter,
+}
+
+impl std::fmt::Debug for DistEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistEngine")
+            .field("ranks", &self.ranks)
+            .field("comm", &self.comm)
+            .finish()
+    }
+}
+
+impl DistEngine {
+    /// An engine emulating `ranks` distributed processes.
+    pub fn new(ranks: usize) -> Self {
+        Self::with_obs(ranks, &Obs::disabled())
+    }
+
+    /// [`DistEngine::new`] with a telemetry handle: communication
+    /// accounting streams into `infomap.dist.*` counters as it accrues.
+    pub fn with_obs(ranks: usize, obs: &Obs) -> Self {
+        assert!(ranks >= 1);
+        DistEngine {
+            ranks,
+            obs: obs.clone(),
+            comm: CommStats::default(),
+            layout_nodes: usize::MAX,
+            ranges: Vec::new(),
+            seen: Cell::new((0, 0)),
+            c_messages: obs.counter("infomap.dist.messages"),
+            c_update_bytes: obs.counter("infomap.dist.update_bytes"),
+            c_allreduce_bytes: obs.counter("infomap.dist.allreduce_bytes"),
+            c_supersteps: obs.counter("infomap.dist.supersteps"),
+            c_cut_arcs: obs.counter("infomap.dist.cut_arcs"),
+        }
+    }
+
+    /// Communication accounting accumulated so far. `cut_arcs` sums the
+    /// cut of every rank layout built (one per level per outer pass) —
+    /// the static per-superstep communication bound at each level.
+    pub fn comm(&self) -> CommStats {
+        self.comm
+    }
+
+    fn owner(&self, v: usize) -> usize {
+        self.ranges.partition_point(|r| r.end <= v)
+    }
+
+    fn ensure_layout(&mut self, flow: &FlowNetwork) {
+        let n = flow.num_nodes();
+        if n == self.layout_nodes {
+            return;
+        }
+        asa_simarch::machine::block_partition_into(n, self.ranks, &mut self.ranges);
+        self.layout_nodes = n;
+        let mut cut = 0u64;
+        for v in 0..n as u32 {
+            let owner = self.owner(v as usize);
+            cut += flow
+                .out_arcs(v)
+                .filter(|&(t, _)| self.owner(t as usize) != owner)
+                .count() as u64;
+        }
+        self.comm.cut_arcs += cut;
+        self.c_cut_arcs.add(cut);
+    }
+}
+
+impl DecideEngine for DistEngine {
+    fn decide(&mut self, ctx: &SweepCtx<'_>) -> Vec<MoveDecision> {
+        self.ensure_layout(ctx.flow);
+        self.comm.supersteps += 1;
+        self.c_supersteps.incr();
+        let allreduce = (ctx.state.num_modules() * 16 * 2 * self.ranks) as u64;
+        self.comm.allreduce_bytes += allreduce;
+        self.c_allreduce_bytes.add(allreduce);
+
+        // Rank-parallel decision phase: each rank owns a contiguous slice
+        // of the (sorted) active set. Ranges ascend, so the concatenated
+        // per-rank outputs are already in vertex order — the ordering the
+        // schedule's apply step requires.
+        let ranges = &self.ranges;
+        let mut decisions: Vec<MoveDecision> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    scope.spawn(move |_| {
+                        let lo = ctx.active.partition_point(|&v| (v as usize) < range.start);
+                        let hi = ctx.active.partition_point(|&v| (v as usize) < range.end);
+                        let mut acc = FastAccumulator::default();
+                        let mut sink = asa_simarch::events::NullSink;
+                        let mut scratch = FindBestScratch::default();
+                        let mut out = Vec::new();
+                        decide_range(
+                            ctx.flow,
+                            ctx.labels,
+                            ctx.state,
+                            &ctx.active[lo..hi],
+                            &mut acc,
+                            &mut sink,
+                            &mut scratch,
+                            &mut out,
+                        );
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+        .expect("rank threads");
+        decisions.sort_unstable_by_key(|d| d.vertex);
+        decisions
+    }
+
+    fn after_sweep(&mut self, ctx: &SweepCtx<'_>, applied: &AppliedMoves, _elapsed: Duration) {
+        // Exchange accounting: every applied move is announced to each
+        // rank bordering the moved vertex (8 bytes per update).
+        let mut messages = 0u64;
+        let mut subs: Vec<usize> = Vec::new();
+        for &v in &applied.moved {
+            let owner = self.owner(v as usize);
+            subs.clear();
+            subs.extend(
+                ctx.flow
+                    .out_arcs(v)
+                    .chain(ctx.flow.in_arcs(v))
+                    .map(|(t, _)| self.owner(t as usize))
+                    .filter(|&o| o != owner),
+            );
+            subs.sort_unstable();
+            subs.dedup();
+            messages += subs.len() as u64;
+        }
+        self.comm.messages += messages;
+        self.comm.update_bytes += 8 * messages;
+        self.c_messages.add(messages);
+        self.c_update_bytes.add(8 * messages);
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    fn sweep_fields(&self, fields: &mut Vec<(&'static str, Value)>) {
+        fields.push(("path", Value::from("dist-hash")));
+        fields.push(("ranks", Value::from(self.ranks as u64)));
+        let (seen_m, seen_b) = self.seen.get();
+        self.seen.set((self.comm.messages, self.comm.update_bytes));
+        fields.push(("dist_messages", Value::from(self.comm.messages - seen_m)));
+        fields.push((
+            "dist_update_bytes",
+            Value::from(self.comm.update_bytes - seen_b),
+        ));
+    }
+}
+
+/// Full multilevel community detection with the distributed engine as the
+/// per-level parallel phase: the entry point a serving-engine shard uses
+/// when configured for rank-partitioned execution. Returns the result —
+/// bit-identical in partition and codelength to
+/// [`crate::detect_communities_cancellable`] — plus the communication
+/// accounting a cluster run of the same schedule would incur.
+pub fn detect_communities_distributed_cancellable(
+    graph: &CsrGraph,
+    cfg: &InfomapConfig,
+    ranks: usize,
+    obs: &Obs,
+    cancel: &CancelToken,
+) -> (InfomapResult, CommStats) {
+    let _run = obs.span("infomap");
+    let t = Instant::now();
+    let flow = {
+        let _sp = obs.span("pagerank");
+        FlowNetwork::from_graph(graph, cfg)
+    };
+    let pagerank = t.elapsed();
+    let mut engine = DistEngine::with_obs(ranks, obs);
+    let outcome = {
+        let _sp = obs.span("optimize");
+        optimize_multilevel_cancellable(&flow, cfg, &mut engine, cancel)
+    };
+    let mut timings = outcome.timings;
+    timings.pagerank = pagerank;
+    (
+        InfomapResult {
+            partition: outcome.partition,
+            codelength: outcome.codelength,
+            initial_codelength: outcome.initial_codelength,
+            levels: outcome.levels,
+            level_partitions: outcome.level_partitions,
+            timings,
+            interrupted: outcome.interrupted,
+        },
+        engine.comm(),
+    )
 }
 
 #[cfg(test)]
@@ -284,6 +561,93 @@ mod tests {
         assert!(result.comm.messages < worst / 2);
         assert!(result.comm.supersteps >= 2);
         assert!(result.comm.update_bytes == 8 * result.comm.messages);
+    }
+
+    #[test]
+    fn engine_pipeline_bit_identical_to_host() {
+        // The promoted engine runs the full multilevel schedule; partition
+        // and codelength must be bit-identical to the host path for every
+        // rank count — this is the contract a serving shard relies on.
+        let (g, _) = planted_partition(
+            &PlantedConfig {
+                communities: 6,
+                community_size: 30,
+                k_in: 10.0,
+                k_out: 1.0,
+            },
+            5,
+        );
+        let cfg = InfomapConfig::default();
+        let host = crate::detect_communities(&g, &cfg);
+        for ranks in [1usize, 3, 4] {
+            let (dist, comm) = detect_communities_distributed_cancellable(
+                &g,
+                &cfg,
+                ranks,
+                &Obs::disabled(),
+                &CancelToken::none(),
+            );
+            assert_eq!(
+                host.partition.labels(),
+                dist.partition.labels(),
+                "ranks={ranks}"
+            );
+            assert!(host.codelength.to_bits() == dist.codelength.to_bits());
+            assert_eq!(host.levels.len(), dist.levels.len());
+            assert!(comm.supersteps > 0);
+            if ranks == 1 {
+                assert_eq!(comm.messages, 0, "one rank never communicates");
+            } else {
+                assert!(comm.messages > 0, "ranks must exchange labels");
+                assert_eq!(comm.update_bytes, 8 * comm.messages);
+                assert!(comm.cut_arcs > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_truncates_supersteps() {
+        let (flow, _) = planted_flow();
+        let cfg = InfomapConfig::default();
+        let full = distributed_local_moves(&flow, &cfg, 4);
+        assert!(!full.interrupted);
+        assert!(full.comm.supersteps >= 2);
+        let cancel = CancelToken::after_polls(1);
+        let cut = distributed_local_moves_cancellable(&flow, &cfg, 4, &cancel);
+        assert!(cut.interrupted);
+        assert_eq!(cut.comm.supersteps, 1, "stops at the superstep boundary");
+        assert!(cut.comm.supersteps < full.comm.supersteps);
+    }
+
+    #[test]
+    fn engine_counters_mirror_comm_stats() {
+        let (g, _) = planted_partition(
+            &PlantedConfig {
+                communities: 4,
+                community_size: 25,
+                k_in: 9.0,
+                k_out: 1.0,
+            },
+            11,
+        );
+        let obs = Obs::new_enabled();
+        let (_, comm) = detect_communities_distributed_cancellable(
+            &g,
+            &InfomapConfig::default(),
+            3,
+            &obs,
+            &CancelToken::none(),
+        );
+        assert_eq!(obs.counter("infomap.dist.messages").value(), comm.messages);
+        assert_eq!(
+            obs.counter("infomap.dist.update_bytes").value(),
+            comm.update_bytes
+        );
+        assert_eq!(
+            obs.counter("infomap.dist.supersteps").value(),
+            comm.supersteps as u64
+        );
+        assert_eq!(obs.counter("infomap.dist.cut_arcs").value(), comm.cut_arcs);
     }
 
     #[test]

@@ -60,6 +60,28 @@ use span::SpanTree;
 
 static NEXT_OBS_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Interns a dynamically built metric/track name into a `&'static str`.
+///
+/// Every metric and trace API here takes `&'static str` names so the hot
+/// path never hashes or clones strings. Names whose shape is only known at
+/// runtime — per-shard counter tracks like `serve.shard.3.queue.depth` —
+/// go through this process-wide cache: the first request for a given
+/// string leaks one copy, every later request returns the same pointer, so
+/// the total leak is bounded by the set of distinct names ever used (a few
+/// dozen bytes per shard index), not by how many engines are constructed.
+pub fn intern_name(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<std::collections::HashMap<String, &'static str>>> =
+        OnceLock::new();
+    let map = INTERNED.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let mut map = map.lock().unwrap();
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
 #[derive(Default)]
 struct Registry {
     counters: Vec<Arc<CounterCore>>,

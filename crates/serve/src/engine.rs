@@ -1,42 +1,57 @@
-//! The serving engine: admission control → bounded queue → worker pool →
-//! Infomap, with a result cache in front and a degradation ladder under
+//! The serving engine: admission control → graph-affinity routing across
+//! engine shards → bounded per-shard queues → worker sets → Infomap, with
+//! one process-wide result cache in front and a degradation ladder under
 //! load.
 //!
-//! Lifecycle of a request (see DESIGN.md § Serving layer for the diagram):
+//! Lifecycle of a request (see DESIGN.md § Serving layer and § Sharded
+//! serving for the diagrams):
 //!
-//! 1. **Admission** ([`ServeEngine::submit`]): the request is keyed by
-//!    `(graph fingerprint, config hash)` and looked up in the cache — a
-//!    hit resolves immediately without queueing. A miss enqueues into the
-//!    request's priority class; a full class rejects with
-//!    [`Outcome::Overloaded`] *now* instead of building unbounded backlog.
-//! 2. **Dequeue**: workers drain interactive before batch. A request whose
-//!    deadline already expired resolves [`Outcome::DeadlineExceeded`]
-//!    without running.
-//! 3. **Degradation ladder**: under queue pressure, batch requests run
+//! 1. **Routing**: the request's graph fingerprint picks its shard —
+//!    home shard `fingerprint % shards`, widened to a round-robined
+//!    routing set once the graph proves hot ([`crate::shard::Router`]).
+//! 2. **Admission** ([`ServeEngine::submit`]): the request is keyed by
+//!    `(graph fingerprint, config hash)` and looked up in the shared
+//!    cache — a hit resolves immediately without queueing. A miss
+//!    enqueues into the routed shard's priority class; a full class
+//!    rejects with [`Outcome::Overloaded`] *now* instead of building
+//!    unbounded backlog.
+//! 3. **Dequeue**: each shard's workers drain interactive before batch.
+//!    An idle shard steals the oldest batch job from the deepest foreign
+//!    backlog (interactive jobs stay affine). A request whose deadline
+//!    already expired resolves [`Outcome::DeadlineExceeded`] without
+//!    running.
+//! 4. **Degradation ladder**: under queue pressure, batch requests run
 //!    with lowered quality knobs (first fewer outer refinement loops, then
 //!    also fewer sweeps) before anything is shed. Interactive requests are
 //!    never degraded by pressure.
-//! 4. **Run**: Infomap executes with a [`CancelToken`] carrying the
+//! 5. **Run**: Infomap executes with a [`CancelToken`] carrying the
 //!    request deadline; an expiry mid-run stops at the next sweep boundary
 //!    and the best partition found so far returns as
-//!    [`Outcome::Degraded`].
-//! 5. **Cache fill**: only full-quality, uninterrupted results are
+//!    [`Outcome::Degraded`]. With [`ServeConfig::dist_ranks`] ≥ 1 the run
+//!    uses the rank-partitioned distributed engine (bit-identical results,
+//!    plus communication accounting mirrored into `serve.dist.*`).
+//! 6. **Cache fill**: only full-quality, uninterrupted results are
 //!    cached — degraded partitions must never be served to a later caller
-//!    who asked for full quality.
+//!    who asked for full quality. The cache is engine-wide, so a replica
+//!    shard never recomputes what another shard already answered.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use asa_graph::fnv1a64;
-use asa_infomap::{detect_communities_cancellable, CancelToken, InfomapConfig, InfomapResult};
-use asa_obs::{Counter, Gauge, Hist, Obs, TraceId};
+use asa_infomap::{
+    detect_communities_cancellable, detect_communities_distributed_cancellable, CancelToken,
+    InfomapConfig, InfomapResult,
+};
+use asa_obs::{intern_name, Counter, Gauge, Hist, Obs, TraceId};
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::queue::{JobQueue, PushError};
+use crate::queue::{JobQueue, Popped, PushError};
 use crate::request::{
     DegradeReason, JobHandle, Outcome, Priority, Request, Response, ResponseSlot,
 };
+use crate::shard::{ReplicationConfig, Router, ShardStats};
 
 /// Stable 64-bit hash of an Infomap configuration, for cache keying.
 /// FNV-1a over the `Debug` rendering: every field participates, and the
@@ -45,28 +60,58 @@ pub fn config_hash(cfg: &InfomapConfig) -> u64 {
     fnv1a64(format!("{cfg:?}").as_bytes())
 }
 
+/// Shard-count default: `ASA_SERVE_SHARDS` when set (CI runs the test
+/// suite at 1 and 4), else a single shard.
+fn env_shards() -> usize {
+    std::env::var("ASA_SERVE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// How long an idle shard worker waits on its own queue before trying to
+/// steal from a foreign backlog.
+const STEAL_POLL: Duration = Duration::from_millis(2);
+
 /// Engine sizing and policy knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads draining the queue. Each runs one request at a time;
-    /// the requests themselves still use the shared rayon pool internally.
+    /// Engine shards. Each shard has its own bounded two-class queue and
+    /// worker set; requests route to `graph fingerprint % shards`.
+    /// Defaults to `ASA_SERVE_SHARDS` when set, else 1.
+    pub shards: usize,
+    /// Worker threads *per shard*. Each runs one request at a time; the
+    /// requests themselves still use the shared rayon pool internally.
     pub workers: usize,
-    /// Bound on queued interactive requests; submissions beyond it shed.
+    /// Bound on queued interactive requests *per shard*; submissions
+    /// beyond it shed.
     pub queue_capacity_interactive: usize,
-    /// Bound on queued batch requests.
+    /// Bound on queued batch requests per shard.
     pub queue_capacity_batch: usize,
-    /// Total result-cache entries (0 disables caching).
+    /// Whether idle shards steal batch-class jobs from foreign backlogs.
+    /// Interactive jobs are never stolen regardless.
+    pub steal: bool,
+    /// Hot-graph replication policy (`threshold: 0` disables it, making
+    /// routing pure deterministic affinity).
+    pub replication: ReplicationConfig,
+    /// Emulated ranks for the shard-internal distributed engine; 0 runs
+    /// the plain host engine. Results are bit-identical either way.
+    pub dist_ranks: usize,
+    /// Total result-cache entries (0 disables caching). The cache is
+    /// process-wide — one instance shared by every shard.
     pub cache_capacity: usize,
     /// Cache shard count (lock-splitting; capacity divides across shards).
     pub cache_shards: usize,
     /// Cache entry time-to-live.
     pub cache_ttl: Duration,
-    /// Queue depth at which batch requests start running degraded
-    /// (ladder rung 1; rung 2 engages at twice this depth).
+    /// Queue depth (on the request's own shard) at which batch requests
+    /// start running degraded (ladder rung 1; rung 2 engages at twice
+    /// this depth).
     pub degrade_depth: usize,
-    /// Telemetry handle. Serving metrics (queue depth gauge, per-class
-    /// latency histograms, shed/degrade/cache counters) register here;
-    /// pass a disabled handle to keep metrics readable via
+    /// Telemetry handle. Serving metrics (queue depth gauges, per-class
+    /// latency histograms, shed/degrade/cache/steal counters) register
+    /// here; pass a disabled handle to keep metrics readable via
     /// [`ServeEngine::stats`] without any sink wiring.
     pub obs: Obs,
 }
@@ -74,9 +119,13 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: env_shards(),
             workers: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
             queue_capacity_interactive: 64,
             queue_capacity_batch: 256,
+            steal: true,
+            replication: ReplicationConfig::default(),
+            dist_ranks: 0,
             cache_capacity: 128,
             cache_shards: 8,
             cache_ttl: Duration::from_secs(300),
@@ -86,7 +135,7 @@ impl Default for ServeConfig {
     }
 }
 
-/// Serving-level metric handles. Built from the configured [`Obs`] when it
+/// Engine-wide metric handles. Built from the configured [`Obs`] when it
 /// is enabled, or from a private enabled handle otherwise, so
 /// [`ServeEngine::stats`] always has live numbers to read.
 #[derive(Debug, Clone)]
@@ -101,6 +150,12 @@ struct Metrics {
     cache_misses: Counter,
     cache_expired: Counter,
     cache_evicted: Counter,
+    steals: Counter,
+    replications: Counter,
+    dist_messages: Counter,
+    dist_update_bytes: Counter,
+    dist_supersteps: Counter,
+    dist_cut_arcs: Counter,
     queue_depth: Gauge,
     latency_interactive_us: Hist,
     latency_batch_us: Hist,
@@ -119,6 +174,12 @@ impl Metrics {
             cache_misses: obs.counter("serve.cache.misses"),
             cache_expired: obs.counter("serve.cache.expired"),
             cache_evicted: obs.counter("serve.cache.evicted"),
+            steals: obs.counter("serve.steals"),
+            replications: obs.counter("serve.replications"),
+            dist_messages: obs.counter("serve.dist.messages"),
+            dist_update_bytes: obs.counter("serve.dist.update_bytes"),
+            dist_supersteps: obs.counter("serve.dist.supersteps"),
+            dist_cut_arcs: obs.counter("serve.dist.cut_arcs"),
             queue_depth: obs.gauge("serve.queue.depth"),
             latency_interactive_us: obs.hist("serve.latency_us.interactive"),
             latency_batch_us: obs.hist("serve.latency_us.batch"),
@@ -129,6 +190,54 @@ impl Metrics {
         match priority {
             Priority::Interactive => &self.latency_interactive_us,
             Priority::Batch => &self.latency_batch_us,
+        }
+    }
+}
+
+/// One engine shard: its queue plus the per-shard metric handles
+/// (`serve.shard.N.*`; names interned once per shard index).
+struct Shard {
+    queue: JobQueue<Job>,
+    /// Interned `serve.shard.N.queue.depth`, doubling as the gauge name
+    /// and the flight-recorder counter-track name for this shard.
+    depth_name: &'static str,
+    queue_depth: Gauge,
+    executed_local: Counter,
+    steals_in: Counter,
+    steals_out: Counter,
+    cache_hits: Counter,
+    shed: Counter,
+    replicas_hosted: Counter,
+}
+
+impl Shard {
+    fn new(i: usize, cfg: &ServeConfig, obs: &Obs) -> Self {
+        let name = |suffix: &str| intern_name(&format!("serve.shard.{i}.{suffix}"));
+        let depth_name = name("queue.depth");
+        Shard {
+            queue: JobQueue::new(cfg.queue_capacity_interactive, cfg.queue_capacity_batch),
+            depth_name,
+            queue_depth: obs.gauge(depth_name),
+            executed_local: obs.counter(name("executed")),
+            steals_in: obs.counter(name("steals_in")),
+            steals_out: obs.counter(name("steals_out")),
+            cache_hits: obs.counter(name("cache.hits")),
+            shed: obs.counter(name("shed")),
+            replicas_hosted: obs.counter(name("replicas")),
+        }
+    }
+
+    fn stats(&self, index: usize) -> ShardStats {
+        ShardStats {
+            shard: index,
+            queue_depth_last: self.queue.depth() as u64,
+            queue_depth_max: self.queue_depth.max(),
+            executed_local: self.executed_local.value(),
+            steals_in: self.steals_in.value(),
+            steals_out: self.steals_out.value(),
+            cache_hits: self.cache_hits.value(),
+            shed: self.shed.value(),
+            replicas_hosted: self.replicas_hosted.value(),
         }
     }
 }
@@ -158,7 +267,8 @@ impl LatencyStats {
     }
 }
 
-/// Point-in-time engine statistics, readable at any moment.
+/// Point-in-time engine statistics, readable at any moment: engine-wide
+/// aggregates plus one [`ShardStats`] per shard.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Requests submitted (including shed ones).
@@ -181,14 +291,29 @@ pub struct EngineStats {
     pub cache_expired: u64,
     /// Live cache entries evicted by LRU capacity pressure.
     pub cache_evicted: u64,
-    /// Queue depth when the stats were read.
+    /// Batch jobs stolen by idle shards from foreign backlogs.
+    pub steals: u64,
+    /// Routing-set growth events (a hot graph gaining a replica shard).
+    pub replications: u64,
+    /// Label-update messages the distributed engine would have sent
+    /// (0 unless [`ServeConfig::dist_ranks`] ≥ 1).
+    pub dist_messages: u64,
+    /// Bytes in those label-update messages.
+    pub dist_update_bytes: u64,
+    /// Distributed supersteps executed across all requests.
+    pub dist_supersteps: u64,
+    /// Cut arcs across rank layouts built by distributed runs.
+    pub dist_cut_arcs: u64,
+    /// Total queue depth (all shards) when the stats were read.
     pub queue_depth_last: u64,
-    /// Highest queue depth ever observed.
+    /// Highest *total* queue depth ever observed at a submit.
     pub queue_depth_max: u64,
     /// Interactive-class latency summary.
     pub latency_interactive: LatencyStats,
     /// Batch-class latency summary.
     pub latency_batch: LatencyStats,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
 }
 
 impl EngineStats {
@@ -219,6 +344,8 @@ struct Job {
     slot: Arc<ResponseSlot>,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// Shard the router assigned (the queue this job was pushed to).
+    shard: usize,
     /// Flight-recorder id minted at admission; [`TraceId::NONE`] when the
     /// configured [`Obs`] has no recorder attached (every trace call is
     /// then a no-op).
@@ -227,9 +354,32 @@ struct Job {
 
 struct Shared {
     cfg: ServeConfig,
-    queue: JobQueue<Job>,
+    router: Router,
+    shards: Vec<Shard>,
+    /// One process-wide cache shared by every shard: a replicated hot
+    /// graph never recomputes a result another shard already answered.
     cache: ResultCache,
     metrics: Metrics,
+}
+
+impl Shared {
+    fn total_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.depth()).sum()
+    }
+
+    /// Updates the per-shard and engine-wide depth telemetry after a
+    /// push/pop/steal touched `shard`'s queue.
+    fn note_depth(&self, shard: usize) {
+        let s = &self.shards[shard];
+        let depth = s.queue.depth();
+        s.queue_depth.set(depth as u64);
+        self.cfg.obs.trace_counter(s.depth_name, depth as i64);
+        let total = self.total_depth();
+        self.metrics.queue_depth.set(total as u64);
+        self.cfg
+            .obs
+            .trace_counter("serve.queue.depth", total as i64);
+    }
 }
 
 /// The in-process community-detection service. See the module docs.
@@ -250,7 +400,7 @@ struct Shared {
 /// let result = response.outcome.result().expect("full-quality result");
 /// assert_eq!(result.num_communities(), 2);
 ///
-/// // Same graph + config again: served from the cache.
+/// // Same graph + config again: served from the shared cache.
 /// let again = engine.submit(Request::interactive(graph)).wait();
 /// assert!(again.cache_hit);
 /// let stats = engine.shutdown();
@@ -264,15 +414,17 @@ pub struct ServeEngine {
 impl std::fmt::Debug for ServeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeEngine")
+            .field("shards", &self.shared.shards.len())
             .field("workers", &self.workers.len())
-            .field("queue_depth", &self.shared.queue.depth())
+            .field("queue_depth", &self.shared.total_depth())
             .finish()
     }
 }
 
 impl ServeEngine {
-    /// Starts the worker pool and returns the running engine.
-    pub fn start(cfg: ServeConfig) -> Self {
+    /// Starts every shard's worker set and returns the running engine.
+    pub fn start(mut cfg: ServeConfig) -> Self {
+        cfg.shards = cfg.shards.max(1);
         let metrics_obs = if cfg.obs.enabled() {
             cfg.obs.clone()
         } else {
@@ -280,8 +432,12 @@ impl ServeEngine {
             Obs::new_enabled()
         };
         let metrics = Metrics::new(&metrics_obs);
+        let shards = (0..cfg.shards)
+            .map(|i| Shard::new(i, &cfg, &metrics_obs))
+            .collect();
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(cfg.queue_capacity_interactive, cfg.queue_capacity_batch),
+            router: Router::new(cfg.shards, cfg.replication.clone()),
+            shards,
             cache: ResultCache::with_counters(
                 cfg.cache_capacity,
                 cfg.cache_shards,
@@ -292,12 +448,13 @@ impl ServeEngine {
             metrics,
             cfg,
         });
-        let workers = (0..shared.cfg.workers.max(1))
-            .map(|i| {
+        let workers = (0..shared.cfg.shards)
+            .flat_map(|shard| (0..shared.cfg.workers.max(1)).map(move |w| (shard, w)))
+            .map(|(shard, w)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("asa-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .name(format!("asa-serve-{shard}-{w}"))
+                    .spawn(move || worker_loop(&shared, shard))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -323,16 +480,31 @@ impl ServeEngine {
         let handle = JobHandle {
             slot: Arc::clone(&slot),
         };
-        let key = (request.graph.fingerprint(), config_hash(&request.config));
+        let fingerprint = request.graph.fingerprint();
+        let key = (fingerprint, config_hash(&request.config));
         let trace = obs.mint_trace_id();
         obs.trace_async_begin(trace, "request", "request");
 
+        let routed = self.shared.router.route(fingerprint);
+        if routed.replicated_now {
+            m.replications.incr();
+            // The replica just added is the newest member of the routing
+            // set: `home + (replicas - 1)`, wrapping.
+            let grown = (routed.home + routed.replicas as usize - 1) % self.shared.shards.len();
+            self.shared.shards[grown].replicas_hosted.incr();
+            obs.trace_instant("serve.shard.replicate", "serve");
+        }
+        let shard = &self.shared.shards[routed.shard];
+
         // Admission-time cache check: hits never consume queue capacity.
+        // The cache is engine-wide, so a hit lands no matter which shard
+        // computed the entry.
         obs.trace_async_begin(trace, "cache_probe", "request");
         let admission_hit = self.shared.cache.get(&key);
         obs.trace_async_end(trace, "cache_probe", "request");
         if let Some(hit) = admission_hit {
             m.cache_hits.incr();
+            shard.cache_hits.incr();
             m.completed.incr();
             let total = submitted.elapsed();
             m.latency(request.priority).record(total.as_micros() as u64);
@@ -343,6 +515,8 @@ impl ServeEngine {
                 total,
                 cache_hit: true,
                 trace_id: trace.0,
+                shard: routed.shard,
+                stolen: false,
             });
             obs.trace_async_end(trace, "request", "request");
             return handle;
@@ -356,16 +530,15 @@ impl ServeEngine {
             slot,
             submitted,
             deadline,
+            shard: routed.shard,
             trace,
         };
         obs.trace_async_begin(trace, "queue", "request");
-        match self.shared.queue.push(priority, job) {
-            Ok(depth) => {
-                m.queue_depth.set(depth as u64);
-                obs.trace_counter("serve.queue.depth", depth as i64);
-            }
+        match shard.queue.push(priority, job) {
+            Ok(_) => self.shared.note_depth(routed.shard),
             Err(PushError::Full(job) | PushError::Closed(job)) => {
                 m.shed.incr();
+                shard.shed.incr();
                 obs.trace_async_end(trace, "queue", "request");
                 job.slot.fill(Response {
                     outcome: Outcome::Overloaded,
@@ -374,6 +547,8 @@ impl ServeEngine {
                     total: submitted.elapsed(),
                     cache_hit: false,
                     trace_id: trace.0,
+                    shard: routed.shard,
+                    stolen: false,
                 });
                 obs.trace_async_end(trace, "request", "request");
             }
@@ -381,12 +556,18 @@ impl ServeEngine {
         handle
     }
 
-    /// Current queue depth (both classes).
+    /// Current total queue depth across every shard (both classes).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.depth()
+        self.shared.total_depth()
     }
 
-    /// Live engine statistics.
+    /// Current per-shard queue depths, indexed by shard.
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.shared.shards.iter().map(|s| s.queue.depth()).collect()
+    }
+
+    /// Live engine statistics: engine-wide aggregates plus the per-shard
+    /// breakdown.
     pub fn stats(&self) -> EngineStats {
         let m = &self.shared.metrics;
         EngineStats {
@@ -400,18 +581,33 @@ impl ServeEngine {
             cache_misses: m.cache_misses.value(),
             cache_expired: m.cache_expired.value(),
             cache_evicted: m.cache_evicted.value(),
-            queue_depth_last: self.shared.queue.depth() as u64,
+            steals: m.steals.value(),
+            replications: m.replications.value(),
+            dist_messages: m.dist_messages.value(),
+            dist_update_bytes: m.dist_update_bytes.value(),
+            dist_supersteps: m.dist_supersteps.value(),
+            dist_cut_arcs: m.dist_cut_arcs.value(),
+            queue_depth_last: self.shared.total_depth() as u64,
             queue_depth_max: m.queue_depth.max(),
             latency_interactive: LatencyStats::from_hist(&m.latency_interactive_us),
             latency_batch: LatencyStats::from_hist(&m.latency_batch_us),
+            shards: self
+                .shared
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.stats(i))
+                .collect(),
         }
     }
 
-    /// Graceful shutdown: stops admission, drains every queued job
-    /// (each still resolves normally), joins the workers, and returns the
-    /// final statistics.
+    /// Graceful shutdown: stops admission on every shard, drains every
+    /// queued job (each still resolves normally), joins the workers, and
+    /// returns the final statistics.
     pub fn shutdown(mut self) -> EngineStats {
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -421,7 +617,9 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -443,149 +641,223 @@ fn degraded_config(cfg: &InfomapConfig, rung: u8) -> InfomapConfig {
     out
 }
 
-fn worker_loop(shared: &Shared) {
+/// Picks the deepest foreign batch backlog and steals its oldest job.
+/// Returns `None` when no shard has stealable work.
+fn steal_one(shared: &Shared, thief: usize) -> Option<Job> {
+    let victim = shared
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != thief)
+        .map(|(i, s)| (i, s.queue.batch_depth()))
+        .filter(|&(_, depth)| depth > 0)
+        .max_by_key(|&(_, depth)| depth)?
+        .0;
+    let job = shared.shards[victim].queue.steal_batch()?;
+    shared.metrics.steals.incr();
+    shared.shards[thief].steals_in.incr();
+    shared.shards[victim].steals_out.incr();
+    shared.cfg.obs.trace_instant("serve.steal", "serve");
+    shared.note_depth(victim);
+    Some(job)
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    let steal = shared.cfg.steal && shared.cfg.shards > 1;
+    loop {
+        match shared.shards[me].queue.pop_wait(STEAL_POLL) {
+            Popped::Item(priority, job) => {
+                shared.note_depth(me);
+                shared.shards[me].executed_local.incr();
+                run_job(shared, me, priority, job, false);
+            }
+            Popped::Empty => {
+                if steal {
+                    if let Some(job) = steal_one(shared, me) {
+                        run_job(shared, me, Priority::Batch, job, true);
+                    }
+                }
+            }
+            Popped::Closed => break,
+        }
+    }
+    // Shutdown drain: this shard's queue is closed and empty, but foreign
+    // backlogs may still hold batch work — keep stealing until every
+    // stealable job is gone so shutdown resolves all admitted work even
+    // when a shard has more backlog than its own workers can clear.
+    // (Queues are all closed by now, so emptiness is permanent.)
+    if steal {
+        while let Some(job) = steal_one(shared, me) {
+            run_job(shared, me, Priority::Batch, job, true);
+        }
+    }
+}
+
+/// Runs one dequeued (or stolen) job to its terminal outcome. `me` is the
+/// executing shard; `job.shard` is the routed one (they differ exactly
+/// when `stolen`).
+fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: bool) {
     let m = &shared.metrics;
     let obs = &shared.cfg.obs;
-    while let Some((priority, job)) = shared.queue.pop() {
-        let trace = job.trace;
-        // The queue stage spans push (submitter thread) to pop (here);
-        // async events pair across threads by (name, id).
-        obs.trace_async_end(trace, "queue", "request");
-        obs.trace_async_begin(trace, "dispatch", "request");
-        // Spans and instants recorded on this thread while the job runs
-        // (degradation rungs, infomap levels/sweeps) attribute to it.
-        let _scope = obs.trace_scope(trace);
-        let depth = shared.queue.depth();
-        m.queue_depth.set(depth as u64);
-        obs.trace_counter("serve.queue.depth", depth as i64);
-        let dequeued = Instant::now();
-        let queued = dequeued - job.submitted;
+    let trace = job.trace;
+    // The queue stage spans push (submitter thread) to pop (here);
+    // async events pair across threads by (name, id).
+    obs.trace_async_end(trace, "queue", "request");
+    obs.trace_async_begin(trace, "dispatch", "request");
+    // Spans and instants recorded on this thread while the job runs
+    // (degradation rungs, infomap levels/sweeps) attribute to it.
+    let _scope = obs.trace_scope(trace);
+    // Pressure is judged where the job waited: its routed shard's queue.
+    let depth = shared.shards[job.shard].queue.depth();
+    let dequeued = Instant::now();
+    let queued = dequeued - job.submitted;
 
-        // Expired while queued: no work, no partial result.
-        if job.deadline.is_some_and(|d| dequeued >= d) {
-            m.deadline_exceeded.incr();
-            m.latency(priority).record(queued.as_micros() as u64);
-            obs.trace_async_end(trace, "dispatch", "request");
-            job.slot.fill(Response {
-                outcome: Outcome::DeadlineExceeded,
-                queued,
-                service: Duration::ZERO,
-                total: queued,
-                cache_hit: false,
-                trace_id: trace.0,
-            });
-            obs.trace_async_end(trace, "request", "request");
-            continue;
-        }
-
-        // A hit may have landed while this job waited.
-        if let Some(hit) = shared.cache.get(&job.key) {
-            m.cache_hits.incr();
-            m.completed.incr();
-            let total = job.submitted.elapsed();
-            m.latency(priority).record(total.as_micros() as u64);
-            obs.trace_async_end(trace, "dispatch", "request");
-            job.slot.fill(Response {
-                outcome: Outcome::Ok(hit),
-                queued,
-                service: Duration::ZERO,
-                total,
-                cache_hit: true,
-                trace_id: trace.0,
-            });
-            obs.trace_async_end(trace, "request", "request");
-            continue;
-        }
-        m.cache_misses.incr();
-
-        // Degradation ladder, batch class only.
-        let rung = if priority == Priority::Batch && shared.cfg.degrade_depth > 0 {
-            if depth >= shared.cfg.degrade_depth * 2 {
-                2
-            } else if depth >= shared.cfg.degrade_depth {
-                1
-            } else {
-                0
-            }
-        } else {
-            0
-        };
-        let effective = if rung > 0 {
-            m.degraded_pressure.incr();
-            obs.trace_instant(
-                if rung == 1 {
-                    "serve.degrade.rung1"
-                } else {
-                    "serve.degrade.rung2"
-                },
-                "serve",
-            );
-            degraded_config(&job.request.config, rung)
-        } else {
-            job.request.config.clone()
-        };
-        let cancel = match job.deadline {
-            Some(d) => CancelToken::with_deadline(d),
-            None => CancelToken::none(),
-        };
-
-        // Per-request runs stay off the metric/sink path by default:
-        // per-sweep record streams from concurrent requests would
-        // interleave uselessly and dominate the serving telemetry. With a
-        // flight recorder attached, though, the run gets the real handle
-        // so its level/sweep spans land on this worker's trace track
-        // tagged with the request id (the `_scope` above).
-        let run_obs = if obs.trace_enabled() {
-            obs.clone()
-        } else {
-            Obs::disabled()
-        };
+    // Expired while queued: no work, no partial result.
+    if job.deadline.is_some_and(|d| dequeued >= d) {
+        m.deadline_exceeded.incr();
+        m.latency(priority).record(queued.as_micros() as u64);
         obs.trace_async_end(trace, "dispatch", "request");
-        obs.trace_async_begin(trace, "execute", "request");
-        let t = Instant::now();
-        let result =
-            detect_communities_cancellable(&job.request.graph, &effective, &run_obs, &cancel);
-        let service = t.elapsed();
-        obs.trace_async_end(trace, "execute", "request");
-        obs.trace_async_begin(trace, "respond", "request");
-        let interrupted = result.interrupted;
-        if interrupted {
-            m.degraded_deadline.incr();
-        }
-        let result: Arc<InfomapResult> = Arc::new(result);
+        job.slot.fill(Response {
+            outcome: Outcome::DeadlineExceeded,
+            queued,
+            service: Duration::ZERO,
+            total: queued,
+            cache_hit: false,
+            trace_id: trace.0,
+            shard: if stolen { me } else { job.shard },
+            stolen,
+        });
+        obs.trace_async_end(trace, "request", "request");
+        return;
+    }
 
-        // Only cache what a fresh full-quality run would have produced.
-        if !interrupted && rung == 0 {
-            shared.cache.insert(job.key, Arc::clone(&result));
-        }
-
-        let outcome = if interrupted {
-            Outcome::Degraded {
-                result,
-                reason: DegradeReason::Deadline,
-            }
-        } else if rung > 0 {
-            Outcome::Degraded {
-                result,
-                reason: DegradeReason::LoadPressure,
-            }
-        } else {
-            Outcome::Ok(result)
-        };
+    // A hit may have landed while this job waited — possibly filled by a
+    // different shard, since the cache is engine-wide.
+    if let Some(hit) = shared.cache.get(&job.key) {
+        m.cache_hits.incr();
+        shared.shards[job.shard].cache_hits.incr();
         m.completed.incr();
         let total = job.submitted.elapsed();
         m.latency(priority).record(total.as_micros() as u64);
+        obs.trace_async_end(trace, "dispatch", "request");
         job.slot.fill(Response {
-            outcome,
+            outcome: Outcome::Ok(hit),
             queued,
-            service,
+            service: Duration::ZERO,
             total,
-            cache_hit: false,
+            cache_hit: true,
             trace_id: trace.0,
+            shard: if stolen { me } else { job.shard },
+            stolen,
         });
-        obs.trace_async_end(trace, "respond", "request");
         obs.trace_async_end(trace, "request", "request");
+        return;
     }
+    m.cache_misses.incr();
+
+    // Degradation ladder, batch class only.
+    let rung = if priority == Priority::Batch && shared.cfg.degrade_depth > 0 {
+        if depth >= shared.cfg.degrade_depth * 2 {
+            2
+        } else if depth >= shared.cfg.degrade_depth {
+            1
+        } else {
+            0
+        }
+    } else {
+        0
+    };
+    let effective = if rung > 0 {
+        m.degraded_pressure.incr();
+        obs.trace_instant(
+            if rung == 1 {
+                "serve.degrade.rung1"
+            } else {
+                "serve.degrade.rung2"
+            },
+            "serve",
+        );
+        degraded_config(&job.request.config, rung)
+    } else {
+        job.request.config.clone()
+    };
+    let cancel = match job.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::none(),
+    };
+
+    // Per-request runs stay off the metric/sink path by default:
+    // per-sweep record streams from concurrent requests would
+    // interleave uselessly and dominate the serving telemetry. With a
+    // flight recorder attached, though, the run gets the real handle
+    // so its level/sweep spans land on this worker's trace track
+    // tagged with the request id (the `_scope` above).
+    let run_obs = if obs.trace_enabled() {
+        obs.clone()
+    } else {
+        Obs::disabled()
+    };
+    obs.trace_async_end(trace, "dispatch", "request");
+    obs.trace_async_begin(trace, "execute", "request");
+    let t = Instant::now();
+    let result = if shared.cfg.dist_ranks >= 1 {
+        let (result, comm) = detect_communities_distributed_cancellable(
+            &job.request.graph,
+            &effective,
+            shared.cfg.dist_ranks,
+            &run_obs,
+            &cancel,
+        );
+        m.dist_messages.add(comm.messages);
+        m.dist_update_bytes.add(comm.update_bytes);
+        m.dist_supersteps.add(comm.supersteps as u64);
+        m.dist_cut_arcs.add(comm.cut_arcs);
+        result
+    } else {
+        detect_communities_cancellable(&job.request.graph, &effective, &run_obs, &cancel)
+    };
+    let service = t.elapsed();
+    obs.trace_async_end(trace, "execute", "request");
+    obs.trace_async_begin(trace, "respond", "request");
+    let interrupted = result.interrupted;
+    if interrupted {
+        m.degraded_deadline.incr();
+    }
+    let result: Arc<InfomapResult> = Arc::new(result);
+
+    // Only cache what a fresh full-quality run would have produced.
+    if !interrupted && rung == 0 {
+        shared.cache.insert(job.key, Arc::clone(&result));
+    }
+
+    let outcome = if interrupted {
+        Outcome::Degraded {
+            result,
+            reason: DegradeReason::Deadline,
+        }
+    } else if rung > 0 {
+        Outcome::Degraded {
+            result,
+            reason: DegradeReason::LoadPressure,
+        }
+    } else {
+        Outcome::Ok(result)
+    };
+    m.completed.incr();
+    let total = job.submitted.elapsed();
+    m.latency(priority).record(total.as_micros() as u64);
+    job.slot.fill(Response {
+        outcome,
+        queued,
+        service,
+        total,
+        cache_hit: false,
+        trace_id: trace.0,
+        shard: if stolen { me } else { job.shard },
+        stolen,
+    });
+    obs.trace_async_end(trace, "respond", "request");
+    obs.trace_async_end(trace, "request", "request");
 }
 
 #[cfg(test)]
@@ -651,6 +923,8 @@ mod tests {
         let stats = engine.shutdown();
         assert_eq!(stats.shed, 1);
         assert!((stats.shed_rate() - 1.0).abs() < 1e-12);
+        let per_shard: u64 = stats.shards.iter().map(|s| s.shed).sum();
+        assert_eq!(per_shard, 1, "the shed attributes to the routed shard");
     }
 
     #[test]
@@ -698,5 +972,27 @@ mod tests {
             assert!(response.outcome.result().is_some());
         }
         assert_eq!(stats.completed, 16);
+    }
+
+    #[test]
+    fn dist_ranks_matches_host_engine_bit_for_bit() {
+        let graph = two_triangles();
+        let host = ServeEngine::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let dist = ServeEngine::start(ServeConfig {
+            workers: 1,
+            dist_ranks: 3,
+            ..ServeConfig::default()
+        });
+        let a = host.submit(Request::interactive(Arc::clone(&graph))).wait();
+        let b = dist.submit(Request::interactive(graph)).wait();
+        let (ra, rb) = (a.outcome.result().unwrap(), b.outcome.result().unwrap());
+        assert_eq!(ra.partition.labels(), rb.partition.labels());
+        assert!(ra.codelength.to_bits() == rb.codelength.to_bits());
+        host.shutdown();
+        let stats = dist.shutdown();
+        assert!(stats.dist_supersteps > 0, "comm accounting surfaced");
     }
 }

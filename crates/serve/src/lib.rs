@@ -20,17 +20,25 @@
 //!   [`Outcome::Degraded`].
 //! * **Graceful degradation** — under queue pressure, batch requests run
 //!   with lowered quality knobs before anything is shed.
+//! * **Sharding** — N engine shards ([`shard::Router`]), each with its own
+//!   queue and workers. Requests route by graph fingerprint so repeated
+//!   queries land where that graph's state is warm; hot graphs replicate
+//!   onto additional shards, and idle shards steal batch work so skew
+//!   doesn't strand capacity. One process-wide [`cache::ResultCache`] is
+//!   shared across all shards.
 //!
 //! Entry points: [`ServeEngine::start`], [`ServeEngine::submit`],
-//! [`Request`]. See `DESIGN.md` § "Serving layer" for the architecture
-//! diagram and the degradation ladder.
+//! [`Request`]. See `DESIGN.md` § "Serving layer" and § "Sharded serving"
+//! for the architecture diagrams and the degradation ladder.
 
 pub mod cache;
 pub mod engine;
 pub mod queue;
 pub mod request;
+pub mod shard;
 
 pub use cache::{CacheKey, ResultCache};
 pub use engine::{config_hash, EngineStats, LatencyStats, ServeConfig, ServeEngine};
-pub use queue::{JobQueue, PushError};
+pub use queue::{JobQueue, Popped, PushError};
 pub use request::{DegradeReason, JobHandle, Outcome, Priority, Request, Response};
+pub use shard::{ReplicationConfig, RouteDecision, Router, ShardStats};

@@ -6,9 +6,17 @@
 //! request ([`crate::Outcome::Overloaded`]) instead of building an
 //! unbounded backlog. Consumers (`pop`) drain interactive work strictly
 //! before batch work and block when both classes are empty.
+//!
+//! Sharded engines add two more access patterns: [`JobQueue::pop_wait`]
+//! (bounded wait, so an idle shard worker can interleave steal attempts
+//! with waiting on its own queue) and [`JobQueue::steal_batch`] (a
+//! non-blocking take of the *oldest* queued batch item, used by foreign
+//! shards — interactive items are never stealable, they stay affine to
+//! the shard whose caches are warm for their graph).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::request::Priority;
 
@@ -32,6 +40,17 @@ pub enum PushError<T> {
     Full(T),
     /// The queue was closed; no new work is admitted.
     Closed(T),
+}
+
+/// Outcome of a bounded-wait dequeue ([`JobQueue::pop_wait`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// An item was taken (interactive class first, FIFO within a class).
+    Item(Priority, T),
+    /// The wait elapsed with both classes empty; the queue is still open.
+    Empty,
+    /// The queue is closed *and* drained — no item will ever appear again.
+    Closed,
 }
 
 /// Bounded two-class MPMC queue. See the module docs.
@@ -104,9 +123,56 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// [`JobQueue::pop`] with a bounded wait: returns [`Popped::Empty`]
+    /// when `timeout` elapses with nothing queued, so the caller can go
+    /// try to steal from another shard instead of blocking here forever.
+    pub fn pop_wait(&self, timeout: Duration) -> Popped<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.interactive.pop_front() {
+                return Popped::Item(Priority::Interactive, item);
+            }
+            if let Some(item) = inner.batch.pop_front() {
+                return Popped::Item(Priority::Batch, item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let (guard, wait) = self.ready.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if wait.timed_out() && inner.interactive.is_empty() && inner.batch.is_empty() {
+                return if inner.closed {
+                    Popped::Closed
+                } else {
+                    Popped::Empty
+                };
+            }
+        }
+    }
+
+    /// Non-blocking take of the oldest queued *batch* item, for work
+    /// stealing by a foreign shard. Interactive items are never exposed:
+    /// they stay affine to their routed shard. Stealing the oldest item
+    /// (the same end the owner pops) preserves batch FIFO fairness — the
+    /// job most at risk of expiring in place is the one that leaves.
+    pub fn steal_batch(&self) -> Option<T> {
+        self.inner.lock().unwrap().batch.pop_front()
+    }
+
     /// Current total depth across both classes.
     pub fn depth(&self) -> usize {
         self.inner.lock().unwrap().depth()
+    }
+
+    /// Current `(interactive, batch)` depths.
+    pub fn depths(&self) -> (usize, usize) {
+        let inner = self.inner.lock().unwrap();
+        (inner.interactive.len(), inner.batch.len())
+    }
+
+    /// Current batch-class depth only (the stealable backlog).
+    pub fn batch_depth(&self) -> usize {
+        self.inner.lock().unwrap().batch.len()
     }
 
     /// Stops admission and wakes every blocked consumer. Items already
@@ -190,6 +256,44 @@ mod tests {
                 Some((Priority::Batch, 43)),
             ]
         );
+    }
+
+    #[test]
+    fn steal_takes_oldest_batch_never_interactive() {
+        let q = JobQueue::new(4, 4);
+        q.push(Priority::Interactive, 1).unwrap();
+        q.push(Priority::Batch, 10).unwrap();
+        q.push(Priority::Batch, 11).unwrap();
+        assert_eq!(q.steal_batch(), Some(10), "steal the oldest batch item");
+        assert_eq!(q.steal_batch(), Some(11));
+        assert_eq!(q.steal_batch(), None, "interactive items are not stealable");
+        assert_eq!(q.depths(), (1, 0));
+        assert_eq!(q.pop(), Some((Priority::Interactive, 1)));
+    }
+
+    #[test]
+    fn pop_wait_times_out_then_delivers_then_closes() {
+        let q = JobQueue::new(4, 4);
+        assert_eq!(q.pop_wait(Duration::from_millis(5)), Popped::Empty);
+        q.push(Priority::Batch, 9).unwrap();
+        assert_eq!(
+            q.pop_wait(Duration::from_millis(5)),
+            Popped::Item(Priority::Batch, 9)
+        );
+        q.close();
+        assert_eq!(q.pop_wait(Duration::from_millis(5)), Popped::Closed);
+    }
+
+    #[test]
+    fn pop_wait_drains_before_reporting_closed() {
+        let q = JobQueue::new(4, 4);
+        q.push(Priority::Batch, 3).unwrap();
+        q.close();
+        assert_eq!(
+            q.pop_wait(Duration::from_millis(5)),
+            Popped::Item(Priority::Batch, 3)
+        );
+        assert_eq!(q.pop_wait(Duration::from_millis(5)), Popped::Closed);
     }
 
     #[test]

@@ -149,6 +149,13 @@ pub struct Response {
     /// trace (see `asa_obs::chrome`). Zero when the engine's [`asa_obs::Obs`]
     /// handle has no recorder attached.
     pub trace_id: u64,
+    /// Engine shard that resolved the request: the routed shard for
+    /// admission-path resolutions (cache hits, sheds) and queue-path runs,
+    /// or the stealing shard when a foreign worker ran it.
+    pub shard: usize,
+    /// Whether a foreign shard's worker stole and ran this (batch) request
+    /// instead of its routed shard.
+    pub stolen: bool,
 }
 
 /// Shared completion slot between a [`JobHandle`] and the worker that

@@ -89,13 +89,22 @@ fn requests_carry_trace_ids_and_stages_cover_wall_time() {
     engine.shutdown();
     let snap = obs.trace_snapshot().expect("recorder attached");
 
-    // One trace track per worker thread, named after it.
+    // One trace track per worker thread that ran work, named after it.
+    // With `ASA_SERVE_SHARDS` > 1 (CI), work spreads across shards and
+    // idle workers record nothing, so only the upper bound is exact.
+    let shards = ServeConfig::default().shards.max(1);
     let worker_tracks = snap
         .threads
         .iter()
         .filter(|t| t.name.starts_with("asa-serve-"))
         .count();
-    assert_eq!(worker_tracks, 2);
+    assert!(
+        (1..=2 * shards).contains(&worker_tracks),
+        "worker tracks: {worker_tracks} with {shards} shards"
+    );
+    if shards == 1 {
+        assert_eq!(worker_tracks, 2, "8 graphs keep both workers busy");
+    }
 
     // Every submission produced a closed request envelope, and the stage
     // tiling is complete on the worker-run ones.
