@@ -11,7 +11,11 @@
 //! <path>` gives each child its own derived JSONL trace (`<stem>-<bin>`)
 //! next to the driver's, via `ASA_OBS_OUT`; `--trace-out <path>` does the
 //! same for Chrome flight-recorder traces via `ASA_TRACE_OUT` (binaries
-//! that support it each write `<stem>-<bin>.<ext>`); `--smoke` is passed
+//! that support it each write `<stem>-<bin>.<ext>`); `--metrics-out
+//! <path>` does the same for Prometheus expositions via
+//! `ASA_METRICS_OUT`, and `ASA_METRICS_ADDR` is forwarded verbatim
+//! (children run sequentially, so they can share one bind address);
+//! `--smoke` is passed
 //! through to the binaries that support it (`simthroughput`, `serve`).
 //! `--shards <n>`, `--steal`, and `--no-steal` are forwarded to `serve`
 //! so a sweep restricted to one shard count (or with stealing disabled)
@@ -56,9 +60,16 @@ fn serve_flags(argv: &[String]) -> Vec<String> {
 }
 
 fn main() {
-    let args = ObsArgs::parse();
+    let mut args = ObsArgs::parse();
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
+    // Metrics destinations belong to the children, not the driver: each
+    // child gets a derived sibling path, and the scrape address must stay
+    // free for whichever child is currently running (they run one at a
+    // time). Taking these before `build()` keeps the driver from binding
+    // the port for the whole run or attaching a collector it never scrapes.
+    let metrics_out = args.metrics_out.take();
+    let metrics_addr = args.metrics_addr.take();
     let obs = args.build();
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
@@ -95,6 +106,12 @@ fn main() {
         }
         if let Some(base) = &args.trace_out {
             cmd.env("ASA_TRACE_OUT", child_obs_path(base, bin));
+        }
+        if let Some(base) = &metrics_out {
+            cmd.env("ASA_METRICS_OUT", child_obs_path(base, bin));
+        }
+        if let Some(addr) = &metrics_addr {
+            cmd.env("ASA_METRICS_ADDR", addr);
         }
         if smoke && SMOKE_AWARE.contains(&bin) {
             cmd.arg("--smoke");

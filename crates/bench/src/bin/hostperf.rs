@@ -27,11 +27,16 @@
 //! `--trace-out <path>` (also `ASA_TRACE_OUT`) attaches the flight
 //! recorder and writes a Chrome trace of the run for Perfetto.
 //!
-//! `--obs-overhead` runs a dedicated A/B/C check instead of the bench:
+//! `--metrics-out <path>` / `ASA_METRICS_OUT` attaches the continuous-
+//! telemetry collector and writes the final Prometheus exposition;
+//! `ASA_METRICS_ADDR` additionally serves it live over HTTP.
+//!
+//! `--obs-overhead` runs a dedicated A/B/C/D check instead of the bench:
 //! the SPA sweep phase with obs fully disabled, versus enabled with a
-//! no-op sink, versus enabled with the flight recorder attached — failing
-//! if either instrumented run is more than `ASA_OBS_TOL` percent slower
-//! (default 5). CI runs this as the overhead smoke gate.
+//! no-op sink, versus the flight recorder attached, versus the continuous
+//! -telemetry collector thread sampling at its default 250 ms resolution —
+//! failing if any instrumented run is more than `ASA_OBS_TOL` percent
+//! slower (default 5). CI runs this as the overhead smoke gate.
 
 use asa_bench::{
     fmt_secs, infomap_config, load_network, render_table, run_metadata, scale_div, ObsArgs,
@@ -96,10 +101,12 @@ fn run_path(
     best.unwrap()
 }
 
-/// `--obs-overhead`: the disabled path vs two instrumented legs — an
-/// enabled handle draining into a no-op sink, and the same with the
-/// flight recorder attached — on the SPA sweep phase. Exits non-zero when
-/// either instrumented sweep is more than the tolerance slower.
+/// `--obs-overhead`: the disabled path vs three instrumented legs — an
+/// enabled handle draining into a no-op sink, the same with the flight
+/// recorder attached, and the same with the continuous-telemetry
+/// collector thread sampling at its default resolution — on the SPA
+/// sweep phase. Exits non-zero when any instrumented sweep is more than
+/// the tolerance slower.
 fn obs_overhead_check(reps: usize) {
     let tol_pct: f64 = std::env::var("ASA_OBS_TOL")
         .ok()
@@ -118,8 +125,13 @@ fn obs_overhead_check(reps: usize) {
     traced.add_sink(Box::new(NullSink));
     traced.attach_recorder(asa_bench::trace_capacity());
     let rec = run_path(&graph, AccumulatorKind::Spa, reps, &traced);
+    let collected = Obs::new_enabled();
+    collected.add_sink(Box::new(NullSink));
+    collected.attach_collector(asa_obs::TimeSeriesConfig::default());
+    let col = run_path(&graph, AccumulatorKind::Spa, reps, &collected);
+    collected.stop_collector();
 
-    for (leg, timing) in [("no-op sink", &on), ("recorder", &rec)] {
+    for (leg, timing) in [("no-op sink", &on), ("recorder", &rec), ("collector", &col)] {
         assert_eq!(
             off.result.partition.labels(),
             timing.result.partition.labels(),
@@ -127,7 +139,11 @@ fn obs_overhead_check(reps: usize) {
         );
     }
     let mut failed = false;
-    for (leg, timing) in [("no-op sink", &on), ("recorder attached", &rec)] {
+    for (leg, timing) in [
+        ("no-op sink", &on),
+        ("recorder attached", &rec),
+        ("collector attached", &col),
+    ] {
         let overhead_pct = (timing.find_best / off.find_best - 1.0) * 100.0;
         println!(
             "obs overhead on {}-like SPA sweeps (best of {reps}): \
@@ -378,5 +394,6 @@ fn main() {
     println!("\nwrote {out}");
     drop(_root);
     args.export_trace(&obs);
+    args.export_metrics(&obs);
     let _ = obs.flush();
 }

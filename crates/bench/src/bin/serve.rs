@@ -469,5 +469,6 @@ fn main() {
         );
     }
     args.export_trace(&obs);
+    args.export_metrics(&obs);
     let _ = obs.flush();
 }

@@ -96,6 +96,9 @@ pub fn run_metadata(dataset: &str, icfg: &InfomapConfig) -> serde_json::Value {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    // Resource accounting (ROADMAP item 2): every bench JSON certifies
+    // its memory high-water mark and CPU split. Zeros off-Linux.
+    let rs = asa_obs::resource::sample().unwrap_or_default();
     serde_json::json!({
         "config_hash": format!("{:016x}", fnv1a64(cfg_repr.as_bytes())),
         "rustc_version": RUSTC_VERSION,
@@ -103,6 +106,9 @@ pub fn run_metadata(dataset: &str, icfg: &InfomapConfig) -> serde_json::Value {
         "dataset": dataset,
         "scale_div": scale_div(),
         "unix_time": unix_time,
+        "peak_rss_bytes": rs.peak_rss_bytes,
+        "cpu_user_s": rs.cpu_user_s,
+        "cpu_sys_s": rs.cpu_sys_s,
     })
 }
 
@@ -124,6 +130,16 @@ pub struct ObsArgs {
     /// the end of the run with [`ObsArgs::export_trace`], then load the
     /// file in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Prometheus-exposition destination (`--metrics-out` /
+    /// `ASA_METRICS_OUT`). Attaches the continuous-telemetry collector;
+    /// write the final scrape with [`ObsArgs::export_metrics`] at the end
+    /// of the run.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Live scrape endpoint bind address (`--metrics-addr` /
+    /// `ASA_METRICS_ADDR`, e.g. `127.0.0.1:9184`). Also attaches the
+    /// collector; the endpoint serves for the life of the process, so a
+    /// `curl` mid-run sees current values.
+    pub metrics_addr: Option<String>,
 }
 
 /// Per-thread flight-recorder ring bound used by `--trace-out`
@@ -155,12 +171,17 @@ impl ObsArgs {
         };
         let obs_out = path_flag("--obs-out", "ASA_OBS_OUT");
         let trace_out = path_flag("--trace-out", "ASA_TRACE_OUT");
+        let metrics_out = path_flag("--metrics-out", "ASA_METRICS_OUT");
+        let metrics_addr = path_flag("--metrics-addr", "ASA_METRICS_ADDR")
+            .map(|p| p.to_string_lossy().into_owned());
         let progress = argv.iter().any(|a| a == "--progress")
             || std::env::var("ASA_PROGRESS").is_ok_and(|v| v == "1");
         Self {
             obs_out,
             progress,
             trace_out,
+            metrics_out,
+            metrics_addr,
         }
     }
 
@@ -170,8 +191,9 @@ impl ObsArgs {
     /// is self-describing; with `--trace-out` a flight recorder is
     /// attached.
     pub fn build(&self) -> Obs {
-        ObsConfig {
-            enabled: self.obs_out.is_some() || self.progress || self.trace_out.is_some(),
+        let metrics = self.metrics_out.is_some() || self.metrics_addr.is_some();
+        let obs = ObsConfig {
+            enabled: self.obs_out.is_some() || self.progress || self.trace_out.is_some() || metrics,
             jsonl_path: self.obs_out.clone(),
             summary: self.obs_out.is_some() || self.progress,
             progress: self.progress,
@@ -181,9 +203,42 @@ impl ObsArgs {
             } else {
                 0
             },
+            // Continuous telemetry rides along whenever an exposition
+            // consumer exists (file or live endpoint).
+            collector: metrics.then(asa_obs::TimeSeriesConfig::default),
         }
         .build()
-        .expect("create --obs-out file")
+        .expect("create --obs-out file");
+        if let Some(addr) = &self.metrics_addr {
+            match asa_obs::expose::serve(addr, obs.clone()) {
+                Ok(server) => {
+                    eprintln!(
+                        "serving metrics at http://{}/metrics (curl it mid-run)",
+                        server.local_addr()
+                    );
+                    // The endpoint lives for the remainder of the process;
+                    // forgetting the handle skips the stop-and-join on a
+                    // thread that exits with the process anyway.
+                    std::mem::forget(server);
+                }
+                Err(e) => eprintln!("failed to bind metrics endpoint {addr}: {e}"),
+            }
+        }
+        obs
+    }
+
+    /// Renders the handle's registry as Prometheus text format to the
+    /// `--metrics-out` path. No-op without a destination; call once at the
+    /// end of the run (the collector keeps sampling until then).
+    pub fn export_metrics(&self, obs: &Obs) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        obs.stop_collector();
+        match asa_obs::expose::write_to_file(obs, path) {
+            Ok(()) => eprintln!("wrote Prometheus metrics to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 
     /// Writes the handle's flight-recorder snapshot as Chrome trace-event

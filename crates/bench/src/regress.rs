@@ -95,6 +95,18 @@ impl MetricSpec {
             direction: Direction::HigherIsBetter,
         }
     }
+
+    /// A memory footprint (peak RSS): lower is better, but allocator and
+    /// machine variance dwarf wall-clock noise, so the bound only trips on
+    /// a footprint that more than doubles. Shrinking never regresses.
+    fn memory(name: String, value: f64) -> Self {
+        MetricSpec {
+            name,
+            value,
+            tolerance: Tolerance::Relative(1.0),
+            direction: Direction::LowerIsBetter,
+        }
+    }
 }
 
 fn get_f64(doc: &Value, path: &[&str]) -> Option<f64> {
@@ -241,14 +253,25 @@ pub fn extract_serve(doc: &Value) -> Vec<MetricSpec> {
     out
 }
 
-/// Dispatches on the document's `bench` field.
+/// Dispatches on the document's `bench` field, then appends the run-wide
+/// resource metric every bench shares: the process peak RSS from the
+/// run-metadata block, gated with the loose memory bound (it only exists
+/// in documents produced since resource accounting landed, and only on
+/// hosts where procfs reports it — absent or zero means ungated).
 pub fn extract_metrics(doc: &Value) -> Vec<MetricSpec> {
-    match doc.get("bench").and_then(Value::as_str) {
+    let bench = doc.get("bench").and_then(Value::as_str);
+    let mut out = match bench {
         Some("hostperf") => extract_hostperf(doc),
         Some("simthroughput") => extract_simthroughput(doc),
         Some("serve") => extract_serve(doc),
         _ => Vec::new(),
+    };
+    if let (Some(bench), Some(v)) = (bench, get_f64(doc, &["meta", "peak_rss_bytes"])) {
+        if v > 0.0 {
+            out.push(MetricSpec::memory(format!("{bench}.peak_rss_bytes"), v));
+        }
     }
+    out
 }
 
 /// Structural sanity of a baseline document's metrics: every gated metric
@@ -605,6 +628,52 @@ mod tests {
         assert!(compare(&base, &worse, 1.0).iter().any(|d| d.regressed));
         // Scaling every tolerance 3x admits the same drop.
         assert!(compare(&base, &worse, 3.0).iter().all(|d| !d.regressed));
+    }
+
+    fn doc_with_rss(peak_rss: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+                "bench": "simthroughput",
+                "kernel": {{"ingest_ns_per_event": 4.5}},
+                "meta": {{"peak_rss_bytes": {peak_rss}}}
+            }}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn peak_rss_gates_lower_is_better_with_loose_bound() {
+        let base = extract_metrics(&doc_with_rss(100.0e6));
+        let rss = base
+            .iter()
+            .find(|m| m.name == "simthroughput.peak_rss_bytes")
+            .expect("peak RSS extracted from meta");
+        assert_eq!(rss.direction, Direction::LowerIsBetter);
+        assert!(sanity_errors(&base).is_empty());
+
+        // 80% growth stays inside the doubling bound; 2.5x trips it;
+        // shrinking to a quarter never does.
+        let grown = extract_metrics(&doc_with_rss(180.0e6));
+        assert!(compare(&base, &grown, 1.0).iter().all(|d| !d.regressed));
+        let blown = extract_metrics(&doc_with_rss(250.0e6));
+        assert!(
+            compare(&base, &blown, 1.0)
+                .iter()
+                .find(|d| d.name.ends_with("peak_rss_bytes"))
+                .unwrap()
+                .regressed
+        );
+        let shrunk = extract_metrics(&doc_with_rss(25.0e6));
+        assert!(compare(&base, &shrunk, 1.0).iter().all(|d| !d.regressed));
+
+        // Pre-resource-accounting documents (no meta) simply go ungated.
+        let legacy = extract_metrics(
+            &serde_json::from_str(
+                r#"{"bench": "simthroughput", "kernel": {"ingest_ns_per_event": 4.5}}"#,
+            )
+            .unwrap(),
+        );
+        assert!(legacy.iter().all(|m| !m.name.contains("peak_rss")));
     }
 
     #[test]

@@ -53,6 +53,19 @@ fn assert_meta(doc: &serde_json::Value, what: &str) {
         meta["unix_time"].as_u64().is_some(),
         "{what}: meta.unix_time must be an integer"
     );
+    // Resource accounting: peak RSS plus split CPU time. On Linux (where
+    // the committed files are produced) the procfs sampler reports real
+    // values, so a zero peak RSS means the accounting broke.
+    assert!(
+        meta["peak_rss_bytes"].as_u64().is_some_and(|b| b > 0),
+        "{what}: meta.peak_rss_bytes must be a positive integer"
+    );
+    for key in ["cpu_user_s", "cpu_sys_s"] {
+        assert!(
+            meta[key].as_f64().is_some_and(|s| s >= 0.0),
+            "{what}: meta.{key} must be a non-negative number"
+        );
+    }
     // The scale recorded in the metadata must agree with the top-level
     // field the pre-metadata schema already carried.
     assert_eq!(

@@ -26,7 +26,7 @@ use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 use asa_graph::{CsrGraph, NodeId, Partition};
-use asa_obs::{Counter, Obs, Value};
+use asa_obs::{Counter, Gauge, Obs, Value};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
@@ -293,6 +293,11 @@ pub struct DistEngine {
     c_allreduce_bytes: Counter,
     c_supersteps: Counter,
     c_cut_arcs: Counter,
+    /// Per-superstep allreduce volume as a level (the cumulative counter
+    /// above only yields a rate): the continuous-telemetry collector turns
+    /// this into a time-series that tracks module-count collapse across a
+    /// run — the allreduce shrinks as modules merge.
+    g_allreduce_step: Gauge,
 }
 
 impl std::fmt::Debug for DistEngine {
@@ -326,6 +331,7 @@ impl DistEngine {
             c_allreduce_bytes: obs.counter("infomap.dist.allreduce_bytes"),
             c_supersteps: obs.counter("infomap.dist.supersteps"),
             c_cut_arcs: obs.counter("infomap.dist.cut_arcs"),
+            g_allreduce_step: obs.gauge("infomap.dist.allreduce.step_bytes"),
         }
     }
 
@@ -368,6 +374,7 @@ impl DecideEngine for DistEngine {
         let allreduce = (ctx.state.num_modules() * 16 * 2 * self.ranks) as u64;
         self.comm.allreduce_bytes += allreduce;
         self.c_allreduce_bytes.add(allreduce);
+        self.g_allreduce_step.set(allreduce);
 
         // Rank-parallel decision phase: each rank owns a contiguous slice
         // of the (sorted) active set. Ranges ascend, so the concatenated

@@ -25,6 +25,12 @@ pub struct ObsConfig {
     /// [`Obs::trace_snapshot`](crate::Obs::trace_snapshot); export with
     /// [`chrome::write_chrome_trace`](crate::chrome::write_chrome_trace).
     pub trace_capacity: usize,
+    /// Attach the continuous-telemetry collector: a background thread that
+    /// snapshots every registered metric into a time-series ring at the
+    /// given resolution/retention (`None` = no collector). Read back via
+    /// [`Obs::timeseries`](crate::Obs::timeseries); render with
+    /// [`expose::render`](crate::expose::render).
+    pub collector: Option<crate::timeseries::TimeSeriesConfig>,
 }
 
 impl ObsConfig {

@@ -1,0 +1,622 @@
+//! Prometheus-text-format exposition: render a registry snapshot as
+//! `# HELP`/`# TYPE` families, write it to a file, or serve it from a
+//! minimal std-only TCP endpoint — plus the strict parser CI uses to
+//! validate what the benches emit.
+//!
+//! Rendering rules (text format 0.0.4):
+//!
+//! - metric names are sanitized (`.` and any other non-`[a-zA-Z0-9_:]`
+//!   byte become `_`);
+//! - every [`Counter`](crate::Counter) renders as `<name>_total`;
+//! - every [`Gauge`](crate::Gauge) renders its last value as `<name>` and
+//!   its high-water mark as `<name>_max`;
+//! - every [`Hist`](crate::Hist) renders as a histogram family with
+//!   cumulative `le` buckets derived from the log-bucket layout
+//!   ([`HistSnapshot::le_buckets`](crate::HistSnapshot::le_buckets)),
+//!   terminated by the mandatory `+Inf` bucket, plus `_sum`/`_count`;
+//! - process families (`process_resident_memory_bytes`, peak RSS, CPU
+//!   seconds, fds) come from [`crate::resource::sample`] when procfs is
+//!   available;
+//! - when a collector is attached, each time-series contributes
+//!   `asa_timeseries_samples`/`asa_timeseries_last` samples labelled
+//!   `series="<name>"`, so a scrape proves which series are live and how
+//!   much retention they hold.
+//!
+//! The endpoint ([`serve`]) is deliberately tiny: one listener thread,
+//! blocking accept with a poll-interval stop flag, HTTP/1.0, one response
+//! per connection. It exists so a long bench can be watched with `curl`,
+//! not to be a web server.
+
+use std::collections::HashSet;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{CounterSnapshot, GaugeSnapshot, HistSnapshot};
+use crate::{resource, Obs};
+
+/// Sanitizes a metric name into the Prometheus name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+struct Renderer {
+    out: String,
+    seen: HashSet<String>,
+}
+
+impl Renderer {
+    fn new() -> Self {
+        Renderer {
+            out: String::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Opens a family; false (skip) when a sanitized-name collision
+    /// already emitted it — duplicate `# TYPE` lines are invalid.
+    fn family(&mut self, name: &str, kind: &str, help: &str) -> bool {
+        if !self.seen.insert(name.to_string()) {
+            return false;
+        }
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+        true
+    }
+
+    fn sample(&mut self, name: &str, labels: &str, value: f64) {
+        self.out
+            .push_str(&format!("{name}{labels} {}\n", fmt_value(value)));
+    }
+
+    fn counter(&mut self, c: &CounterSnapshot) {
+        let name = format!("{}_total", sanitize(c.name));
+        if self.family(&name, "counter", "asa counter") {
+            self.sample(&name, "", c.value as f64);
+        }
+    }
+
+    fn gauge(&mut self, g: &GaugeSnapshot) {
+        let name = sanitize(g.name);
+        if self.family(&name, "gauge", "asa gauge (last value)") {
+            self.sample(&name, "", g.last as f64);
+        }
+        let max_name = format!("{name}_max");
+        if self.family(&max_name, "gauge", "asa gauge high-water mark") {
+            self.sample(&max_name, "", g.max as f64);
+        }
+    }
+
+    fn hist(&mut self, h: &HistSnapshot) {
+        let name = sanitize(h.name);
+        if !self.family(&name, "histogram", "asa histogram (log buckets)") {
+            return;
+        }
+        for (le, cum) in h.le_buckets() {
+            let label = format!("{{le=\"{}\"}}", fmt_value(le));
+            self.sample(&format!("{name}_bucket"), &label, cum as f64);
+        }
+        self.sample(&format!("{name}_sum"), "", h.sum as f64);
+        let total = h.le_buckets().last().map_or(h.count, |&(_, c)| c);
+        self.sample(&format!("{name}_count"), "", total as f64);
+    }
+}
+
+/// Renders the handle's full registry — metrics, process resources, and
+/// (when a collector is attached) time-series occupancy — as Prometheus
+/// text format. A disabled handle still renders the process families.
+pub fn render(obs: &Obs) -> String {
+    let mut r = Renderer::new();
+    if let Some((counters, gauges, hists)) = obs.metrics_snapshot() {
+        for c in &counters {
+            r.counter(c);
+        }
+        for g in &gauges {
+            r.gauge(g);
+        }
+        for h in &hists {
+            r.hist(h);
+        }
+    }
+    if let Some(rs) = resource::sample() {
+        if r.family(
+            "process_resident_memory_bytes",
+            "gauge",
+            "resident set size (VmRSS)",
+        ) {
+            r.sample("process_resident_memory_bytes", "", rs.rss_bytes as f64);
+        }
+        if r.family(
+            "process_peak_resident_memory_bytes",
+            "gauge",
+            "peak resident set size (VmHWM)",
+        ) {
+            r.sample(
+                "process_peak_resident_memory_bytes",
+                "",
+                rs.peak_rss_bytes as f64,
+            );
+        }
+        if r.family("process_open_fds", "gauge", "open file descriptors") {
+            r.sample("process_open_fds", "", rs.open_fds as f64);
+        }
+        if r.family(
+            "process_cpu_seconds_total",
+            "counter",
+            "user+sys CPU time consumed",
+        ) {
+            r.sample(
+                "process_cpu_seconds_total",
+                "",
+                rs.cpu_user_s + rs.cpu_sys_s,
+            );
+        }
+        if r.family(
+            "process_ctx_switches_total",
+            "counter",
+            "voluntary+involuntary context switches",
+        ) {
+            r.sample(
+                "process_ctx_switches_total",
+                "",
+                (rs.voluntary_ctx_switches + rs.involuntary_ctx_switches) as f64,
+            );
+        }
+    }
+    if let Some(store) = obs.timeseries() {
+        let series = store.series();
+        if !series.is_empty() {
+            // One contiguous block per family — interleaving the two
+            // would fail strict validation.
+            if r.family(
+                "asa_timeseries_samples",
+                "gauge",
+                "retained ring samples per collected series",
+            ) {
+                for s in &series {
+                    let label = format!("{{series=\"{}\"}}", escape_label(&s.name));
+                    r.sample("asa_timeseries_samples", &label, s.samples as f64);
+                }
+            }
+            if r.family(
+                "asa_timeseries_last",
+                "gauge",
+                "latest sample value per collected series",
+            ) {
+                for s in &series {
+                    let label = format!("{{series=\"{}\"}}", escape_label(&s.name));
+                    r.sample("asa_timeseries_last", &label, s.last);
+                }
+            }
+        }
+    }
+    r.out
+}
+
+/// Renders and writes the exposition to `path` (the `--metrics-out`
+/// destination).
+pub fn write_to_file(obs: &Obs, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, render(obs))
+}
+
+// ---------------------------------------------------------------------------
+// Strict validation (used by tests, `promlint`, and CI)
+
+/// What [`validate`] found in a well-formed exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    /// Declared metric families.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Histogram families (each verified cumulative and +Inf-terminated).
+    pub histograms: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    le: Option<String>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_str) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces: {line}"))?;
+            (
+                (&line[..brace], Some(&line[brace + 1..close])),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut it = line.split_whitespace();
+            let name = it.next().unwrap_or("");
+            let value = it.next().unwrap_or("");
+            if it.next().is_some() {
+                return Err(format!("trailing tokens after value: {line}"));
+            }
+            ((name, None), value)
+        }
+    };
+    let (name, labels) = name_labels;
+    let name = name.trim();
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        s => s
+            .parse::<f64>()
+            .map_err(|_| format!("unparsable value {s:?} in: {line}"))?,
+    };
+    if value.is_nan() {
+        return Err(format!("NaN value in: {line}"));
+    }
+    let mut le = None;
+    if let Some(labels) = labels {
+        for pair in split_labels(labels) {
+            let (k, v) = pair.ok_or_else(|| format!("malformed label in: {line}"))?;
+            if !valid_name(&k) {
+                return Err(format!("invalid label name {k:?} in: {line}"));
+            }
+            if k == "le" {
+                le = Some(v);
+            }
+        }
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        le,
+        value,
+    })
+}
+
+/// Splits `k="v",k2="v2"` pairs, honouring `\"` escapes inside values.
+fn split_labels(s: &str) -> Vec<Option<(String, String)>> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let Some(eq) = rest.find('=') else {
+            out.push(None);
+            return out;
+        };
+        let key = rest[..eq].trim().to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            out.push(None);
+            return out;
+        }
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        value.push(match esc {
+                            'n' => '\n',
+                            other => other,
+                        });
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let Some(end) = end else {
+            out.push(None);
+            return out;
+        };
+        out.push(Some((key, value)));
+        rest = after[1 + end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    out
+}
+
+/// The family a sample belongs to, given the declared family set:
+/// exact-name for counters/gauges, `_bucket`/`_sum`/`_count`-suffixed for
+/// histograms.
+fn family_of<'a>(
+    name: &'a str,
+    declared: &std::collections::HashMap<String, String>,
+) -> Option<(String, &'a str)> {
+    if declared.contains_key(name) {
+        return Some((name.to_string(), ""));
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if declared.get(base).is_some_and(|k| k == "histogram") {
+                return Some((base.to_string(), suffix));
+            }
+        }
+    }
+    None
+}
+
+/// Strictly validates Prometheus text exposition: every sample must
+/// belong to exactly one declared family, no family may be declared
+/// twice or have its samples interleaved with another family's, and
+/// every histogram's buckets must be cumulative (non-decreasing),
+/// `+Inf`-terminated, and consistent with its `_count`. Returns the
+/// summary, or every violation found.
+pub fn validate(text: &str) -> Result<ExpositionSummary, Vec<String>> {
+    use std::collections::HashMap;
+    let mut errors = Vec::new();
+    let mut declared: HashMap<String, String> = HashMap::new();
+    // First pass: collect TYPE declarations (duplicates are an error).
+    for line in text.lines() {
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !valid_name(name) {
+                errors.push(format!("invalid family name in TYPE line: {line}"));
+                continue;
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                errors.push(format!("unknown family kind {kind:?} for {name}"));
+            }
+            if declared
+                .insert(name.to_string(), kind.to_string())
+                .is_some()
+            {
+                errors.push(format!("duplicate family: {name}"));
+            }
+        }
+    }
+
+    struct HistCheck {
+        buckets: Vec<(f64, f64)>, // (le, cumulative)
+        sum_seen: bool,
+        count: Option<f64>,
+    }
+    let mut hists: HashMap<String, HistCheck> = HashMap::new();
+    let mut blocks_seen: HashSet<String> = HashSet::new();
+    let mut current_family: Option<String> = None;
+    let mut samples = 0usize;
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                // A TYPE line opens a fresh block for its family.
+                let name = rest.split_whitespace().next().unwrap_or("").to_string();
+                if let Some(prev) = current_family.take() {
+                    blocks_seen.insert(prev);
+                }
+                if blocks_seen.contains(&name) {
+                    errors.push(format!("family {name} declared after its samples closed"));
+                }
+                current_family = Some(name);
+            }
+            continue;
+        }
+        let sample = match parse_sample(line) {
+            Ok(s) => s,
+            Err(e) => {
+                errors.push(e);
+                continue;
+            }
+        };
+        samples += 1;
+        let Some((family, suffix)) = family_of(&sample.name, &declared) else {
+            errors.push(format!("sample without a # TYPE family: {}", sample.name));
+            continue;
+        };
+        if current_family.as_deref() != Some(family.as_str()) {
+            if blocks_seen.contains(&family) {
+                errors.push(format!("family {family} samples interleaved across blocks"));
+            }
+            if let Some(prev) = current_family.take() {
+                blocks_seen.insert(prev);
+            }
+            current_family = Some(family.clone());
+        }
+        if declared.get(&family).is_some_and(|k| k == "histogram") {
+            let entry = hists.entry(family.clone()).or_insert(HistCheck {
+                buckets: Vec::new(),
+                sum_seen: false,
+                count: None,
+            });
+            match suffix {
+                "_bucket" => match sample.le.as_deref() {
+                    Some("+Inf") => entry.buckets.push((f64::INFINITY, sample.value)),
+                    Some(le) => match le.parse::<f64>() {
+                        Ok(le) => entry.buckets.push((le, sample.value)),
+                        Err(_) => errors.push(format!("unparsable le={le:?} in {family}")),
+                    },
+                    None => errors.push(format!("{family}_bucket without an le label")),
+                },
+                "_sum" => entry.sum_seen = true,
+                "_count" => entry.count = Some(sample.value),
+                _ => errors.push(format!(
+                    "bare sample {} for histogram {family}",
+                    sample.name
+                )),
+            }
+        }
+    }
+
+    for (family, h) in &hists {
+        if h.buckets.is_empty() {
+            errors.push(format!("histogram {family} has no buckets"));
+            continue;
+        }
+        for pair in h.buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                errors.push(format!("histogram {family} le bounds not increasing"));
+            }
+            if pair[1].1 < pair[0].1 {
+                errors.push(format!("histogram {family} buckets not cumulative"));
+            }
+        }
+        let last = h.buckets.last().unwrap();
+        if !last.0.is_infinite() {
+            errors.push(format!("histogram {family} not +Inf-terminated"));
+        } else if let Some(count) = h.count {
+            if (count - last.1).abs() > 0.0 {
+                errors.push(format!(
+                    "histogram {family} _count {count} != +Inf bucket {}",
+                    last.1
+                ));
+            }
+        }
+        if !h.sum_seen {
+            errors.push(format!("histogram {family} missing _sum"));
+        }
+        if h.count.is_none() {
+            errors.push(format!("histogram {family} missing _count"));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(ExpositionSummary {
+            families: declared.len(),
+            samples,
+            histograms: hists.len(),
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scrape endpoint
+
+/// Handle to the background scrape endpoint; stops (and joins) on drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with a `:0` request port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
+/// serves the handle's exposition to every connection: the
+/// `ASA_METRICS_ADDR` live-scrape endpoint. Each request re-renders, so
+/// a `curl` mid-bench sees current values.
+pub fn serve(addr: &str, obs: Obs) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("asa-metrics-http".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut conn, _)) => {
+                        let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                        // Drain whatever request line arrived; the
+                        // response is the same for every path.
+                        let mut buf = [0u8; 1024];
+                        let _ = conn.read(&mut buf);
+                        let body = render(&obs);
+                        let head = format!(
+                            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                            body.len()
+                        );
+                        let _ = conn.write_all(head.as_bytes());
+                        let _ = conn.write_all(body.as_bytes());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+        })
+        .expect("spawn metrics endpoint");
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        thread: Some(thread),
+    })
+}

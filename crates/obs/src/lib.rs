@@ -36,24 +36,34 @@
 
 pub mod chrome;
 pub mod config;
+pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod resource;
 pub mod sink;
+pub mod slo;
 pub mod span;
 pub mod tail;
+pub mod timeseries;
 pub mod trace;
 
 pub use config::ObsConfig;
 pub use json::{Record, Value};
 pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Hist, HistSnapshot};
+pub use resource::ResourceSample;
 pub use sink::{FlushReport, JsonlSink, NullSink, RingHandle, RingSink, Sink, SummarySink};
+pub use slo::{Breach, HealthState, HealthTransition, Objective, SloConfig, SloEngine, Stat};
 pub use span::{Span, SpanSnapshot};
 pub use tail::{RequestAttribution, TailReport};
+pub use timeseries::{
+    SeriesInfo, SeriesKind, SeriesPoint, TimeSeriesConfig, TimeSeriesStore, WindowStats,
+};
 pub use trace::{FlightRecorder, TraceEvent, TraceId, TraceKind, TraceScope, TraceSnapshot};
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use metrics::{CounterCore, GaugeCore, HistCore};
 use span::SpanTree;
@@ -101,6 +111,80 @@ pub(crate) struct ObsInner {
     /// the hot path, so span instrumentation without a recorder stays a
     /// no-op branch.
     pub(crate) trace: OnceLock<Arc<FlightRecorder>>,
+    /// Continuous-telemetry collector, set at most once by
+    /// [`Obs::attach_collector`]. Like `trace`, a `OnceLock` so hot-path
+    /// instrumentation never pays for its existence.
+    collector: OnceLock<CollectorCore>,
+}
+
+/// The attached time-series collector: the store plus the background
+/// sampler thread's lifecycle state.
+struct CollectorCore {
+    store: Arc<TimeSeriesStore>,
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl CollectorCore {
+    /// Signals the sampler thread and joins it; idempotent (the handle is
+    /// taken on first call). Bounded wait: the thread sleeps in ≤10 ms
+    /// increments between stop-flag checks.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.lock().unwrap().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CollectorCore {
+    fn drop(&mut self) {
+        // The thread only holds a Weak to ObsInner, so it cannot be the
+        // one dropping us — joining here never self-deadlocks.
+        self.shutdown();
+    }
+}
+
+/// One collector tick: snapshot every registered metric (plus synthetic
+/// process-resource gauges) into the time-series store.
+fn collector_tick(inner: &ObsInner, store: &TimeSeriesStore) {
+    let t_us = inner.start.elapsed().as_micros() as u64;
+    let (counters, mut gauges, hists) = registry_snapshot(inner);
+    if let Some(rs) = resource::sample() {
+        gauges.push(GaugeSnapshot {
+            name: "proc.rss_bytes",
+            last: rs.rss_bytes,
+            max: rs.peak_rss_bytes,
+        });
+        gauges.push(GaugeSnapshot {
+            name: "proc.open_fds",
+            last: rs.open_fds,
+            max: rs.open_fds,
+        });
+    }
+    store.record_tick(t_us, &counters, &gauges, &hists);
+}
+
+/// Snapshots the full metric registry (shared by [`Obs::flush`], the
+/// collector tick, and exposition).
+fn registry_snapshot(
+    inner: &ObsInner,
+) -> (Vec<CounterSnapshot>, Vec<GaugeSnapshot>, Vec<HistSnapshot>) {
+    let reg = inner.registry.lock().unwrap();
+    (
+        reg.counters
+            .iter()
+            .map(|c| metrics::snapshot_counter(c))
+            .collect(),
+        reg.gauges
+            .iter()
+            .map(|g| metrics::snapshot_gauge(g))
+            .collect(),
+        reg.hists
+            .iter()
+            .map(|h| metrics::snapshot_hist(h))
+            .collect(),
+    )
 }
 
 impl std::fmt::Debug for ObsInner {
@@ -132,6 +216,7 @@ impl Obs {
             sinks: Mutex::new(Vec::new()),
             ring: Mutex::new(None),
             trace: OnceLock::new(),
+            collector: OnceLock::new(),
         })))
     }
 
@@ -156,6 +241,9 @@ impl Obs {
         }
         if cfg.trace_capacity > 0 {
             obs.attach_recorder(cfg.trace_capacity);
+        }
+        if let Some(ts) = cfg.collector {
+            obs.attach_collector(ts);
         }
         Ok(obs)
     }
@@ -279,6 +367,100 @@ impl Obs {
         self.0.as_ref().and_then(|inner| inner.trace.get().cloned())
     }
 
+    /// Attaches the continuous-telemetry collector: a background thread
+    /// that snapshots every registered metric into a
+    /// [`TimeSeriesStore`] every `cfg.resolution`. Idempotent (a second
+    /// call keeps the first collector) and a no-op on a disabled handle.
+    ///
+    /// The thread holds only a `Weak` reference to this handle's state:
+    /// when the last `Obs` clone drops, the next tick's upgrade fails and
+    /// the thread exits on its own, so attaching a collector never leaks
+    /// the registry.
+    pub fn attach_collector(&self, cfg: TimeSeriesConfig) {
+        let Some(inner) = &self.0 else { return };
+        inner.collector.get_or_init(|| {
+            let store = Arc::new(TimeSeriesStore::new(cfg));
+            let stop = Arc::new(AtomicBool::new(false));
+            let weak: Weak<ObsInner> = Arc::downgrade(inner);
+            let store2 = Arc::clone(&store);
+            let stop2 = Arc::clone(&stop);
+            let resolution = store.config().resolution.max(Duration::from_millis(1));
+            let thread = std::thread::Builder::new()
+                .name("asa-obs-collector".into())
+                .spawn(move || {
+                    let mut next = Instant::now() + resolution;
+                    loop {
+                        // Deadline sleep in short increments so stop (and
+                        // handle drop) are honoured promptly even at very
+                        // coarse resolutions.
+                        while Instant::now() < next {
+                            if stop2.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let left = next.saturating_duration_since(Instant::now());
+                            std::thread::sleep(left.min(Duration::from_millis(10)));
+                        }
+                        if stop2.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let Some(strong) = weak.upgrade() else { return };
+                        collector_tick(&strong, &store2);
+                        drop(strong);
+                        // Schedule against the previous deadline, but never
+                        // in the past: a slow tick skips, it doesn't burst.
+                        next = std::cmp::max(next + resolution, Instant::now() + resolution);
+                    }
+                })
+                .expect("spawn obs collector thread");
+            CollectorCore {
+                store,
+                stop,
+                thread: Mutex::new(Some(thread)),
+            }
+        });
+    }
+
+    /// The attached collector's time-series store, if any.
+    pub fn timeseries(&self) -> Option<Arc<TimeSeriesStore>> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.collector.get())
+            .map(|c| Arc::clone(&c.store))
+    }
+
+    /// Performs one synchronous collector tick on the calling thread.
+    /// Test hook: attach the collector with an hours-long resolution so
+    /// the background thread stays idle, then drive ticks manually for
+    /// deterministic time-series content. `false` when no collector is
+    /// attached.
+    pub fn tick_collector(&self) -> bool {
+        let Some(inner) = &self.0 else { return false };
+        let Some(col) = inner.collector.get() else {
+            return false;
+        };
+        collector_tick(inner, &col.store);
+        true
+    }
+
+    /// Stops and joins the collector thread (the store stays readable).
+    /// Idempotent; also happens automatically when the last handle drops.
+    pub fn stop_collector(&self) {
+        if let Some(inner) = &self.0 {
+            if let Some(col) = inner.collector.get() {
+                col.shutdown();
+            }
+        }
+    }
+
+    /// Snapshot of every registered counter/gauge/histogram; `None` when
+    /// disabled. This is what exposition renders and the collector ticks
+    /// from.
+    pub fn metrics_snapshot(
+        &self,
+    ) -> Option<(Vec<CounterSnapshot>, Vec<GaugeSnapshot>, Vec<HistSnapshot>)> {
+        self.0.as_ref().map(|inner| registry_snapshot(inner))
+    }
+
     /// Whether a flight recorder is attached (and events are recorded).
     #[inline]
     pub fn trace_enabled(&self) -> bool {
@@ -362,23 +544,7 @@ impl Obs {
     pub fn flush(&self) -> Option<FlushReport> {
         let inner = self.0.as_ref()?;
         let spans = inner.spans.lock().unwrap().snapshot();
-        let (counters, gauges, hists) = {
-            let reg = inner.registry.lock().unwrap();
-            (
-                reg.counters
-                    .iter()
-                    .map(|c| metrics::snapshot_counter(c))
-                    .collect(),
-                reg.gauges
-                    .iter()
-                    .map(|g| metrics::snapshot_gauge(g))
-                    .collect(),
-                reg.hists
-                    .iter()
-                    .map(|h| metrics::snapshot_hist(h))
-                    .collect(),
-            )
-        };
+        let (counters, gauges, hists) = registry_snapshot(inner);
         let report = FlushReport {
             wall_seconds: inner.start.elapsed().as_secs_f64(),
             spans,

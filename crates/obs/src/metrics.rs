@@ -391,6 +391,29 @@ impl HistSnapshot {
             q,
         )
     }
+
+    /// Cumulative Prometheus-style `(le, count)` buckets, ending with the
+    /// `(+∞, total)` bucket. Samples are integers, so a bucket spanning
+    /// `[lo, hi)` is exactly "≤ hi − 1" — the `le` bound is inclusive and
+    /// precise, never off by the open upper edge. The catch-all log
+    /// bucket folds into `+∞`. The final count is clamped up to the
+    /// running cumulative sum so a racing `record` between the bucket and
+    /// total loads of the snapshot can never make the series
+    /// non-monotone.
+    pub fn le_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut cum = 0u64;
+        for &(lower, n) in &self.buckets {
+            cum += n;
+            let upper = bucket_upper(bucket_of(lower));
+            if upper == u64::MAX {
+                continue; // catch-all: representable only as +Inf
+            }
+            out.push(((upper - 1) as f64, cum));
+        }
+        out.push((f64::INFINITY, self.count.max(cum)));
+        out
+    }
 }
 
 pub(crate) fn snapshot_counter(core: &CounterCore) -> CounterSnapshot {

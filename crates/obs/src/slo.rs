@@ -1,0 +1,538 @@
+//! Declarative service-level objectives over the time-series, evaluated
+//! into a `Healthy / Degraded / Critical` state machine with hysteresis.
+//!
+//! Each [`Objective`] names one series in a [`TimeSeriesStore`], a window
+//! statistic, a threshold, and a *pair* of windows. Following the
+//! multi-window burn-rate discipline, an objective only **burns** when the
+//! statistic breaches its threshold over **both** the short window (is it
+//! bad right now?) and the long window (has it been bad long enough to
+//! matter?). The short window makes detection fast; the long window
+//! filters single-tick noise and, on the way down, holds the state until
+//! the breach has genuinely drained out of the window.
+//!
+//! State machine (per objective, the engine reports the worst):
+//!
+//! ```text
+//!             burn ≥ degrade_after          burn ≥ critical_after
+//!   Healthy ───────────────────────▶ Degraded ─────────────────▶ Critical
+//!      ▲                                │ ▲                           │
+//!      └──────── clean ≥ recover_after ─┘ └─ clean ≥ recover_after ───┘
+//! ```
+//!
+//! `degrade_after`/`critical_after` count *consecutive burning
+//! evaluations*; `recover_after` counts consecutive clean ones, and each
+//! recovery steps down one level only — Critical walks back through
+//! Degraded, never jumps. That asymmetry is the hysteresis: flapping
+//! load cannot flap the state.
+//!
+//! Evaluation is driven by collector ticks (the serving engine registers
+//! a tick observer) or called manually in tests. Overall-state
+//! transitions are timestamped and, when a flight recorder is attached,
+//! emitted as `slo.healthy`/`slo.degraded`/`slo.critical` instants so a
+//! Chrome-trace export shows exactly when health changed relative to the
+//! request timeline.
+
+use crate::timeseries::TimeSeriesStore;
+use crate::trace::{FlightRecorder, TraceKind};
+
+/// Window statistic an [`Objective`] evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stat {
+    /// Mean over the window.
+    Avg,
+    /// Maximum over the window.
+    Max,
+    /// Most recent sample in the window.
+    Last,
+    /// Nearest-rank quantile over the window's samples.
+    Quantile(f64),
+}
+
+/// Which side of the threshold is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Breach {
+    /// Values above the threshold burn (latency, depth, shed rate).
+    Above,
+    /// Values below the threshold burn (hit rate, throughput).
+    Below,
+}
+
+/// One declarative objective over a time-series.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Short label used in the health report (`"p95_latency"`).
+    pub name: &'static str,
+    /// Series name in the [`TimeSeriesStore`] (e.g.
+    /// `"serve.latency_us.interactive.p95"`).
+    pub series: String,
+    /// Statistic evaluated over each window.
+    pub stat: Stat,
+    /// Threshold the statistic is compared against.
+    pub threshold: f64,
+    /// Direction of badness.
+    pub breach: Breach,
+    /// Fast-detection window, seconds.
+    pub short_secs: f64,
+    /// Noise-filter window, seconds. Burning requires breaching both.
+    pub long_secs: f64,
+}
+
+impl Objective {
+    /// An "at most" objective: burns while `stat` exceeds `threshold`.
+    pub fn at_most(
+        name: &'static str,
+        series: impl Into<String>,
+        stat: Stat,
+        threshold: f64,
+        short_secs: f64,
+        long_secs: f64,
+    ) -> Self {
+        Objective {
+            name,
+            series: series.into(),
+            stat,
+            threshold,
+            breach: Breach::Above,
+            short_secs,
+            long_secs,
+        }
+    }
+
+    /// An "at least" objective: burns while `stat` is below `threshold`.
+    pub fn at_least(
+        name: &'static str,
+        series: impl Into<String>,
+        stat: Stat,
+        threshold: f64,
+        short_secs: f64,
+        long_secs: f64,
+    ) -> Self {
+        Objective {
+            name,
+            series: series.into(),
+            stat,
+            threshold,
+            breach: Breach::Below,
+            short_secs,
+            long_secs,
+        }
+    }
+
+    fn stat_over(&self, store: &TimeSeriesStore, seconds: f64) -> Option<f64> {
+        match self.stat {
+            Stat::Avg => store.window(&self.series, seconds).map(|w| w.avg),
+            Stat::Max => store.window(&self.series, seconds).map(|w| w.max),
+            Stat::Last => store.window(&self.series, seconds).map(|w| w.last),
+            Stat::Quantile(q) => store.window_quantile(&self.series, seconds, q),
+        }
+    }
+
+    fn breached(&self, value: f64) -> bool {
+        match self.breach {
+            Breach::Above => value > self.threshold,
+            Breach::Below => value < self.threshold,
+        }
+    }
+
+    /// Whether the objective burns right now: breach over the short AND
+    /// the long window. A series with no samples yet never burns.
+    fn burning(&self, store: &TimeSeriesStore) -> bool {
+        let short = self.stat_over(store, self.short_secs);
+        let long = self.stat_over(store, self.long_secs);
+        matches!((short, long), (Some(s), Some(l)) if self.breached(s) && self.breached(l))
+    }
+}
+
+/// Health of the service, worst-objective-wins. The numeric value is what
+/// the `serve.health` gauge carries (0/1/2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthState {
+    /// All objectives within budget.
+    #[default]
+    Healthy,
+    /// At least one objective burning past `degrade_after`.
+    Degraded,
+    /// At least one objective burning past `critical_after`.
+    Critical,
+}
+
+impl HealthState {
+    /// Gauge encoding: Healthy 0, Degraded 1, Critical 2.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Critical => 2,
+        }
+    }
+
+    /// Lower-case label, also the transition-instant suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Critical => "critical",
+        }
+    }
+
+    fn instant_name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "slo.healthy",
+            HealthState::Degraded => "slo.degraded",
+            HealthState::Critical => "slo.critical",
+        }
+    }
+}
+
+/// Objectives plus the state-machine pacing knobs.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// The objectives; overall health is the worst of them.
+    pub objectives: Vec<Objective>,
+    /// Consecutive burning evaluations before Healthy → Degraded.
+    pub degrade_after: u32,
+    /// Consecutive burning evaluations before Degraded → Critical.
+    pub critical_after: u32,
+    /// Consecutive clean evaluations to step *down one level*.
+    pub recover_after: u32,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            objectives: Vec::new(),
+            degrade_after: 1,
+            critical_after: 8,
+            recover_after: 2,
+        }
+    }
+}
+
+/// One overall-state change, timestamped on the obs timebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Tick timestamp at which the evaluation transitioned (µs since the
+    /// obs epoch).
+    pub t_us: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ObjectiveState {
+    state: HealthState,
+    burn_streak: u32,
+    clean_streak: u32,
+    /// Last short-window statistic observed, for the report.
+    last_value: Option<f64>,
+    /// Evaluations spent burning, lifetime.
+    burn_total: u64,
+}
+
+/// The evaluator. Hold it behind a `Mutex` and call
+/// [`evaluate`](SloEngine::evaluate) from a tick observer; read
+/// [`state`](SloEngine::state)/[`report`](SloEngine::report) at any time.
+#[derive(Debug)]
+pub struct SloEngine {
+    cfg: SloConfig,
+    states: Vec<ObjectiveState>,
+    overall: HealthState,
+    transitions: Vec<HealthTransition>,
+    evaluations: u64,
+}
+
+impl SloEngine {
+    /// A fresh engine; everything starts Healthy.
+    pub fn new(cfg: SloConfig) -> Self {
+        let states = vec![ObjectiveState::default(); cfg.objectives.len()];
+        SloEngine {
+            cfg,
+            states,
+            overall: HealthState::Healthy,
+            transitions: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Current overall state (worst objective).
+    pub fn state(&self) -> HealthState {
+        self.overall
+    }
+
+    /// Overall-state transitions so far, in order.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// Runs one evaluation over every objective and returns the (possibly
+    /// changed) overall state. When a recorder is supplied, an overall
+    /// transition emits an `slo.<state>` instant on the calling thread.
+    pub fn evaluate(
+        &mut self,
+        store: &TimeSeriesStore,
+        recorder: Option<&FlightRecorder>,
+    ) -> HealthState {
+        self.evaluations += 1;
+        for (obj, st) in self.cfg.objectives.iter().zip(&mut self.states) {
+            st.last_value = obj.stat_over(store, obj.short_secs);
+            if obj.burning(store) {
+                st.burn_streak += 1;
+                st.clean_streak = 0;
+                st.burn_total += 1;
+                if st.burn_streak >= self.cfg.critical_after {
+                    st.state = HealthState::Critical;
+                } else if st.burn_streak >= self.cfg.degrade_after {
+                    st.state = st.state.max(HealthState::Degraded);
+                }
+            } else {
+                st.burn_streak = 0;
+                st.clean_streak += 1;
+                if st.clean_streak >= self.cfg.recover_after {
+                    st.clean_streak = 0;
+                    st.state = match st.state {
+                        HealthState::Critical => HealthState::Degraded,
+                        _ => HealthState::Healthy,
+                    };
+                }
+            }
+        }
+        let next = self
+            .states
+            .iter()
+            .map(|s| s.state)
+            .max()
+            .unwrap_or(HealthState::Healthy);
+        if next != self.overall {
+            let t_us = store.last_t_us();
+            self.transitions.push(HealthTransition {
+                t_us,
+                from: self.overall,
+                to: next,
+            });
+            if let Some(rec) = recorder {
+                rec.record_current(next.instant_name(), "slo", TraceKind::Instant);
+            }
+            self.overall = next;
+        }
+        next
+    }
+
+    /// Human-readable health report: overall state, per-objective status
+    /// lines, and the transition history. Printed by the serving engine
+    /// at shutdown.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "health: {} ({} evaluations, {} transitions)",
+            self.overall.name(),
+            self.evaluations,
+            self.transitions.len()
+        );
+        for (obj, st) in self.cfg.objectives.iter().zip(&self.states) {
+            let value = st
+                .last_value
+                .map_or_else(|| "n/a".to_string(), |v| format!("{v:.2}"));
+            let _ = writeln!(
+                out,
+                "  [{}] {} — {:?} over {:.1}s/{:.1}s {} {:.2}: last {}, burned {}/{} evals",
+                st.state.name(),
+                obj.name,
+                obj.stat,
+                obj.short_secs,
+                obj.long_secs,
+                match obj.breach {
+                    Breach::Above => "≤",
+                    Breach::Below => "≥",
+                },
+                obj.threshold,
+                value,
+                st.burn_total,
+                self.evaluations,
+            );
+        }
+        for tr in &self.transitions {
+            let _ = writeln!(
+                out,
+                "  t+{:.3}s {} → {}",
+                tr.t_us as f64 / 1e6,
+                tr.from.name(),
+                tr.to.name()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::GaugeSnapshot;
+    use crate::timeseries::TimeSeriesConfig;
+    use std::time::Duration;
+
+    fn store() -> TimeSeriesStore {
+        TimeSeriesStore::new(TimeSeriesConfig {
+            resolution: Duration::from_millis(1),
+            slots: 256,
+        })
+    }
+
+    fn depth_tick(ts: &TimeSeriesStore, t_ms: u64, depth: u64) {
+        ts.record_tick(
+            t_ms * 1000,
+            &[],
+            &[GaugeSnapshot {
+                name: "q.depth",
+                last: depth,
+                max: depth,
+            }],
+            &[],
+        );
+    }
+
+    fn engine(degrade_after: u32, critical_after: u32, recover_after: u32) -> SloEngine {
+        SloEngine::new(SloConfig {
+            objectives: vec![Objective::at_most(
+                "depth",
+                "q.depth",
+                Stat::Max,
+                4.0,
+                0.005,
+                0.020,
+            )],
+            degrade_after,
+            critical_after,
+            recover_after,
+        })
+    }
+
+    #[test]
+    fn burst_degrades_then_recovers_with_hysteresis() {
+        let ts = store();
+        let mut slo = engine(1, 100, 2);
+        for t in 0..5 {
+            depth_tick(&ts, t, 1);
+            assert_eq!(slo.evaluate(&ts, None), HealthState::Healthy);
+        }
+        // Burst: depth spikes over the threshold.
+        depth_tick(&ts, 5, 40);
+        assert_eq!(slo.evaluate(&ts, None), HealthState::Degraded);
+        // Drained immediately, but the long window still holds the spike:
+        // health stays Degraded (hysteresis), then recovers after the
+        // spike ages out AND two clean evaluations pass.
+        depth_tick(&ts, 6, 0);
+        assert_eq!(slo.evaluate(&ts, None), HealthState::Degraded);
+        let mut t = 7;
+        while slo.state() != HealthState::Healthy && t < 80 {
+            depth_tick(&ts, t, 0);
+            slo.evaluate(&ts, None);
+            t += 1;
+        }
+        assert_eq!(slo.state(), HealthState::Healthy);
+        let tr = slo.transitions();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(
+            (tr[0].from, tr[0].to),
+            (HealthState::Healthy, HealthState::Degraded)
+        );
+        assert_eq!(
+            (tr[1].from, tr[1].to),
+            (HealthState::Degraded, HealthState::Healthy)
+        );
+        assert!(tr[0].t_us < tr[1].t_us);
+        let report = slo.report();
+        assert!(report.contains("health: healthy"), "{report}");
+        assert!(report.contains("degraded"), "{report}");
+    }
+
+    #[test]
+    fn sustained_burn_escalates_to_critical_and_steps_down() {
+        let ts = store();
+        let mut slo = engine(1, 3, 1);
+        for t in 0..3 {
+            depth_tick(&ts, t, 50);
+            slo.evaluate(&ts, None);
+        }
+        assert_eq!(slo.state(), HealthState::Critical);
+        // Recovery steps down one level per clean streak, never jumps.
+        let mut states = Vec::new();
+        for t in 30..90 {
+            depth_tick(&ts, t, 0);
+            states.push(slo.evaluate(&ts, None));
+            if slo.state() == HealthState::Healthy {
+                break;
+            }
+        }
+        assert!(states.contains(&HealthState::Degraded));
+        assert_eq!(slo.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn short_breach_alone_does_not_burn_without_long_window() {
+        // A single spike breaches Max over both windows (max is a
+        // superset stat), so use Avg: one spike among many clean samples
+        // breaches the short window but not the long average.
+        let ts = store();
+        let mut slo = SloEngine::new(SloConfig {
+            objectives: vec![Objective::at_most(
+                "depth",
+                "q.depth",
+                Stat::Avg,
+                4.0,
+                0.001,
+                0.050,
+            )],
+            degrade_after: 1,
+            critical_after: 10,
+            recover_after: 1,
+        });
+        for t in 0..49 {
+            depth_tick(&ts, t, 0);
+            slo.evaluate(&ts, None);
+        }
+        depth_tick(&ts, 49, 100); // short-window avg breaches; long does not
+        assert_eq!(slo.evaluate(&ts, None), HealthState::Healthy);
+        assert!(slo.transitions().is_empty());
+    }
+
+    #[test]
+    fn missing_series_is_healthy_and_reported() {
+        let ts = store();
+        let mut slo = engine(1, 2, 1);
+        assert_eq!(slo.evaluate(&ts, None), HealthState::Healthy);
+        assert!(slo.report().contains("n/a"));
+    }
+
+    #[test]
+    fn at_least_objective_burns_below_threshold() {
+        let ts = store();
+        let mut slo = SloEngine::new(SloConfig {
+            objectives: vec![Objective::at_least(
+                "hit_rate",
+                "cache.hit_rate",
+                Stat::Avg,
+                0.5,
+                0.005,
+                0.010,
+            )],
+            ..SloConfig::default()
+        });
+        for t in 0..20 {
+            ts.record_tick(
+                t * 1000,
+                &[],
+                &[GaugeSnapshot {
+                    name: "cache.hit_rate",
+                    last: 0,
+                    max: 0,
+                }],
+                &[],
+            );
+        }
+        assert_eq!(slo.evaluate(&ts, None), HealthState::Degraded);
+    }
+}

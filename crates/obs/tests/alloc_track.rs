@@ -1,0 +1,45 @@
+//! Exercises the feature-gated counting global allocator. Lives in its
+//! own test binary because `#[global_allocator]` is per-binary state —
+//! installing it here does not affect any other test target.
+
+#![cfg(feature = "alloc-track")]
+
+use asa_obs::resource::alloc_track::{stats, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn counting_allocator_tracks_live_bytes_and_high_water() {
+    let before = stats();
+    // A 1 MiB allocation must move every counter.
+    let big = vec![0u8; 1 << 20];
+    let during = stats();
+    assert!(during.allocs > before.allocs);
+    assert!(during.live_bytes >= before.live_bytes + (1 << 20));
+    assert!(during.high_water_bytes >= during.live_bytes);
+    drop(big);
+    let after = stats();
+    assert!(after.deallocs > during.deallocs);
+    assert!(
+        after.live_bytes <= during.live_bytes,
+        "live bytes must drop after the free: {after:?} vs {during:?}"
+    );
+    // The high-water mark is monotone.
+    assert!(after.high_water_bytes >= during.high_water_bytes);
+}
+
+#[test]
+fn realloc_paths_keep_totals_consistent() {
+    let base = stats();
+    let mut v: Vec<u64> = Vec::with_capacity(4);
+    for i in 0..10_000u64 {
+        v.push(i); // forces several reallocs
+    }
+    let s = stats();
+    assert!(s.allocs > base.allocs);
+    assert!(s.high_water_bytes >= v.capacity() as u64 * 8);
+    drop(v);
+    let end = stats();
+    assert!(end.deallocs >= s.deallocs);
+}

@@ -1,0 +1,180 @@
+//! Integration tests for Prometheus exposition: render → strict validate
+//! round-trips, validator rejections, and the live scrape endpoint.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use asa_obs::{expose, Obs, TimeSeriesConfig};
+
+fn populated_obs() -> Obs {
+    let obs = Obs::new_enabled();
+    obs.counter("e.requests").add(41);
+    obs.gauge("e.queue.depth").set(7);
+    let h = obs.hist("e.latency_us");
+    for v in [1u64, 5, 30, 31, 32, 100, 5000] {
+        h.record(v);
+    }
+    obs
+}
+
+#[test]
+fn rendered_exposition_passes_strict_validation() {
+    let obs = populated_obs();
+    obs.attach_collector(TimeSeriesConfig {
+        resolution: Duration::from_secs(3600),
+        slots: 16,
+    });
+    obs.tick_collector();
+    let text = expose::render(&obs);
+    let summary = expose::validate(&text).unwrap_or_else(|e| panic!("invalid: {e:#?}"));
+    assert!(summary.families >= 4, "families: {summary:?}");
+    assert!(summary.histograms >= 1);
+    // Counters carry the _total suffix, histograms have cumulative buckets.
+    assert!(text.contains("# TYPE e_requests_total counter"));
+    assert!(text.contains("e_requests_total 41"));
+    assert!(text.contains("# TYPE e_latency_us histogram"));
+    assert!(text.contains("e_latency_us_bucket{le=\"+Inf\"} 7"));
+    assert!(text.contains("e_latency_us_count 7"));
+    // Gauges expose both the level and the high-water mark.
+    assert!(text.contains("e_queue_depth 7"));
+    assert!(text.contains("e_queue_depth_max 7"));
+    // The collector tick surfaced per-series occupancy.
+    assert!(text.contains("asa_timeseries_samples{series=\"e.queue.depth\"} 1"));
+}
+
+#[test]
+fn process_families_render_on_linux() {
+    let obs = Obs::new_enabled();
+    let text = expose::render(&obs);
+    expose::validate(&text).unwrap();
+    if asa_obs::resource::sample().is_some() {
+        assert!(text.contains("# TYPE process_resident_memory_bytes gauge"));
+        assert!(text.contains("# TYPE process_peak_resident_memory_bytes gauge"));
+        assert!(text.contains("# TYPE process_cpu_seconds_total counter"));
+    }
+}
+
+#[test]
+fn validator_rejects_duplicate_families() {
+    let bad = "# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n";
+    let errs = expose::validate(bad).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("duplicate family: x")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn validator_rejects_non_cumulative_or_unterminated_buckets() {
+    let not_cumulative = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+    let errs = expose::validate(not_cumulative).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("not cumulative")),
+        "{errs:?}"
+    );
+
+    let unterminated = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_sum 9
+h_count 5
+";
+    let errs = expose::validate(unterminated).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("+Inf")), "{errs:?}");
+}
+
+#[test]
+fn validator_rejects_undeclared_samples_and_interleaving() {
+    let undeclared = "orphan 3\n";
+    let errs = expose::validate(undeclared).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("without a # TYPE")),
+        "{errs:?}"
+    );
+
+    let interleaved = "\
+# TYPE a counter
+a_total 1
+# TYPE b counter
+b_total 1
+a_total 2
+";
+    // a_total appears under family `a`? No — `a` declared, sample name is
+    // a_total which is not declared; counters must match exact names.
+    let errs = expose::validate(interleaved).unwrap_err();
+    assert!(!errs.is_empty());
+
+    let interleaved2 = "\
+# TYPE a counter
+a 1
+# TYPE b counter
+b 1
+a 2
+";
+    let errs = expose::validate(interleaved2).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("interleaved")), "{errs:?}");
+}
+
+#[test]
+fn count_mismatch_with_inf_bucket_is_an_error() {
+    let bad = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 6
+";
+    let errs = expose::validate(bad).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("_count")), "{errs:?}");
+}
+
+#[test]
+fn write_to_file_round_trips() {
+    let obs = populated_obs();
+    let dir = std::env::temp_dir().join(format!("asa-expose-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.prom");
+    expose::write_to_file(&obs, &path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    expose::validate(&text).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tcp_endpoint_serves_live_exposition() {
+    let obs = populated_obs();
+    let server = expose::serve("127.0.0.1:0", obs.clone()).unwrap();
+    let addr = server.local_addr();
+
+    let scrape = |path: &str| -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(conn, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("http header split");
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        body.to_string()
+    };
+
+    let body = scrape("/metrics");
+    expose::validate(&body).unwrap_or_else(|e| panic!("invalid scrape: {e:#?}"));
+    assert!(body.contains("e_requests_total 41"));
+
+    // The endpoint re-renders per request: a later scrape sees new values.
+    obs.counter("e.requests").add(1);
+    let body2 = scrape("/metrics");
+    assert!(body2.contains("e_requests_total 42"), "{body2}");
+
+    server.stop();
+    // A post-stop connect either refuses or hangs w/o response; just make
+    // sure stop() returned (thread joined) — reaching here is the assert.
+}

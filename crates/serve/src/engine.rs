@@ -35,7 +35,7 @@
 //!    who asked for full quality. The cache is engine-wide, so a replica
 //!    shard never recomputes what another shard already answered.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,7 +44,7 @@ use asa_infomap::{
     detect_communities_cancellable, detect_communities_distributed_cancellable, CancelToken,
     InfomapConfig, InfomapResult,
 };
-use asa_obs::{intern_name, Counter, Gauge, Hist, Obs, TraceId};
+use asa_obs::{intern_name, Counter, Gauge, HealthState, Hist, Obs, SloConfig, SloEngine, TraceId};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::queue::{JobQueue, Popped, PushError};
@@ -114,6 +114,14 @@ pub struct ServeConfig {
     /// here; pass a disabled handle to keep metrics readable via
     /// [`ServeEngine::stats`] without any sink wiring.
     pub obs: Obs,
+    /// Declarative service-level objectives evaluated on every collector
+    /// tick (`None` disables the health engine). Requires a collector on
+    /// `obs` ([`Obs::attach_collector`]) to fire automatically; overall
+    /// health surfaces as the `serve.health` gauge (0 healthy, 1
+    /// degraded, 2 critical), state transitions emit `slo.*` instants
+    /// into the flight recorder (attach it *before* `start`), and the
+    /// human-readable report prints at shutdown.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -131,6 +139,7 @@ impl Default for ServeConfig {
             cache_ttl: Duration::from_secs(300),
             degrade_depth: 8,
             obs: Obs::disabled(),
+            slo: None,
         }
     }
 }
@@ -206,6 +215,14 @@ struct Shard {
     steals_in: Counter,
     steals_out: Counter,
     cache_hits: Counter,
+    /// Cache hits on this shard while it was the graph's home shard.
+    cache_hits_home: Counter,
+    /// Cache hits on this shard while it served as a replica (routed
+    /// here by round-robin over a hot graph's grown routing set).
+    cache_hits_replica: Counter,
+    /// Cache hits observed by a stolen job (executed off its routed
+    /// shard; the hit still attributes to the routed shard's counter).
+    cache_hits_stolen: Counter,
     shed: Counter,
     replicas_hosted: Counter,
 }
@@ -222,8 +239,26 @@ impl Shard {
             steals_in: obs.counter(name("steals_in")),
             steals_out: obs.counter(name("steals_out")),
             cache_hits: obs.counter(name("cache.hits")),
+            cache_hits_home: obs.counter(name("cache.hits.home")),
+            cache_hits_replica: obs.counter(name("cache.hits.replica")),
+            cache_hits_stolen: obs.counter(name("cache.hits.stolen")),
             shed: obs.counter(name("shed")),
             replicas_hosted: obs.counter(name("replicas")),
+        }
+    }
+
+    /// Records one cache hit on this (routed) shard with its affinity
+    /// attribution. Exactly one of the three sub-counters moves per hit,
+    /// so `cache_hits == home + replica + stolen` is a per-shard
+    /// invariant.
+    fn note_cache_hit(&self, home: bool, stolen: bool) {
+        self.cache_hits.incr();
+        if stolen {
+            self.cache_hits_stolen.incr();
+        } else if home {
+            self.cache_hits_home.incr();
+        } else {
+            self.cache_hits_replica.incr();
         }
     }
 
@@ -236,6 +271,9 @@ impl Shard {
             steals_in: self.steals_in.value(),
             steals_out: self.steals_out.value(),
             cache_hits: self.cache_hits.value(),
+            cache_hits_home: self.cache_hits_home.value(),
+            cache_hits_replica: self.cache_hits_replica.value(),
+            cache_hits_stolen: self.cache_hits_stolen.value(),
             shed: self.shed.value(),
             replicas_hosted: self.replicas_hosted.value(),
         }
@@ -346,6 +384,10 @@ struct Job {
     deadline: Option<Instant>,
     /// Shard the router assigned (the queue this job was pushed to).
     shard: usize,
+    /// The graph's home shard (`fingerprint % shards`); differs from
+    /// `shard` exactly when routing picked a replica. Drives the
+    /// cache-hit affinity attribution.
+    home: usize,
     /// Flight-recorder id minted at admission; [`TraceId::NONE`] when the
     /// configured [`Obs`] has no recorder attached (every trace call is
     /// then a no-op).
@@ -409,6 +451,10 @@ impl Shared {
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The SLO health engine, shared with the collector's tick observer.
+    /// The observer holds its own `Arc` (never an `Obs` clone — that
+    /// would cycle the obs registry back to itself through the store).
+    slo: Option<Arc<Mutex<SloEngine>>>,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -432,6 +478,24 @@ impl ServeEngine {
             Obs::new_enabled()
         };
         let metrics = Metrics::new(&metrics_obs);
+        // SLO health engine: evaluated after every collector tick via a
+        // store observer. The closure captures the engine Arc, the
+        // health gauge, and the recorder resolved *now* — attach the
+        // flight recorder before `start` if transition instants are
+        // wanted — but never the Obs handle itself (cycle avoidance).
+        let slo = cfg.slo.clone().map(|slo_cfg| {
+            let engine = Arc::new(Mutex::new(SloEngine::new(slo_cfg)));
+            let health_gauge = metrics_obs.gauge("serve.health");
+            let recorder = metrics_obs.recorder();
+            if let Some(store) = metrics_obs.timeseries() {
+                let eng = Arc::clone(&engine);
+                store.add_observer(Box::new(move |store| {
+                    let state = eng.lock().unwrap().evaluate(store, recorder.as_deref());
+                    health_gauge.set(state.as_gauge());
+                }));
+            }
+            engine
+        });
         let shards = (0..cfg.shards)
             .map(|i| Shard::new(i, &cfg, &metrics_obs))
             .collect();
@@ -458,7 +522,11 @@ impl ServeEngine {
                     .expect("spawn serve worker")
             })
             .collect();
-        ServeEngine { shared, workers }
+        ServeEngine {
+            shared,
+            workers,
+            slo,
+        }
     }
 
     /// Submits a request. Never blocks: cache hits and admission
@@ -504,7 +572,7 @@ impl ServeEngine {
         obs.trace_async_end(trace, "cache_probe", "request");
         if let Some(hit) = admission_hit {
             m.cache_hits.incr();
-            shard.cache_hits.incr();
+            shard.note_cache_hit(routed.shard == routed.home, false);
             m.completed.incr();
             let total = submitted.elapsed();
             m.latency(request.priority).record(total.as_micros() as u64);
@@ -531,6 +599,7 @@ impl ServeEngine {
             submitted,
             deadline,
             shard: routed.shard,
+            home: routed.home,
             trace,
         };
         obs.trace_async_begin(trace, "queue", "request");
@@ -601,15 +670,33 @@ impl ServeEngine {
         }
     }
 
+    /// Current overall SLO health; [`HealthState::Healthy`] when no SLO
+    /// configuration was given (nothing can burn).
+    pub fn health(&self) -> HealthState {
+        self.slo
+            .as_ref()
+            .map_or(HealthState::Healthy, |s| s.lock().unwrap().state())
+    }
+
+    /// The human-readable SLO health report (overall state, per-objective
+    /// status, transition history); `None` without an SLO configuration.
+    pub fn slo_report(&self) -> Option<String> {
+        self.slo.as_ref().map(|s| s.lock().unwrap().report())
+    }
+
     /// Graceful shutdown: stops admission on every shard, drains every
-    /// queued job (each still resolves normally), joins the workers, and
-    /// returns the final statistics.
+    /// queued job (each still resolves normally), joins the workers,
+    /// prints the SLO health report (when objectives were configured),
+    /// and returns the final statistics.
     pub fn shutdown(mut self) -> EngineStats {
         for shard in &self.shared.shards {
             shard.queue.close();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(report) = self.slo_report() {
+            eprintln!("{report}");
         }
         self.stats()
     }
@@ -735,7 +822,7 @@ fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: boo
     // different shard, since the cache is engine-wide.
     if let Some(hit) = shared.cache.get(&job.key) {
         m.cache_hits.incr();
-        shared.shards[job.shard].cache_hits.incr();
+        shared.shards[job.shard].note_cache_hit(job.shard == job.home, stolen);
         m.completed.incr();
         let total = job.submitted.elapsed();
         m.latency(priority).record(total.as_micros() as u64);

@@ -27,9 +27,17 @@
 //!   doesn't strand capacity. One process-wide [`cache::ResultCache`] is
 //!   shared across all shards.
 //!
+//! * **SLO health** — declarative objectives over the continuous
+//!   time-series ([`ServeConfig::slo`] + an attached obs collector):
+//!   multi-window burn-rate evaluation drives a
+//!   Healthy → Degraded → Critical state machine with hysteresis,
+//!   surfaced as the `serve.health` gauge, flight-recorder `slo.*`
+//!   instants on transitions, and a shutdown health report.
+//!
 //! Entry points: [`ServeEngine::start`], [`ServeEngine::submit`],
-//! [`Request`]. See `DESIGN.md` § "Serving layer" and § "Sharded serving"
-//! for the architecture diagrams and the degradation ladder.
+//! [`Request`]. See `DESIGN.md` § "Serving layer", § "Sharded serving"
+//! and § "Continuous telemetry & SLO engine" for the architecture
+//! diagrams and the degradation ladder.
 
 pub mod cache;
 pub mod engine;

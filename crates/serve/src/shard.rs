@@ -194,8 +194,18 @@ pub struct ShardStats {
     /// Batch jobs other shards stole out of this shard's queue.
     pub steals_out: u64,
     /// Requests answered from the cache on this shard's path (admission
-    /// hits while routed here, plus late hits at dequeue).
+    /// hits while routed here, plus late hits at dequeue). Always equals
+    /// `cache_hits_home + cache_hits_replica + cache_hits_stolen`.
     pub cache_hits: u64,
+    /// Cache hits while this shard was the graph's home shard
+    /// (`fingerprint % shards`).
+    pub cache_hits_home: u64,
+    /// Cache hits while this shard served as a replica in a hot graph's
+    /// grown routing set.
+    pub cache_hits_replica: u64,
+    /// Cache hits observed by jobs stolen out of this shard's backlog
+    /// (executed elsewhere; attribution stays with the routed shard).
+    pub cache_hits_stolen: u64,
     /// Submissions rejected because this shard's queue class was full.
     pub shed: u64,
     /// Hot fingerprints whose routing set grew onto this shard.

@@ -260,6 +260,132 @@ fn steal_vs_affinity_invariants_under_concurrent_submit_and_shutdown() {
 }
 
 #[test]
+fn cache_hits_attribute_to_the_home_shard_under_pure_affinity() {
+    // Affinity-only routing with the cache on: every repeat hit lands on
+    // (and attributes to) the graph's home shard as a *home* hit.
+    let engine = ServeEngine::start(ServeConfig {
+        cache_capacity: 64,
+        ..sharded_config(2)
+    });
+    let graph = clique_ring(4, 5, 7);
+    let home = Router::new(2, no_replication()).home(graph.fingerprint());
+    for i in 0..4 {
+        let r = engine.submit(Request::batch(Arc::clone(&graph))).wait();
+        assert_eq!(r.cache_hit, i > 0, "first computes, the rest hit");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.cache_hits, 3);
+    let s = &stats.shards[home];
+    assert_eq!(s.cache_hits, 3);
+    assert_eq!(
+        s.cache_hits_home, 3,
+        "pure affinity: all hits are home hits"
+    );
+    assert_eq!(s.cache_hits_replica, 0);
+    assert_eq!(s.cache_hits_stolen, 0);
+    let other = &stats.shards[1 - home];
+    assert_eq!(other.cache_hits, 0);
+    for s in &stats.shards {
+        assert_eq!(
+            s.cache_hits,
+            s.cache_hits_home + s.cache_hits_replica + s.cache_hits_stolen,
+            "affinity split must account for every hit: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn replica_routed_hits_attribute_as_replica_hits() {
+    // Aggressive replication with the cache on: once the hot graph's
+    // routing set grows, round-robined submissions hit the cache while
+    // routed to a *replica* shard, and attribute there as replica hits.
+    let engine = ServeEngine::start(ServeConfig {
+        replication: ReplicationConfig {
+            threshold: 3,
+            window: Duration::from_secs(60),
+            max_replicas: 2,
+        },
+        cache_capacity: 64,
+        ..sharded_config(2)
+    });
+    let graph = clique_ring(5, 5, 11);
+    let home = Router::new(2, no_replication()).home(graph.fingerprint());
+    for _ in 0..12 {
+        let r = engine.submit(Request::batch(Arc::clone(&graph))).wait();
+        assert!(r.outcome.result().is_some());
+    }
+    let stats = engine.shutdown();
+    assert!(
+        stats.replications >= 1,
+        "the burst must trigger replication"
+    );
+    let replica_hits: u64 = stats.shards.iter().map(|s| s.cache_hits_replica).sum();
+    assert!(
+        replica_hits > 0,
+        "round-robined admissions must hit on the replica shard: {:?}",
+        stats.shards
+    );
+    // Replica hits land off the home shard; home hits on it.
+    assert_eq!(stats.shards[home].cache_hits_replica, 0);
+    assert!(stats.shards[home].cache_hits_home > 0);
+    assert_eq!(stats.shards[1 - home].cache_hits_home, 0);
+    for s in &stats.shards {
+        assert_eq!(
+            s.cache_hits,
+            s.cache_hits_home + s.cache_hits_replica + s.cache_hits_stolen
+        );
+    }
+}
+
+#[test]
+fn stolen_jobs_report_their_late_cache_hits_as_stolen() {
+    // Engineered steal-then-hit: the home shard's single worker is pinned
+    // down by interactive fillers (never stealable), while two identical
+    // batch jobs for the target graph wait behind them. The idle shard
+    // steals the first (computes, fills the cache), then steals the
+    // second — which now finds the cache filled. That late hit must
+    // attribute to the *routed* shard's stolen-hit counter.
+    let engine = ServeEngine::start(ServeConfig {
+        steal: true,
+        cache_capacity: 64,
+        ..sharded_config(2)
+    });
+    let target = clique_ring(2, 4, 13);
+    let router = Router::new(2, no_replication());
+    let home = router.home(target.fingerprint());
+
+    // Fillers routed to the same home shard, structurally distinct (so
+    // none hits the cache) and big enough that the home worker stays
+    // busy while the thief clears both batch jobs.
+    let fillers: Vec<Arc<CsrGraph>> = (0..40u64)
+        .map(|s| clique_ring(8 + s as usize, 8, 100 + s))
+        .filter(|g| router.home(g.fingerprint()) == home)
+        .take(6)
+        .collect();
+    assert!(fillers.len() == 6, "need 6 home-routed filler graphs");
+    let mut handles: Vec<_> = fillers
+        .iter()
+        .map(|g| engine.submit(Request::interactive(Arc::clone(g))))
+        .collect();
+    handles.push(engine.submit(Request::batch(Arc::clone(&target))));
+    handles.push(engine.submit(Request::batch(Arc::clone(&target))));
+    for h in handles {
+        assert!(h.wait().outcome.result().is_some());
+    }
+    let stats = engine.shutdown();
+    let s = &stats.shards[home];
+    assert!(
+        s.cache_hits_stolen > 0,
+        "the second stolen job must observe the first one's cache fill: {:?}",
+        stats.shards
+    );
+    assert_eq!(
+        s.cache_hits,
+        s.cache_hits_home + s.cache_hits_replica + s.cache_hits_stolen
+    );
+}
+
+#[test]
 fn per_shard_depth_counter_tracks_recorded() {
     // With a flight recorder attached, pushes emit both the aggregate
     // `serve.queue.depth` track and the routed shard's

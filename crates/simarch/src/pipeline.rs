@@ -27,7 +27,7 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use asa_obs::{Counter, Hist, Obs};
+use asa_obs::{Counter, Gauge, Hist, Obs};
 
 use crate::config::{MachineConfig, SimPipelineConfig};
 use crate::core::CoreModel;
@@ -59,6 +59,10 @@ struct PipeObs {
     /// Events per shipped batch (buffer occupancy at handoff; partial
     /// batches come from sweep-barrier flushes).
     fill: Hist,
+    /// The same occupancy as a level, so the continuous-telemetry
+    /// collector can sample a live `pipeline.buf_fill` series (a
+    /// sustained drop below capacity means barrier flushes dominate).
+    fill_level: Gauge,
     /// Handle for `pipeline.ingest` spans and `pipeline.stall` trace
     /// instants when a flight recorder is attached.
     obs: Obs,
@@ -70,6 +74,7 @@ impl PipeObs {
             batches: obs.counter("pipeline.batches"),
             stalls: obs.counter("pipeline.stalls"),
             fill: obs.hist("pipeline.batch_fill"),
+            fill_level: obs.gauge("pipeline.buf_fill"),
             obs: obs.clone(),
         })
     }
@@ -177,6 +182,7 @@ impl CorePipe {
             let _sp = obs.obs.span("pipeline.ingest");
             obs.batches.incr();
             obs.fill.record(self.buf.len() as u64);
+            obs.fill_level.set(self.buf.len() as u64);
             match self.free_rx.try_recv() {
                 Ok(buf) => buf,
                 Err(TryRecvError::Empty) => {
