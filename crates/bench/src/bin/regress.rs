@@ -25,10 +25,11 @@ use std::process::ExitCode;
 
 use asa_bench::regress::{compare, extract_metrics, render_deltas, sanity_errors, MetricSpec};
 
-const BENCH_FILES: [&str; 3] = [
+const BENCH_FILES: [&str; 4] = [
     "BENCH_hostperf.json",
     "BENCH_simthroughput.json",
     "BENCH_serve.json",
+    "BENCH_stream.json",
 ];
 
 /// Repository root — the committed baseline directory.

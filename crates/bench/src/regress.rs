@@ -1,12 +1,13 @@
 //! Perf-regression sentinel over the committed `BENCH_*.json` files.
 //!
-//! Each benchmark binary (`hostperf`, `simthroughput`, `serve`) writes a
-//! JSON document whose committed copy at the repository root is the
-//! performance baseline. This module extracts the *key* metrics from those
-//! documents — SPA sweep time and speedup, simulator ingest/charge/replay
-//! ns-per-event, serving p50/p95 latency, cache hit rate, and shed rate —
-//! and compares a fresh run against the baseline under per-metric noise
-//! tolerances.
+//! Each benchmark binary (`hostperf`, `simthroughput`, `serve`, `stream`)
+//! writes a JSON document whose committed copy at the repository root is
+//! the performance baseline. This module extracts the *key* metrics from
+//! those documents — SPA sweep time and speedup, simulator
+//! ingest/charge/replay ns-per-event, serving p50/p95 latency, cache hit
+//! rate, shed rate, and the streaming-update speedup/drift/fallback
+//! triple — and compares a fresh run against the baseline under
+//! per-metric noise tolerances.
 //!
 //! Tolerances come in two flavors: **relative** for time-like metrics
 //! (machine-to-machine and run-to-run wall-clock noise scales with the
@@ -253,6 +254,43 @@ pub fn extract_serve(doc: &Value) -> Vec<MetricSpec> {
     out
 }
 
+/// Extracts the gated metrics from a `BENCH_stream.json` document: the
+/// dynamic-graph headline numbers. Speedup and fallback rate use the
+/// standard speedup/rate policies; codelength drift gets a *tight*
+/// absolute bound — the incremental path promises drift within the 1%
+/// budget, so the gate must trip well before the generic 0.15 rate
+/// tolerance would.
+pub fn extract_stream(doc: &Value) -> Vec<MetricSpec> {
+    let mut out = Vec::new();
+    if let Some(v) = get_f64(doc, &["summary", "incremental_speedup"]) {
+        out.push(MetricSpec::speedup("stream.incremental_speedup".into(), v));
+    }
+    if let Some(v) = get_f64(doc, &["summary", "max_drift"]) {
+        out.push(MetricSpec {
+            name: "stream.max_drift".into(),
+            value: v,
+            tolerance: Tolerance::Absolute(0.005),
+            direction: Direction::LowerIsBetter,
+        });
+    }
+    if let Some(v) = get_f64(doc, &["summary", "fallback_rate"]) {
+        out.push(MetricSpec::rate(
+            "stream.fallback_rate".into(),
+            v,
+            Direction::LowerIsBetter,
+        ));
+    }
+    for key in ["mean_incremental_seconds", "mean_fresh_seconds"] {
+        if let Some(v) = get_f64(doc, &["summary", key]) {
+            out.push(MetricSpec::time(format!("stream.{key}"), v));
+        }
+    }
+    if let Some(v) = get_f64(doc, &["seed_seconds"]) {
+        out.push(MetricSpec::time("stream.seed_seconds".into(), v));
+    }
+    out
+}
+
 /// Dispatches on the document's `bench` field, then appends the run-wide
 /// resource metric every bench shares: the process peak RSS from the
 /// run-metadata block, gated with the loose memory bound (it only exists
@@ -264,6 +302,7 @@ pub fn extract_metrics(doc: &Value) -> Vec<MetricSpec> {
         Some("hostperf") => extract_hostperf(doc),
         Some("simthroughput") => extract_simthroughput(doc),
         Some("serve") => extract_serve(doc),
+        Some("stream") => extract_stream(doc),
         _ => Vec::new(),
     };
     if let (Some(bench), Some(v)) = (bench, get_f64(doc, &["meta", "peak_rss_bytes"])) {
@@ -554,6 +593,73 @@ mod tests {
         );
         let noisy = extract_metrics(&sharded_serve_doc(0.55, 0.05, 30.0));
         assert!(compare(&base, &noisy, 1.0).iter().all(|d| !d.regressed));
+    }
+
+    fn stream_doc(speedup: f64, max_drift: f64, fallback_rate: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+                "bench": "stream",
+                "seed_seconds": 2.5,
+                "summary": {{
+                    "incremental_speedup": {speedup},
+                    "max_drift": {max_drift},
+                    "fallback_rate": {fallback_rate},
+                    "mean_incremental_seconds": 0.02,
+                    "mean_fresh_seconds": 0.18
+                }}
+            }}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn stream_extraction_is_direction_aware() {
+        let base = extract_metrics(&stream_doc(8.0, 0.002, 0.0));
+        let names: Vec<&str> = base.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "stream.incremental_speedup",
+                "stream.max_drift",
+                "stream.fallback_rate",
+                "stream.mean_incremental_seconds",
+                "stream.mean_fresh_seconds",
+                "stream.seed_seconds",
+            ]
+        );
+        assert!(sanity_errors(&base).is_empty());
+
+        // A speedup collapse regresses (HigherIsBetter)...
+        let slow = extract_metrics(&stream_doc(4.0, 0.002, 0.0));
+        assert!(
+            compare(&base, &slow, 1.0)
+                .iter()
+                .find(|d| d.name == "stream.incremental_speedup")
+                .unwrap()
+                .regressed
+        );
+        // ...drift escaping the budget trips the tight absolute bound,
+        // while sub-budget noise does not...
+        let drifted = extract_metrics(&stream_doc(8.0, 0.012, 0.0));
+        assert!(
+            compare(&base, &drifted, 1.0)
+                .iter()
+                .find(|d| d.name == "stream.max_drift")
+                .unwrap()
+                .regressed
+        );
+        let noisy = extract_metrics(&stream_doc(7.0, 0.005, 0.1));
+        assert!(compare(&base, &noisy, 1.0).iter().all(|d| !d.regressed));
+        // ...and a quality guard firing on most batches regresses the
+        // fallback rate (LowerIsBetter, absolute: baseline is exactly 0).
+        let falling = extract_metrics(&stream_doc(8.0, 0.002, 0.5));
+        assert!(
+            compare(&base, &falling, 1.0)
+                .iter()
+                .find(|d| d.name == "stream.fallback_rate")
+                .unwrap()
+                .regressed
+        );
     }
 
     #[test]

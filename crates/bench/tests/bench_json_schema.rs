@@ -153,6 +153,90 @@ fn simthroughput_json_schema() {
     assert_eq!(kernel["replay_identical"].as_bool(), Some(true));
 }
 
+#[test]
+fn stream_json_schema() {
+    let doc = load("BENCH_stream.json");
+    assert_eq!(doc["bench"], "stream");
+    assert!(doc["scale_div"].as_u64().is_some());
+    assert_meta(&doc, "BENCH_stream.json");
+    assert!(doc["nodes"].as_u64().is_some_and(|n| n > 0));
+    assert!(doc["arcs"].as_u64().is_some_and(|a| a > 0));
+    assert!(doc["hot_vertices"].as_u64().is_some_and(|h| h > 0));
+    assert!(doc["seed_seconds"].as_f64().is_some_and(|s| s > 0.0));
+    assert!(doc["seed_codelength"].as_f64().is_some_and(|c| c > 0.0));
+    let batches = doc["batches"].as_u64().expect("batches") as usize;
+    assert!(batches >= 1);
+    assert!(doc["edits_per_batch"].as_u64().is_some_and(|e| e > 0));
+    let drift_budget = doc["drift_budget"].as_f64().expect("drift_budget");
+    assert!(drift_budget > 0.0 && drift_budget < 1.0);
+
+    let reports = doc["batch_reports"].as_array().expect("batch_reports");
+    assert_eq!(reports.len(), batches, "one report per batch");
+    for (i, r) in reports.iter().enumerate() {
+        let what = format!("batch_reports[{i}]");
+        assert_eq!(r["batch"].as_u64(), Some(i as u64), "{what}: batch index");
+        assert!(r["ops"].as_u64().is_some_and(|o| o > 0), "{what}: ops");
+        let incremental = r["incremental"].as_bool().expect("incremental flag");
+        // A fallback batch must name its guard reason; an incremental one
+        // must not carry one.
+        assert_eq!(
+            r["fallback"].as_str().is_some(),
+            !incremental,
+            "{what}: fallback reason iff the guard fired"
+        );
+        assert!(r["frontier_size"].as_u64().is_some(), "{what}: frontier");
+        assert!(r["ripple_rounds"].as_u64().is_some(), "{what}: ripples");
+        for key in ["incremental_seconds", "fresh_seconds"] {
+            assert!(
+                r[key].as_f64().is_some_and(|s| s > 0.0),
+                "{what}: {key} must be positive"
+            );
+        }
+        for key in ["incremental_codelength", "fresh_codelength"] {
+            assert!(
+                r[key].as_f64().is_some_and(f64::is_finite),
+                "{what}: {key} must be finite"
+            );
+        }
+        assert!(r["drift"].as_f64().is_some_and(f64::is_finite));
+    }
+
+    let summary = &doc["summary"];
+    let incr = summary["incremental_batches"]
+        .as_u64()
+        .expect("incremental_batches");
+    let fallbacks = summary["fallbacks"].as_u64().expect("fallbacks");
+    assert_eq!(incr + fallbacks, batches as u64, "summary accounting");
+    assert!(summary["mean_incremental_seconds"]
+        .as_f64()
+        .is_some_and(|s| s > 0.0));
+    assert!(summary["mean_fresh_seconds"]
+        .as_f64()
+        .is_some_and(|s| s > 0.0));
+    assert!(summary["mean_drift"].as_f64().is_some_and(f64::is_finite));
+
+    // The dynamic-graph subsystem's acceptance gates: incremental updates
+    // beat fresh full runs by >= 3x while staying within 1% codelength
+    // drift, and the quality guard stays quiet on the committed workload.
+    let speedup = summary["incremental_speedup"]
+        .as_f64()
+        .expect("incremental_speedup");
+    assert!(
+        speedup >= 3.0,
+        "committed incremental_speedup fell below the gated 3x claim: {speedup}"
+    );
+    let max_drift = summary["max_drift"].as_f64().expect("max_drift");
+    assert!(
+        (0.0..=0.01).contains(&max_drift),
+        "committed max_drift broke the gated 1% budget: {max_drift}"
+    );
+    let fallback_rate = summary["fallback_rate"].as_f64().expect("fallback_rate");
+    assert!(
+        (0.0..=0.25).contains(&fallback_rate),
+        "committed fallback_rate broke the gated 0.25 bound: {fallback_rate}"
+    );
+}
+
 /// An ordered positive p50 <= p95 <= p99 triple (latency, queue-wait, or
 /// service distributions); queue-wait p50 may be zero under light load.
 fn assert_pct_triple(obj: &serde_json::Value, what: &str, allow_zero_p50: bool) {

@@ -22,6 +22,7 @@ fn committed_baselines_pass_the_smoke_gate() {
         "BENCH_hostperf.json",
         "BENCH_simthroughput.json",
         "BENCH_serve.json",
+        "BENCH_stream.json",
     ] {
         let metrics = extract_metrics(&load(file));
         assert!(

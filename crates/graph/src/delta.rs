@@ -1,0 +1,661 @@
+//! Dynamic-graph deltas: batched edge mutations over an immutable CSR
+//! base, with a fingerprint *chain* identifying graph versions.
+//!
+//! The static pipeline treats a [`CsrGraph`] as immutable — every
+//! mutation would otherwise mean a full rebuild plus a brand-new
+//! fingerprint, invalidating every cache keyed on the old one. This
+//! module adds the streaming vocabulary:
+//!
+//! * [`EdgeDelta`] — one batch of arc insertions (with weights) and
+//!   deletions, the unit a client ships per update.
+//! * [`DeltaGraph`] — a base `CsrGraph` plus a canonical *net overlay* of
+//!   applied batches. Adjacency queries merge the base row with its
+//!   overlay patches lazily; [`DeltaGraph::compact`] periodically folds
+//!   the overlay back into a fresh CSR.
+//! * The **fingerprint chain** — [`DeltaGraph::chain_fingerprint`] is the
+//!   FNV of the chain *anchor* (the base fingerprint at the last rebase)
+//!   concatenated with the canonicalized net overlay. Because the overlay
+//!   is net (insertions and deletions cancel against the base), the chain
+//!   head is a function of effective content: an empty net overlay hashes
+//!   to the anchor itself, so deleting arcs and re-inserting them at
+//!   their original weights restores the previous chain head, and
+//!   compaction — which only rebases — never changes the chain. Caches
+//!   and routers key graph *versions* on this value.
+//!
+//! Weight semantics mirror [`crate::GraphBuilder`]: inserting an arc that
+//! already exists accumulates weight; deleting removes the arc entirely.
+//! The vertex set is fixed by the base graph.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::csr::{CsrGraph, EdgeRef, NodeId};
+use crate::fingerprint::Fnv64;
+
+/// One batch of edge mutations. Deletions apply before insertions, so a
+/// single batch can atomically re-weight an arc (`delete` + `insert`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeDelta {
+    inserts: Vec<(NodeId, NodeId, f64)>,
+    deletes: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an arc insertion. For an existing arc the weight
+    /// *accumulates* (builder semantics).
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite weight.
+    pub fn insert(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
+        assert!(
+            w > 0.0 && w.is_finite(),
+            "edge weight must be positive and finite, got {w}"
+        );
+        self.inserts.push((u, v, w));
+        self
+    }
+
+    /// Queues an arc deletion. Deleting an absent arc is a no-op.
+    pub fn delete(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// Whether the batch holds no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Number of queued operations (insertions plus deletions).
+    pub fn num_ops(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Queued insertions, in submission order.
+    pub fn inserts(&self) -> &[(NodeId, NodeId, f64)] {
+        &self.inserts
+    }
+
+    /// Queued deletions, in submission order.
+    pub fn deletes(&self) -> &[(NodeId, NodeId)] {
+        &self.deletes
+    }
+
+    /// Every vertex incident to an operation, sorted and deduplicated.
+    /// This seeds the incremental optimizer's touched frontier.
+    pub fn endpoints(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .inserts
+            .iter()
+            .flat_map(|&(u, v, _)| [u, v])
+            .chain(self.deletes.iter().flat_map(|&(u, v)| [u, v]))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A base [`CsrGraph`] plus the canonical net overlay of every
+/// [`EdgeDelta`] applied since the last rebase. See the module docs.
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: Arc<CsrGraph>,
+    /// Chain fingerprint at the last rebase (construction or
+    /// [`DeltaGraph::compact`]). With an empty overlay this *is* the
+    /// chain head.
+    anchor: u64,
+    /// Net per-arc patches keyed by directed `(source, target)`:
+    /// `Some(w)` overrides the arc's weight to `w`, `None` deletes it.
+    /// Undirected patches are stored mirrored (both directions), so row
+    /// queries are a single range scan; the chain fingerprint
+    /// canonicalizes by hashing only the `source <= target` half.
+    overlay: BTreeMap<(NodeId, NodeId), Option<f64>>,
+    /// Batches folded in since the last rebase (compaction-policy input).
+    batches_since_compact: usize,
+}
+
+impl DeltaGraph {
+    /// Wraps `base` with an empty overlay. The chain head starts at
+    /// `base.fingerprint()`.
+    pub fn new(base: Arc<CsrGraph>) -> Self {
+        let anchor = base.fingerprint();
+        DeltaGraph {
+            base,
+            anchor,
+            overlay: BTreeMap::new(),
+            batches_since_compact: 0,
+        }
+    }
+
+    /// The base CSR the overlay patches against.
+    pub fn base(&self) -> &Arc<CsrGraph> {
+        &self.base
+    }
+
+    /// Vertex count (fixed by the base graph).
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    /// Whether the base graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.base.is_directed()
+    }
+
+    /// Net overlay patch count (directed entries; mirrored pairs count
+    /// twice). Zero means the view is byte-identical to the base.
+    pub fn pending_patches(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Batches applied since the last rebase.
+    pub fn batches_since_compact(&self) -> usize {
+        self.batches_since_compact
+    }
+
+    /// The chain *anchor*: the chain fingerprint at the last rebase.
+    /// Routing keys on this — every version of one update stream shares
+    /// it, which is what keeps the stream shard-affine.
+    pub fn anchor_fingerprint(&self) -> u64 {
+        self.anchor
+    }
+
+    /// The chain head identifying the current version: the anchor when
+    /// the net overlay is empty, else FNV over anchor ∥ canonical
+    /// overlay.
+    pub fn chain_fingerprint(&self) -> u64 {
+        chain_of(self.anchor, &self.overlay, self.is_directed())
+    }
+
+    /// The chain head `apply(delta)` would produce, without mutating
+    /// anything.
+    pub fn fingerprint_after(&self, delta: &EdgeDelta) -> u64 {
+        let mut overlay = self.overlay.clone();
+        self.fold(&mut overlay, delta);
+        chain_of(self.anchor, &overlay, self.is_directed())
+    }
+
+    /// Folds one batch into the net overlay and returns the new chain
+    /// head.
+    ///
+    /// # Panics
+    /// Panics if an operation references a vertex outside the base
+    /// graph's vertex set.
+    pub fn apply(&mut self, delta: &EdgeDelta) -> u64 {
+        // Split the borrow: fold writes a detached map, never `self`.
+        let mut overlay = std::mem::take(&mut self.overlay);
+        self.fold(&mut overlay, delta);
+        self.overlay = overlay;
+        if !delta.is_empty() {
+            self.batches_since_compact += 1;
+        }
+        self.chain_fingerprint()
+    }
+
+    /// Applies `delta`'s operations onto `overlay` (deletions first),
+    /// normalizing away patches that restore an arc to its base weight.
+    fn fold(&self, overlay: &mut BTreeMap<(NodeId, NodeId), Option<f64>>, delta: &EdgeDelta) {
+        let n = self.num_nodes() as NodeId;
+        let mirror = !self.is_directed();
+        for &(u, v) in delta.deletes() {
+            assert!(u < n && v < n, "delete ({u},{v}) outside 0..{n}");
+            for (s, t) in arc_and_mirror(u, v, mirror) {
+                if self.base_weight(s, t).is_some() {
+                    overlay.insert((s, t), None);
+                } else {
+                    // Absent in the base: absence is the default state.
+                    overlay.remove(&(s, t));
+                }
+            }
+        }
+        for &(u, v, w) in delta.inserts() {
+            assert!(u < n && v < n, "insert ({u},{v}) outside 0..{n}");
+            for (s, t) in arc_and_mirror(u, v, mirror) {
+                let current = match overlay.get(&(s, t)) {
+                    Some(&patch) => patch.unwrap_or(0.0),
+                    None => self.base_weight(s, t).unwrap_or(0.0),
+                };
+                let next = current + w;
+                // A patch that lands exactly on the base weight is a
+                // no-op: drop it so the overlay stays net (this is what
+                // makes delete-then-reinsert restore the chain head).
+                if self.base_weight(s, t).map(f64::to_bits) == Some(next.to_bits()) {
+                    overlay.remove(&(s, t));
+                } else {
+                    overlay.insert((s, t), Some(next));
+                }
+            }
+        }
+    }
+
+    /// The base graph's weight for arc `(u, v)`, if present.
+    fn base_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let row = self.base.out_neighbors(u);
+        let i = row.targets().binary_search(&v).ok()?;
+        Some(row.weights()[i])
+    }
+
+    /// Effective weight of arc `(u, v)` in the merged view, if present.
+    pub fn arc_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        match self.overlay.get(&(u, v)) {
+            Some(&patch) => patch,
+            None => self.base_weight(u, v),
+        }
+    }
+
+    /// The merged out-adjacency row of `u`: base row patched by the
+    /// overlay, sorted by target. This is the lazily merged view — no
+    /// CSR is materialized.
+    pub fn out_row(&self, u: NodeId) -> Vec<EdgeRef> {
+        let row = self.base.out_neighbors(u);
+        let patches = self.overlay.range((u, 0)..=(u, NodeId::MAX));
+        let mut out = Vec::with_capacity(row.len());
+        let (targets, weights) = (row.targets(), row.weights());
+        let mut i = 0;
+        for (&(_, t), &patch) in patches {
+            while i < targets.len() && targets[i] < t {
+                out.push(EdgeRef {
+                    target: targets[i],
+                    weight: weights[i],
+                });
+                i += 1;
+            }
+            if i < targets.len() && targets[i] == t {
+                i += 1; // patched: base entry superseded
+            }
+            if let Some(w) = patch {
+                out.push(EdgeRef {
+                    target: t,
+                    weight: w,
+                });
+            }
+        }
+        while i < targets.len() {
+            out.push(EdgeRef {
+                target: targets[i],
+                weight: weights[i],
+            });
+            i += 1;
+        }
+        out
+    }
+
+    /// Merged arc count (what `materialize().num_arcs()` will report).
+    pub fn num_arcs(&self) -> usize {
+        let delta: isize = self
+            .overlay
+            .iter()
+            .map(|(&(u, v), &patch)| match patch {
+                None => -1,
+                Some(_) if self.base_weight(u, v).is_none() => 1,
+                Some(_) => 0,
+            })
+            .sum();
+        (self.base.num_arcs() as isize + delta) as usize
+    }
+
+    /// Iterates every merged arc as `(source, target, weight)`, row by
+    /// row in target order.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |u| {
+            self.out_row(u)
+                .into_iter()
+                .map(move |e| (u, e.target, e.weight))
+        })
+    }
+
+    /// Materializes the merged view into a fresh [`CsrGraph`] without
+    /// touching the overlay. Untouched rows are copied verbatim from the
+    /// base CSR.
+    pub fn materialize(&self) -> CsrGraph {
+        let n = self.num_nodes() as u32;
+        let (out_offsets, out_targets, out_weights) =
+            merge_csr(self.base.out_csr(), n, |u| self.out_patches(u));
+        let (in_offsets, in_targets, in_weights) = if self.is_directed() {
+            // Directed: in-rows are patched by the transposed overlay.
+            let mut transposed: Vec<((NodeId, NodeId), Option<f64>)> = self
+                .overlay
+                .iter()
+                .map(|(&(u, v), &p)| ((v, u), p))
+                .collect();
+            transposed.sort_unstable_by_key(|&(k, _)| k);
+            merge_csr(self.base.in_csr(), n, |u| {
+                let lo = transposed.partition_point(|&((s, _), _)| s < u);
+                let hi = transposed.partition_point(|&((s, _), _)| s <= u);
+                transposed[lo..hi]
+                    .iter()
+                    .map(|&((_, t), p)| (t, p))
+                    .collect()
+            })
+        } else {
+            // Undirected: the overlay is mirrored, so in == out.
+            (
+                out_offsets.clone(),
+                out_targets.clone(),
+                out_weights.clone(),
+            )
+        };
+        CsrGraph::from_csr_parts(
+            n,
+            self.is_directed(),
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+        )
+    }
+
+    /// Overlay patches for row `u`, in target order.
+    fn out_patches(&self, u: NodeId) -> Vec<(NodeId, Option<f64>)> {
+        self.overlay
+            .range((u, 0)..=(u, NodeId::MAX))
+            .map(|(&(_, t), &p)| (t, p))
+            .collect()
+    }
+
+    /// Folds the overlay into a fresh base CSR (rebase) and returns it.
+    /// The chain head is **unchanged** — the new anchor is the old chain
+    /// head, so caches keyed on [`DeltaGraph::chain_fingerprint`] keep
+    /// hitting across compactions.
+    pub fn compact(&mut self) -> Arc<CsrGraph> {
+        if !self.overlay.is_empty() {
+            self.anchor = self.chain_fingerprint();
+            self.base = Arc::new(self.materialize());
+            self.overlay.clear();
+        }
+        self.batches_since_compact = 0;
+        Arc::clone(&self.base)
+    }
+}
+
+/// The arc plus its mirror for undirected graphs (a self-loop mirrors to
+/// itself and is emitted once).
+fn arc_and_mirror(u: NodeId, v: NodeId, mirror: bool) -> impl Iterator<Item = (NodeId, NodeId)> {
+    let second = (mirror && u != v).then_some((v, u));
+    std::iter::once((u, v)).chain(second)
+}
+
+/// FNV over anchor ∥ canonical overlay: each patch contributes its
+/// endpoints, a delete/override tag, and the weight bit pattern. For
+/// undirected graphs only the `source <= target` half participates (the
+/// mirrored entries are redundant).
+fn chain_of(anchor: u64, overlay: &BTreeMap<(NodeId, NodeId), Option<f64>>, directed: bool) -> u64 {
+    if overlay.is_empty() {
+        return anchor;
+    }
+    let mut h = Fnv64::new();
+    h.write_u64(anchor);
+    for (&(u, v), &patch) in overlay {
+        if !directed && u > v {
+            continue;
+        }
+        h.write_u64(u as u64);
+        h.write_u64(v as u64);
+        match patch {
+            None => h.write_u64(0),
+            Some(w) => {
+                h.write_u64(1);
+                h.write_f64(w);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Merges one direction's base CSR with per-row patch lists into new CSR
+/// arrays. `patches(u)` returns row `u`'s patches sorted by target.
+fn merge_csr(
+    base: (&[u64], &[NodeId], &[f64]),
+    n: u32,
+    patches: impl Fn(NodeId) -> Vec<(NodeId, Option<f64>)>,
+) -> (Vec<u64>, Vec<NodeId>, Vec<f64>) {
+    let (offsets, targets, weights) = base;
+    let mut out_offsets = Vec::with_capacity(n as usize + 1);
+    let mut out_targets = Vec::with_capacity(targets.len());
+    let mut out_weights = Vec::with_capacity(weights.len());
+    out_offsets.push(0u64);
+    for u in 0..n {
+        let (lo, hi) = (
+            offsets[u as usize] as usize,
+            offsets[u as usize + 1] as usize,
+        );
+        let row_patches = patches(u);
+        if row_patches.is_empty() {
+            out_targets.extend_from_slice(&targets[lo..hi]);
+            out_weights.extend_from_slice(&weights[lo..hi]);
+        } else {
+            let mut i = lo;
+            for (t, patch) in row_patches {
+                while i < hi && targets[i] < t {
+                    out_targets.push(targets[i]);
+                    out_weights.push(weights[i]);
+                    i += 1;
+                }
+                if i < hi && targets[i] == t {
+                    i += 1;
+                }
+                if let Some(w) = patch {
+                    out_targets.push(t);
+                    out_weights.push(w);
+                }
+            }
+            out_targets.extend_from_slice(&targets[i..hi]);
+            out_weights.extend_from_slice(&weights[i..hi]);
+        }
+        out_offsets.push(out_targets.len() as u64);
+    }
+    (out_offsets, out_targets, out_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::undirected(5);
+        for &(u, v, w) in &[
+            (0u32, 1u32, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.5),
+            (3, 0, 1.0),
+            (0, 2, 0.5),
+        ] {
+            b.add_edge(u, v, w);
+        }
+        Arc::new(b.build())
+    }
+
+    /// Rebuilds the merged graph through the builder (ground truth).
+    fn rebuilt(dg: &DeltaGraph) -> CsrGraph {
+        let mut b = if dg.is_directed() {
+            GraphBuilder::directed(dg.num_nodes())
+        } else {
+            GraphBuilder::undirected(dg.num_nodes())
+        };
+        for (u, v, w) in dg.arcs() {
+            if dg.is_directed() || u <= v {
+                b.add_edge(u, v, w);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_overlay_is_the_base() {
+        let base = diamond();
+        let dg = DeltaGraph::new(Arc::clone(&base));
+        assert_eq!(dg.chain_fingerprint(), base.fingerprint());
+        assert_eq!(dg.num_arcs(), base.num_arcs());
+        let mat = dg.materialize();
+        assert_eq!(mat.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn insert_delete_merge_matches_builder() {
+        let dg_base = diamond();
+        let mut dg = DeltaGraph::new(dg_base);
+        let mut d = EdgeDelta::new();
+        d.insert(1, 3, 4.0) // new edge
+            .insert(0, 1, 1.0) // accumulate onto existing (→ 2.0)
+            .delete(0, 2); // drop existing
+        dg.apply(&d);
+
+        let mut b = GraphBuilder::undirected(5);
+        for &(u, v, w) in &[(0u32, 1u32, 2.0), (1, 2, 2.0), (2, 3, 1.5), (3, 0, 1.0)] {
+            b.add_edge(u, v, w);
+        }
+        b.add_edge(1, 3, 4.0);
+        let want = b.build();
+
+        assert_eq!(dg.num_arcs(), want.num_arcs());
+        assert_eq!(dg.materialize().fingerprint(), want.fingerprint());
+        assert_eq!(rebuilt(&dg).fingerprint(), want.fingerprint());
+        // Lazily merged rows agree with the materialized CSR.
+        let mat = dg.materialize();
+        for u in 0..5u32 {
+            let lazy: Vec<(u32, u64)> = dg
+                .out_row(u)
+                .iter()
+                .map(|e| (e.target, e.weight.to_bits()))
+                .collect();
+            let full: Vec<(u32, u64)> = mat
+                .out_neighbors(u)
+                .iter()
+                .map(|e| (e.target, e.weight.to_bits()))
+                .collect();
+            assert_eq!(lazy, full, "row {u}");
+        }
+    }
+
+    #[test]
+    fn chain_head_tracks_net_content() {
+        let base = diamond();
+        let mut dg = DeltaGraph::new(Arc::clone(&base));
+        let base_fp = base.fingerprint();
+
+        let mut del = EdgeDelta::new();
+        del.delete(0, 1).delete(2, 3);
+        let after_del = dg.apply(&del);
+        assert_ne!(after_del, base_fp);
+
+        // Reinsert at original weights: net overlay empties, chain head
+        // returns to the anchor.
+        let mut ins = EdgeDelta::new();
+        ins.insert(0, 1, 1.0).insert(2, 3, 1.5);
+        let restored = dg.apply(&ins);
+        assert_eq!(restored, base_fp);
+        assert_eq!(dg.pending_patches(), 0);
+
+        // Same net mutation by a different path → same chain head.
+        let mut a = DeltaGraph::new(Arc::clone(&base));
+        let mut b = DeltaGraph::new(base);
+        let mut one = EdgeDelta::new();
+        one.insert(1, 3, 2.0);
+        let mut two_a = EdgeDelta::new();
+        two_a.insert(1, 3, 0.5);
+        let mut two_b = EdgeDelta::new();
+        two_b.insert(1, 3, 1.5);
+        let head_a = {
+            a.apply(&two_a);
+            a.apply(&two_b)
+        };
+        assert_eq!(head_a, b.apply(&one));
+    }
+
+    #[test]
+    fn fingerprint_after_previews_apply() {
+        let mut dg = DeltaGraph::new(diamond());
+        let mut d = EdgeDelta::new();
+        d.insert(4, 0, 3.0).delete(1, 2);
+        let preview = dg.fingerprint_after(&d);
+        assert_eq!(dg.apply(&d), preview);
+    }
+
+    #[test]
+    fn compaction_preserves_chain_identity() {
+        let mut dg = DeltaGraph::new(diamond());
+        let mut d = EdgeDelta::new();
+        d.insert(4, 2, 1.0).delete(0, 1);
+        let head = dg.apply(&d);
+        let merged_before = dg.materialize().fingerprint();
+
+        let compacted = dg.compact();
+        assert_eq!(
+            dg.chain_fingerprint(),
+            head,
+            "compaction must not move the chain"
+        );
+        assert_eq!(
+            dg.anchor_fingerprint(),
+            head,
+            "rebased anchor is the old head"
+        );
+        assert_eq!(dg.pending_patches(), 0);
+        assert_eq!(compacted.fingerprint(), merged_before);
+        // The raw CSR fingerprint of the compacted graph is *not* the
+        // chain head — exactly the mismatch chain keying exists to fix.
+        assert_ne!(compacted.fingerprint(), head);
+
+        // Post-compaction deltas chain off the new anchor.
+        let mut d2 = EdgeDelta::new();
+        d2.insert(3, 4, 2.0);
+        let head2 = dg.apply(&d2);
+        assert_ne!(head2, head);
+        let mut undo = EdgeDelta::new();
+        undo.delete(3, 4);
+        assert_eq!(dg.apply(&undo), head, "undo returns to the rebased anchor");
+    }
+
+    #[test]
+    fn directed_in_csr_patched() {
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let mut dg = DeltaGraph::new(Arc::new(b.build()));
+        let mut d = EdgeDelta::new();
+        d.insert(3, 0, 2.0).delete(1, 2);
+        dg.apply(&d);
+        let mat = dg.materialize();
+        assert_eq!(mat.in_degree(0), 1);
+        assert_eq!(mat.in_degree(2), 0);
+        assert_eq!(mat.out_degree(3), 1);
+        // in-CSR consistency: every arc appears in both directions' CSRs.
+        let mut want = GraphBuilder::directed(4);
+        want.add_edge(0, 1, 1.0);
+        want.add_edge(2, 3, 1.0);
+        want.add_edge(3, 0, 2.0);
+        assert_eq!(mat.fingerprint(), want.build().fingerprint());
+    }
+
+    #[test]
+    fn delete_absent_and_empty_delta_are_noops() {
+        let base = diamond();
+        let mut dg = DeltaGraph::new(Arc::clone(&base));
+        let head = dg.chain_fingerprint();
+        assert_eq!(dg.apply(&EdgeDelta::new()), head);
+        assert_eq!(dg.batches_since_compact(), 0);
+        let mut d = EdgeDelta::new();
+        d.delete(0, 4); // never existed
+        assert_eq!(dg.apply(&d), head);
+        assert_eq!(dg.num_arcs(), base.num_arcs());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_endpoint_panics() {
+        let mut dg = DeltaGraph::new(diamond());
+        let mut d = EdgeDelta::new();
+        d.insert(0, 99, 1.0);
+        dg.apply(&d);
+    }
+}

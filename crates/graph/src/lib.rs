@@ -27,6 +27,7 @@ pub mod clustering;
 pub mod connectivity;
 pub mod csr;
 pub mod degree;
+pub mod delta;
 pub mod fingerprint;
 pub mod generators;
 pub mod io;
@@ -38,6 +39,7 @@ pub mod subgraph;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, NodeId};
+pub use delta::{DeltaGraph, EdgeDelta};
 pub use fingerprint::{fnv1a64, Fnv64};
 pub use partition::Partition;
 pub use reorder::{degree_order, renumber, VertexPermutation};

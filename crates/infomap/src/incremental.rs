@@ -1,0 +1,573 @@
+//! Incremental Infomap over dynamic graphs: frontier-restricted
+//! re-optimization seeded from the previous partition.
+//!
+//! A fresh multilevel run costs the full pipeline for every edit batch.
+//! [`IncrementalState`] instead keeps the last partition (plus its module
+//! statistics and flow vectors) alive and, on an [`EdgeDelta`]:
+//!
+//! 1. **Flow rescale** — rebuilds the [`FlowNetwork`] on the merged
+//!    graph. For undirected graphs node and arc flows are the analytic
+//!    `w / 2W` values (any weight edit rescales *every* flow through the
+//!    normalizer, so the honest "local rescale" is the O(m) closed form);
+//!    directed graphs re-run PageRank.
+//! 2. **Touched frontier** — the endpoints of changed arcs plus the
+//!    boundary vertices of their modules (members with an arc crossing
+//!    the module boundary) form the initial active set.
+//! 3. **Frontier-restricted sweeps** — local-move sweeps run only over
+//!    the active set, reusing the dual-SPA sweep kernel through
+//!    [`HostEngine`] with a frontier vertex schedule. Each sweep the
+//!    frontier *ripples*: [`next_active_into`] expands it to the
+//!    neighbors of whatever moved, so changes propagate exactly as far
+//!    as they improve the map equation.
+//! 4. **Quality guard** — the incremental codelength is compared against
+//!    the anchor (the codelength of the last full run) under a drift
+//!    budget. Exceeding the budget — or a frontier that rippled across
+//!    too much of the graph — triggers a full multilevel fallback, which
+//!    also re-anchors the drift reference. Both paths poll the
+//!    [`CancelToken`] at sweep boundaries.
+//!
+//! The incremental pass never coarsens, so it can only refine locally;
+//! the drift budget is what bounds the slow quality erosion this could
+//! otherwise accumulate across many batches. Telemetry:
+//! `infomap.incr.frontier_size` / `infomap.incr.ripple_rounds` gauges
+//! (plus flight-recorder instants) per batch and an
+//! `infomap.incr.fallback` counter/instant when the guard fires.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use asa_graph::delta::{DeltaGraph, EdgeDelta};
+use asa_graph::{CsrGraph, NodeId, Partition};
+use asa_obs::Obs;
+
+use crate::cancel::CancelToken;
+use crate::config::InfomapConfig;
+use crate::driver::HostEngine;
+use crate::flow::FlowNetwork;
+use crate::local_move::{apply_decisions, next_active_into};
+use crate::mapeq::{plogp, MapState};
+use crate::result::{InfomapResult, KernelTimings, LevelInfo};
+use crate::schedule::{optimize_multilevel_cancellable, DecideEngine, SweepCtx, REFINE_LEVEL};
+
+/// Knobs of the incremental path's quality guard.
+#[derive(Debug, Clone)]
+pub struct IncrementalConfig {
+    /// Maximum tolerated relative codelength regression of an incremental
+    /// pass against the anchor (the last full run): exceeding
+    /// `anchor * (1 + drift_budget)` forces a full multilevel fallback.
+    pub drift_budget: f64,
+    /// Maximum fraction of vertices the rippling frontier may touch in
+    /// one batch before the pass is declared non-local and falls back.
+    pub frontier_budget: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            drift_budget: 0.01,
+            frontier_budget: 0.5,
+        }
+    }
+}
+
+/// Why the quality guard replaced an incremental pass with a full run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Incremental codelength drifted past the anchor's budget.
+    DriftExceeded,
+    /// The frontier rippled across more than the budgeted fraction of
+    /// the graph — a full run is no more expensive at that point.
+    FrontierExploded,
+}
+
+impl FallbackReason {
+    /// Stable lowercase name for telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackReason::DriftExceeded => "drift_exceeded",
+            FallbackReason::FrontierExploded => "frontier_exploded",
+        }
+    }
+}
+
+/// Outcome of one [`IncrementalState::apply`] call.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The run's result on the merged graph. For an incremental pass the
+    /// level statistics carry one frontier-restricted refinement entry;
+    /// for a fallback they are the full multilevel breakdown.
+    pub result: InfomapResult,
+    /// `None` when the frontier-restricted pass was accepted; the
+    /// guard's reason when a full multilevel run replaced it.
+    pub fallback: Option<FallbackReason>,
+    /// Initial frontier size (delta endpoints plus touched-module
+    /// boundary vertices).
+    pub frontier_size: usize,
+    /// Sweeps the incremental pass executed before converging (frontier
+    /// ripple rounds). Counts the attempted pass even when the guard
+    /// then fell back.
+    pub ripple_rounds: usize,
+    /// Chain fingerprint identifying the produced graph version.
+    pub chain_fingerprint: u64,
+}
+
+impl IncrementalOutcome {
+    /// Whether the frontier-restricted pass was accepted.
+    pub fn incremental(&self) -> bool {
+        self.fallback.is_none()
+    }
+}
+
+/// Live state of one dynamic graph: the delta overlay, the current
+/// partition, and the quality-guard anchor. See the module docs.
+#[derive(Debug)]
+pub struct IncrementalState {
+    graph: DeltaGraph,
+    /// Materialized merged CSR of the current version (what the flow
+    /// network and any fallback run are built from).
+    merged: Arc<CsrGraph>,
+    partition: Partition,
+    codelength: f64,
+    /// Codelength of the last *full* run — the drift reference.
+    anchor_codelength: f64,
+    cfg: InfomapConfig,
+    icfg: IncrementalConfig,
+}
+
+impl IncrementalState {
+    /// Seeds the state with a full (cancellable) run on `base`. Returns
+    /// the state plus that run's result.
+    pub fn new(
+        base: Arc<CsrGraph>,
+        cfg: InfomapConfig,
+        icfg: IncrementalConfig,
+        obs: &Obs,
+        cancel: &CancelToken,
+    ) -> (Self, InfomapResult) {
+        let result = crate::detect_communities_cancellable(&base, &cfg, obs, cancel);
+        let state = IncrementalState {
+            graph: DeltaGraph::new(Arc::clone(&base)),
+            merged: base,
+            partition: result.partition.clone(),
+            codelength: result.codelength,
+            anchor_codelength: result.codelength,
+            cfg,
+            icfg,
+        };
+        (state, result)
+    }
+
+    /// The delta overlay (base + net patches).
+    pub fn graph(&self) -> &DeltaGraph {
+        &self.graph
+    }
+
+    /// The materialized merged graph of the current version.
+    pub fn merged(&self) -> &Arc<CsrGraph> {
+        &self.merged
+    }
+
+    /// Current vertex→module assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Codelength of [`IncrementalState::partition`] on the current
+    /// version, in bits.
+    pub fn codelength(&self) -> f64 {
+        self.codelength
+    }
+
+    /// The quality guard's drift reference (codelength of the last full
+    /// run).
+    pub fn anchor_codelength(&self) -> f64 {
+        self.anchor_codelength
+    }
+
+    /// The Infomap configuration this state optimizes under.
+    pub fn config(&self) -> &InfomapConfig {
+        &self.cfg
+    }
+
+    /// Chain fingerprint of the current version.
+    pub fn chain_fingerprint(&self) -> u64 {
+        self.graph.chain_fingerprint()
+    }
+
+    /// The chain head `apply(delta)` would produce.
+    pub fn fingerprint_after(&self, delta: &EdgeDelta) -> u64 {
+        self.graph.fingerprint_after(delta)
+    }
+
+    /// Folds the overlay into a fresh base CSR. Chain identity — and
+    /// therefore every cache entry keyed on it — is preserved.
+    pub fn compact(&mut self) {
+        let head = self.graph.chain_fingerprint();
+        self.merged = self.graph.compact();
+        debug_assert_eq!(self.graph.chain_fingerprint(), head);
+    }
+
+    /// Applies one delta batch and re-optimizes. An empty delta is a
+    /// strict no-op returning the identical partition. See the module
+    /// docs for the algorithm and the quality-guard contract.
+    pub fn apply(
+        &mut self,
+        delta: &EdgeDelta,
+        obs: &Obs,
+        cancel: &CancelToken,
+    ) -> IncrementalOutcome {
+        let _run = obs.span("infomap.incr");
+        if delta.is_empty() {
+            return IncrementalOutcome {
+                result: self.snapshot_result(self.codelength, Vec::new(), KernelTimings::default()),
+                fallback: None,
+                frontier_size: 0,
+                ripple_rounds: 0,
+                chain_fingerprint: self.graph.chain_fingerprint(),
+            };
+        }
+        let chain = self.graph.apply(delta);
+        let t = Instant::now();
+        let flow = {
+            let _sp = obs.span("incr.flow");
+            self.merged = Arc::new(self.graph.materialize());
+            FlowNetwork::from_graph(&self.merged, &self.cfg)
+        };
+        let mut timings = KernelTimings {
+            pagerank: t.elapsed(),
+            ..KernelTimings::default()
+        };
+
+        let n = flow.num_nodes();
+        let node_plogp0: f64 = flow.node_flows().iter().copied().map(plogp).sum();
+        let mode = self.cfg.teleport_mode();
+        self.partition.compact();
+        let mut state = MapState::with_options(&flow, &self.partition, node_plogp0, mode);
+        let seeded_codelength = state.codelength();
+
+        // Touched frontier: endpoints of changed arcs plus the boundary
+        // vertices of their modules.
+        let mut active = initial_frontier(&flow, &self.partition, &delta.endpoints());
+        let frontier_size = active.len();
+        obs.gauge("infomap.incr.frontier_size")
+            .set(frontier_size as u64);
+        obs.trace_instant("infomap.incr.frontier_size", "infomap");
+
+        // Frontier-restricted sweep loop (mirrors the schedule's sweep
+        // body, minus coarsening) over the previous partition.
+        let mut engine = HostEngine::with_obs(&self.cfg, obs);
+        let mut labels: Vec<u32> = Vec::new();
+        let mut mark: Vec<bool> = Vec::new();
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut touched = vec![false; n];
+        let mut touched_total = 0usize;
+        let mut interrupted = false;
+        let mut info = LevelInfo {
+            nodes: n,
+            sweeps: 0,
+            moves: 0,
+            codelength_before: seeded_codelength,
+            codelength_after: seeded_codelength,
+            sweep_seconds: Vec::new(),
+            sweep_active: Vec::new(),
+            refinement: true,
+        };
+        for sweep in 0..self.cfg.max_sweeps {
+            if active.is_empty() {
+                break;
+            }
+            for &u in &active {
+                if !touched[u as usize] {
+                    touched[u as usize] = true;
+                    touched_total += 1;
+                }
+            }
+            let _sweep_sp = obs.span("sweep");
+            let t = Instant::now();
+            labels.clear();
+            labels.extend_from_slice(self.partition.labels());
+            let decisions = engine.decide(&SweepCtx {
+                flow: &flow,
+                labels: &labels,
+                state: &state,
+                active: &active,
+                outer: 0,
+                level: REFINE_LEVEL,
+                sweep,
+            });
+            let applied = apply_decisions(
+                &flow,
+                &mut self.partition,
+                &mut state,
+                &decisions,
+                self.cfg.min_improvement,
+            );
+            let dt = t.elapsed();
+            timings.find_best += dt;
+            info.sweeps += 1;
+            info.moves += applied.applied;
+            info.sweep_seconds.push(dt.as_secs_f64());
+            info.sweep_active.push(active.len());
+            if cancel.poll() {
+                interrupted = true;
+                obs.trace_instant("infomap.cancelled", "infomap");
+                break;
+            }
+            if applied.applied == 0 {
+                break;
+            }
+            next_active_into(&flow, &applied.moved, &mut mark, &mut next);
+            std::mem::swap(&mut active, &mut next);
+        }
+        let ripple_rounds = info.sweeps;
+        obs.gauge("infomap.incr.ripple_rounds")
+            .set(ripple_rounds as u64);
+        obs.trace_instant("infomap.incr.ripple_rounds", "infomap");
+
+        let incremental_codelength = state.codelength();
+        info.codelength_after = incremental_codelength;
+
+        // Quality guard. A cancelled pass skips it: the fallback would be
+        // cancelled immediately too, so the partial incremental answer is
+        // the best available within the budget.
+        let anchor = self.anchor_codelength;
+        let drift_limit = anchor + self.icfg.drift_budget * anchor.abs();
+        let fallback = if interrupted {
+            None
+        } else if incremental_codelength > drift_limit {
+            Some(FallbackReason::DriftExceeded)
+        } else if (touched_total as f64) > self.icfg.frontier_budget * n as f64 {
+            Some(FallbackReason::FrontierExploded)
+        } else {
+            None
+        };
+
+        let result = match fallback {
+            None => {
+                self.partition.compact();
+                self.codelength = incremental_codelength;
+                self.snapshot_result(incremental_codelength, vec![info], timings)
+            }
+            Some(reason) => {
+                obs.counter("infomap.incr.fallback").incr();
+                obs.trace_instant("infomap.incr.fallback", "infomap");
+                let _sp = obs.span("incr.fallback");
+                let mut full_engine = HostEngine::with_obs(&self.cfg, obs);
+                let outcome =
+                    optimize_multilevel_cancellable(&flow, &self.cfg, &mut full_engine, cancel);
+                let mut full_timings = outcome.timings;
+                full_timings.pagerank = timings.pagerank;
+                self.partition = outcome.partition.clone();
+                self.codelength = outcome.codelength;
+                // Re-anchor: the full run is the new drift reference.
+                self.anchor_codelength = outcome.codelength;
+                let _ = reason;
+                InfomapResult {
+                    partition: outcome.partition,
+                    codelength: outcome.codelength,
+                    initial_codelength: outcome.initial_codelength,
+                    levels: outcome.levels,
+                    level_partitions: outcome.level_partitions,
+                    timings: full_timings,
+                    interrupted: outcome.interrupted,
+                }
+            }
+        };
+        let interrupted = interrupted || result.interrupted;
+        IncrementalOutcome {
+            result: InfomapResult {
+                interrupted,
+                ..result
+            },
+            fallback,
+            frontier_size,
+            ripple_rounds,
+            chain_fingerprint: chain,
+        }
+    }
+
+    /// An [`InfomapResult`] describing the current partition with the
+    /// given level breakdown.
+    fn snapshot_result(
+        &self,
+        codelength: f64,
+        levels: Vec<LevelInfo>,
+        timings: KernelTimings,
+    ) -> InfomapResult {
+        let initial_codelength = levels.first().map_or(codelength, |l| l.codelength_before);
+        InfomapResult {
+            partition: self.partition.clone(),
+            codelength,
+            initial_codelength,
+            levels,
+            level_partitions: vec![self.partition.clone()],
+            timings,
+            interrupted: false,
+        }
+    }
+}
+
+/// The touched frontier: `endpoints` plus every boundary vertex (one
+/// with an arc crossing the module boundary, in either direction) of the
+/// modules those endpoints live in. Sorted, deduplicated.
+fn initial_frontier(
+    flow: &FlowNetwork,
+    partition: &Partition,
+    endpoints: &[NodeId],
+) -> Vec<NodeId> {
+    let labels = partition.labels();
+    let modules = partition.num_communities();
+    let mut touched_module = vec![false; modules];
+    for &e in endpoints {
+        touched_module[labels[e as usize] as usize] = true;
+    }
+    let mut frontier: Vec<NodeId> = endpoints.to_vec();
+    for u in 0..flow.num_nodes() as NodeId {
+        let m = labels[u as usize];
+        if !touched_module[m as usize] {
+            continue;
+        }
+        let crosses = flow.out_arcs(u).any(|(v, _)| labels[v as usize] != m)
+            || flow.in_arcs(u).any(|(v, _)| labels[v as usize] != m);
+        if crosses {
+            frontier.push(u);
+        }
+    }
+    frontier.sort_unstable();
+    frontier.dedup();
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::generators::{planted_partition, PlantedConfig};
+    use asa_graph::GraphBuilder;
+
+    fn planted() -> Arc<CsrGraph> {
+        let (g, _) = planted_partition(
+            &PlantedConfig {
+                communities: 6,
+                community_size: 40,
+                k_in: 10.0,
+                k_out: 1.0,
+            },
+            19,
+        );
+        Arc::new(g)
+    }
+
+    fn seed(base: Arc<CsrGraph>) -> IncrementalState {
+        IncrementalState::new(
+            base,
+            InfomapConfig::default(),
+            IncrementalConfig::default(),
+            &Obs::disabled(),
+            &CancelToken::none(),
+        )
+        .0
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let mut st = seed(planted());
+        let before_labels = st.partition().labels().to_vec();
+        let before_head = st.chain_fingerprint();
+        let out = st.apply(&EdgeDelta::new(), &Obs::disabled(), &CancelToken::none());
+        assert!(out.incremental());
+        assert_eq!(out.frontier_size, 0);
+        assert_eq!(out.ripple_rounds, 0);
+        assert_eq!(out.chain_fingerprint, before_head);
+        assert_eq!(out.result.partition.labels(), &before_labels[..]);
+        assert_eq!(st.partition().labels(), &before_labels[..]);
+    }
+
+    #[test]
+    fn small_delta_stays_incremental_and_tracks_quality() {
+        let base = planted();
+        let mut st = seed(Arc::clone(&base));
+        // Strengthen a handful of intra-community edges: local work only.
+        let mut d = EdgeDelta::new();
+        d.insert(0, 1, 0.5).insert(2, 3, 0.5).insert(40, 41, 0.5);
+        let out = st.apply(&d, &Obs::disabled(), &CancelToken::none());
+        assert!(out.incremental(), "local edit must not trigger fallback");
+        assert!(out.frontier_size > 0);
+        assert!(out.ripple_rounds >= 1);
+        // Quality: within the drift budget of a fresh run on the merged
+        // graph.
+        let fresh = crate::detect_communities(st.merged(), st.config());
+        let budget = st.icfg.drift_budget;
+        assert!(
+            st.codelength() <= fresh.codelength * (1.0 + budget) + 1e-9,
+            "incremental {} vs fresh {}",
+            st.codelength(),
+            fresh.codelength
+        );
+    }
+
+    #[test]
+    fn destructive_delta_falls_back_and_reanchors() {
+        // A chain of tiny cliques; the delta rewires it into one dense
+        // blob, invalidating the old partition globally.
+        let mut b = GraphBuilder::undirected(24);
+        for c in 0..6u32 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j, 8.0);
+                }
+            }
+            b.add_edge(base, ((c + 1) % 6) * 4, 0.1);
+        }
+        let mut st = seed(Arc::new(b.build()));
+        let mut d = EdgeDelta::new();
+        for u in 0..24u32 {
+            for v in (u + 1)..24 {
+                if st.graph().arc_weight(u, v).is_none() {
+                    d.insert(u, v, 6.0);
+                }
+            }
+        }
+        let out = st.apply(&d, &Obs::disabled(), &CancelToken::none());
+        assert!(out.fallback.is_some(), "global rewire must fall back");
+        // Fallback re-anchors the drift reference to its own codelength.
+        assert_eq!(st.anchor_codelength(), st.codelength());
+        // The fallback is bit-identical to a fresh run on the merged
+        // graph (same flow, same deterministic schedule).
+        let fresh = crate::detect_communities(st.merged(), st.config());
+        assert_eq!(st.codelength().to_bits(), fresh.codelength.to_bits());
+        assert_eq!(st.partition().labels(), fresh.partition.labels());
+    }
+
+    #[test]
+    fn cancelled_apply_returns_valid_partial_state() {
+        let base = planted();
+        let mut st = seed(Arc::clone(&base));
+        let mut d = EdgeDelta::new();
+        for u in 0..60u32 {
+            d.insert(u, (u + 97) % 240, 2.0);
+        }
+        let cancel = CancelToken::after_polls(1);
+        let out = st.apply(&d, &Obs::disabled(), &cancel);
+        assert!(out.result.interrupted);
+        assert!(out.result.codelength.is_finite());
+        assert_eq!(out.result.partition.len(), base.num_nodes());
+        // State stays coherent for the next batch.
+        assert_eq!(st.partition().len(), base.num_nodes());
+    }
+
+    #[test]
+    fn compaction_preserves_chain_and_partition() {
+        let mut st = seed(planted());
+        let mut d = EdgeDelta::new();
+        d.insert(5, 9, 1.0).delete(0, 1);
+        let out = st.apply(&d, &Obs::disabled(), &CancelToken::none());
+        let head = out.chain_fingerprint;
+        let labels = st.partition().labels().to_vec();
+        let merged_fp = st.merged().fingerprint();
+        st.compact();
+        assert_eq!(st.chain_fingerprint(), head);
+        assert_eq!(st.partition().labels(), &labels[..]);
+        assert_eq!(st.merged().fingerprint(), merged_fp);
+    }
+}

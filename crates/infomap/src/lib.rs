@@ -38,6 +38,7 @@ pub mod exhaustive;
 pub mod find_best;
 pub mod flow;
 pub mod hierarchy;
+pub mod incremental;
 pub mod instrumented;
 pub mod kernel;
 pub mod local_move;
@@ -55,5 +56,6 @@ pub use driver::{
     detect_communities_renumbered, Infomap,
 };
 pub use flow::FlowNetwork;
+pub use incremental::{FallbackReason, IncrementalConfig, IncrementalOutcome, IncrementalState};
 pub use mapeq::MapState;
 pub use result::{InfomapResult, KernelTimings};

@@ -40,18 +40,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use asa_graph::fnv1a64;
+use asa_infomap::incremental::IncrementalOutcome;
 use asa_infomap::{
     detect_communities_cancellable, detect_communities_distributed_cancellable, CancelToken,
-    InfomapConfig, InfomapResult,
+    IncrementalConfig, IncrementalState, InfomapConfig, InfomapResult,
 };
 use asa_obs::{intern_name, Counter, Gauge, HealthState, Hist, Obs, SloConfig, SloEngine, TraceId};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::queue::{JobQueue, Popped, PushError};
 use crate::request::{
-    DegradeReason, JobHandle, Outcome, Priority, Request, Response, ResponseSlot,
+    DegradeReason, JobHandle, Outcome, Priority, Request, RequestKind, Response, ResponseSlot,
+    UpdateInfo,
 };
-use crate::shard::{ReplicationConfig, Router, ShardStats};
+use crate::shard::{ReplicationConfig, RouteDecision, Router, ShardStats};
+use crate::store::PartitionStore;
 
 /// Stable 64-bit hash of an Infomap configuration, for cache keying.
 /// FNV-1a over the `Debug` rendering: every field participates, and the
@@ -109,6 +112,17 @@ pub struct ServeConfig {
     /// start running degraded (ladder rung 1; rung 2 engages at twice
     /// this depth).
     pub degrade_depth: usize,
+    /// Live [`IncrementalState`]s each shard keeps for update streams
+    /// (LRU-bounded; 0 disables reuse, making every update a cold full
+    /// run).
+    pub partition_store_capacity: usize,
+    /// Delta batches a stream accumulates before its overlay is compacted
+    /// back into a fresh base CSR. Compaction preserves chain identity,
+    /// so cached results stay addressable.
+    pub partition_compact_batches: usize,
+    /// Quality-guard knobs (drift budget, frontier budget) for the
+    /// incremental Infomap path behind [`RequestKind::Update`].
+    pub incremental: IncrementalConfig,
     /// Telemetry handle. Serving metrics (queue depth gauges, per-class
     /// latency histograms, shed/degrade/cache/steal counters) register
     /// here; pass a disabled handle to keep metrics readable via
@@ -138,6 +152,9 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_ttl: Duration::from_secs(300),
             degrade_depth: 8,
+            partition_store_capacity: 32,
+            partition_compact_batches: 8,
+            incremental: IncrementalConfig::default(),
             obs: Obs::disabled(),
             slo: None,
         }
@@ -165,7 +182,17 @@ struct Metrics {
     dist_update_bytes: Counter,
     dist_supersteps: Counter,
     dist_cut_arcs: Counter,
+    partition_hits: Counter,
+    partition_misses: Counter,
+    partition_evicted: Counter,
+    update_incremental: Counter,
+    update_fallback: Counter,
+    update_cold: Counter,
     queue_depth: Gauge,
+    partition_store: Gauge,
+    /// Quality-guard fallbacks per 1000 warm updates, for SLO objectives
+    /// over the fallback rate (gauges are integers, hence permille).
+    update_fallback_permille: Gauge,
     latency_interactive_us: Hist,
     latency_batch_us: Hist,
 }
@@ -189,7 +216,15 @@ impl Metrics {
             dist_update_bytes: obs.counter("serve.dist.update_bytes"),
             dist_supersteps: obs.counter("serve.dist.supersteps"),
             dist_cut_arcs: obs.counter("serve.dist.cut_arcs"),
+            partition_hits: obs.counter("serve.partition.hits"),
+            partition_misses: obs.counter("serve.partition.misses"),
+            partition_evicted: obs.counter("serve.partition.evicted"),
+            update_incremental: obs.counter("serve.update.incremental"),
+            update_fallback: obs.counter("serve.update.fallback"),
+            update_cold: obs.counter("serve.update.cold"),
             queue_depth: obs.gauge("serve.queue.depth"),
+            partition_store: obs.gauge("serve.partition.store"),
+            update_fallback_permille: obs.gauge("serve.update.fallback_permille"),
             latency_interactive_us: obs.hist("serve.latency_us.interactive"),
             latency_batch_us: obs.hist("serve.latency_us.batch"),
         }
@@ -207,10 +242,15 @@ impl Metrics {
 /// (`serve.shard.N.*`; names interned once per shard index).
 struct Shard {
     queue: JobQueue<Job>,
+    /// Live incremental states of the update streams homed here. The
+    /// store belongs to the shard (not the worker), so a stolen update
+    /// job still reads and writes its routed shard's streams.
+    store: PartitionStore,
     /// Interned `serve.shard.N.queue.depth`, doubling as the gauge name
     /// and the flight-recorder counter-track name for this shard.
     depth_name: &'static str,
     queue_depth: Gauge,
+    partition_store: Gauge,
     executed_local: Counter,
     steals_in: Counter,
     steals_out: Counter,
@@ -228,13 +268,20 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(i: usize, cfg: &ServeConfig, obs: &Obs) -> Self {
+    fn new(i: usize, cfg: &ServeConfig, obs: &Obs, metrics: &Metrics) -> Self {
         let name = |suffix: &str| intern_name(&format!("serve.shard.{i}.{suffix}"));
         let depth_name = name("queue.depth");
         Shard {
             queue: JobQueue::new(cfg.queue_capacity_interactive, cfg.queue_capacity_batch),
+            store: PartitionStore::with_counters(
+                cfg.partition_store_capacity,
+                metrics.partition_hits.clone(),
+                metrics.partition_misses.clone(),
+                metrics.partition_evicted.clone(),
+            ),
             depth_name,
             queue_depth: obs.gauge(depth_name),
+            partition_store: obs.gauge(name("partition.store")),
             executed_local: obs.counter(name("executed")),
             steals_in: obs.counter(name("steals_in")),
             steals_out: obs.counter(name("steals_out")),
@@ -342,6 +389,21 @@ pub struct EngineStats {
     pub dist_supersteps: u64,
     /// Cut arcs across rank layouts built by distributed runs.
     pub dist_cut_arcs: u64,
+    /// Update-stream lookups that found live incremental state.
+    pub partition_hits: u64,
+    /// Update-stream lookups that found none (cold seeds).
+    pub partition_misses: u64,
+    /// Live streams evicted from partition stores by LRU pressure.
+    pub partition_evicted: u64,
+    /// Live streams across every shard's partition store when the stats
+    /// were read.
+    pub partition_live: u64,
+    /// Warm updates answered by the frontier-restricted incremental pass.
+    pub update_incremental: u64,
+    /// Warm updates the quality guard forced to a full multilevel run.
+    pub update_fallback: u64,
+    /// Updates that had to seed stream state with a cold full run.
+    pub update_cold: u64,
     /// Total queue depth (all shards) when the stats were read.
     pub queue_depth_last: u64,
     /// Highest *total* queue depth ever observed at a submit.
@@ -422,6 +484,18 @@ impl Shared {
             .obs
             .trace_counter("serve.queue.depth", total as i64);
     }
+
+    /// Updates the per-shard and engine-wide partition-store gauges after
+    /// `shard`'s store gained or evicted a stream.
+    fn note_partitions(&self, shard: usize) {
+        let s = &self.shards[shard];
+        s.partition_store.set(s.store.len() as u64);
+        let total: usize = self.shards.iter().map(|s| s.store.len()).sum();
+        self.metrics.partition_store.set(total as u64);
+        self.cfg
+            .obs
+            .trace_counter("serve.partition.store", total as i64);
+    }
 }
 
 /// The in-process community-detection service. See the module docs.
@@ -497,7 +571,7 @@ impl ServeEngine {
             engine
         });
         let shards = (0..cfg.shards)
-            .map(|i| Shard::new(i, &cfg, &metrics_obs))
+            .map(|i| Shard::new(i, &cfg, &metrics_obs, &metrics))
             .collect();
         let shared = Arc::new(Shared {
             router: Router::new(cfg.shards, cfg.replication.clone()),
@@ -553,7 +627,25 @@ impl ServeEngine {
         let trace = obs.mint_trace_id();
         obs.trace_async_begin(trace, "request", "request");
 
-        let routed = self.shared.router.route(fingerprint);
+        // Update streams route by chain anchor (the base fingerprint all
+        // versions of the stream share) straight to the home shard — the
+        // stream's live state resides there, so replication would only
+        // scatter it. For updates `key` is the *stream* key; the result
+        // cache is probed in `run_update` under the per-version chain
+        // fingerprint, which is unknowable before the stream state is
+        // consulted.
+        let is_update = matches!(request.kind, RequestKind::Update(_));
+        let routed = if is_update {
+            let home = self.shared.router.home(fingerprint);
+            RouteDecision {
+                shard: home,
+                home,
+                replicas: 1,
+                replicated_now: false,
+            }
+        } else {
+            self.shared.router.route(fingerprint)
+        };
         if routed.replicated_now {
             m.replications.incr();
             // The replica just added is the newest member of the routing
@@ -567,9 +659,14 @@ impl ServeEngine {
         // Admission-time cache check: hits never consume queue capacity.
         // The cache is engine-wide, so a hit lands no matter which shard
         // computed the entry.
-        obs.trace_async_begin(trace, "cache_probe", "request");
-        let admission_hit = self.shared.cache.get(&key);
-        obs.trace_async_end(trace, "cache_probe", "request");
+        let admission_hit = if is_update {
+            None
+        } else {
+            obs.trace_async_begin(trace, "cache_probe", "request");
+            let hit = self.shared.cache.get(&key);
+            obs.trace_async_end(trace, "cache_probe", "request");
+            hit
+        };
         if let Some(hit) = admission_hit {
             m.cache_hits.incr();
             shard.note_cache_hit(routed.shard == routed.home, false);
@@ -585,6 +682,7 @@ impl ServeEngine {
                 trace_id: trace.0,
                 shard: routed.shard,
                 stolen: false,
+                update: None,
             });
             obs.trace_async_end(trace, "request", "request");
             return handle;
@@ -618,6 +716,7 @@ impl ServeEngine {
                     trace_id: trace.0,
                     shard: routed.shard,
                     stolen: false,
+                    update: None,
                 });
                 obs.trace_async_end(trace, "request", "request");
             }
@@ -656,6 +755,18 @@ impl ServeEngine {
             dist_update_bytes: m.dist_update_bytes.value(),
             dist_supersteps: m.dist_supersteps.value(),
             dist_cut_arcs: m.dist_cut_arcs.value(),
+            partition_hits: m.partition_hits.value(),
+            partition_misses: m.partition_misses.value(),
+            partition_evicted: m.partition_evicted.value(),
+            partition_live: self
+                .shared
+                .shards
+                .iter()
+                .map(|s| s.store.len() as u64)
+                .sum(),
+            update_incremental: m.update_incremental.value(),
+            update_fallback: m.update_fallback.value(),
+            update_cold: m.update_cold.value(),
             queue_depth_last: self.shared.total_depth() as u64,
             queue_depth_max: m.queue_depth.max(),
             latency_interactive: LatencyStats::from_hist(&m.latency_interactive_us),
@@ -784,6 +895,9 @@ fn worker_loop(shared: &Shared, me: usize) {
 /// executing shard; `job.shard` is the routed one (they differ exactly
 /// when `stolen`).
 fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: bool) {
+    if matches!(job.request.kind, RequestKind::Update(_)) {
+        return run_update(shared, me, priority, job, stolen);
+    }
     let m = &shared.metrics;
     let obs = &shared.cfg.obs;
     let trace = job.trace;
@@ -813,6 +927,7 @@ fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: boo
             trace_id: trace.0,
             shard: if stolen { me } else { job.shard },
             stolen,
+            update: None,
         });
         obs.trace_async_end(trace, "request", "request");
         return;
@@ -836,6 +951,7 @@ fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: boo
             trace_id: trace.0,
             shard: if stolen { me } else { job.shard },
             stolen,
+            update: None,
         });
         obs.trace_async_end(trace, "request", "request");
         return;
@@ -942,6 +1058,193 @@ fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: boo
         trace_id: trace.0,
         shard: if stolen { me } else { job.shard },
         stolen,
+        update: None,
+    });
+    obs.trace_async_end(trace, "respond", "request");
+    obs.trace_async_end(trace, "request", "request");
+}
+
+/// Runs one dequeued (or stolen) streaming-update job to its terminal
+/// outcome. The stream's state lives on the *routed* shard's partition
+/// store (`job.shard`), so a stolen job still operates on the right
+/// stream; concurrent updates to one stream serialize on the state's
+/// mutex and fold in submission-arrival order.
+fn run_update(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: bool) {
+    let m = &shared.metrics;
+    let obs = &shared.cfg.obs;
+    let trace = job.trace;
+    obs.trace_async_end(trace, "queue", "request");
+    obs.trace_async_begin(trace, "dispatch", "request");
+    let _scope = obs.trace_scope(trace);
+    let dequeued = Instant::now();
+    let queued = dequeued - job.submitted;
+    let shard = if stolen { me } else { job.shard };
+
+    if job.deadline.is_some_and(|d| dequeued >= d) {
+        m.deadline_exceeded.incr();
+        m.latency(priority).record(queued.as_micros() as u64);
+        obs.trace_async_end(trace, "dispatch", "request");
+        job.slot.fill(Response {
+            outcome: Outcome::DeadlineExceeded,
+            queued,
+            service: Duration::ZERO,
+            total: queued,
+            cache_hit: false,
+            trace_id: trace.0,
+            shard,
+            stolen,
+            update: None,
+        });
+        obs.trace_async_end(trace, "request", "request");
+        return;
+    }
+
+    let RequestKind::Update(ref delta) = job.request.kind else {
+        unreachable!("run_update dispatches on RequestKind::Update");
+    };
+    let cancel = match job.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::none(),
+    };
+    let run_obs = if obs.trace_enabled() {
+        obs.clone()
+    } else {
+        Obs::disabled()
+    };
+    obs.trace_async_end(trace, "dispatch", "request");
+    obs.trace_async_begin(trace, "execute", "request");
+    let t = Instant::now();
+
+    // The stream's live state, seeded with a full run on first contact
+    // (or after an eviction / config change).
+    let store = &shared.shards[job.shard].store;
+    let (state_arc, cold) = match store.get(job.key) {
+        Some(state) => (state, false),
+        None => {
+            m.update_cold.incr();
+            let (state, _) = IncrementalState::new(
+                Arc::clone(&job.request.graph),
+                job.request.config.clone(),
+                shared.cfg.incremental.clone(),
+                &run_obs,
+                &cancel,
+            );
+            let state = Arc::new(Mutex::new(state));
+            store.insert(job.key, Arc::clone(&state));
+            (state, true)
+        }
+    };
+    shared.note_partitions(job.shard);
+
+    let mut state = state_arc.lock().unwrap();
+    let chain = state.fingerprint_after(delta);
+    let cache_key = (chain, job.key.1);
+
+    // A net no-op delta (empty, or edits cancelling the pending overlay)
+    // leaves the chain head in place, so the shared result cache may
+    // already hold this exact version+config — serve it without running.
+    // Chain-advancing deltas always run: the stream state must advance
+    // with them.
+    if chain == state.chain_fingerprint() {
+        if let Some(hit) = shared.cache.get(&cache_key) {
+            drop(state);
+            m.cache_hits.incr();
+            shared.shards[job.shard].note_cache_hit(job.shard == job.home, stolen);
+            m.completed.incr();
+            let total = job.submitted.elapsed();
+            m.latency(priority).record(total.as_micros() as u64);
+            obs.trace_async_end(trace, "execute", "request");
+            job.slot.fill(Response {
+                outcome: Outcome::Ok(hit),
+                queued,
+                service: t.elapsed(),
+                total,
+                cache_hit: true,
+                trace_id: trace.0,
+                shard,
+                stolen,
+                update: Some(UpdateInfo {
+                    incremental: !cold,
+                    fallback: None,
+                    cold,
+                    frontier_size: 0,
+                    ripple_rounds: 0,
+                    chain_fingerprint: chain,
+                }),
+            });
+            obs.trace_async_end(trace, "request", "request");
+            return;
+        }
+    }
+    m.cache_misses.incr();
+
+    let IncrementalOutcome {
+        result,
+        fallback,
+        frontier_size,
+        ripple_rounds,
+        chain_fingerprint,
+    } = state.apply(delta, &run_obs, &cancel);
+    debug_assert_eq!(chain_fingerprint, chain);
+    if state.graph().batches_since_compact() > shared.cfg.partition_compact_batches {
+        state.compact();
+    }
+    drop(state);
+    let service = t.elapsed();
+    obs.trace_async_end(trace, "execute", "request");
+    obs.trace_async_begin(trace, "respond", "request");
+
+    // Warm updates feed the fallback-rate telemetry (cold seeds are full
+    // runs by construction, not guard decisions).
+    if !cold {
+        if fallback.is_none() {
+            m.update_incremental.incr();
+        } else {
+            m.update_fallback.incr();
+        }
+        let warm = m.update_incremental.value() + m.update_fallback.value();
+        m.update_fallback_permille
+            .set(m.update_fallback.value() * 1000 / warm.max(1));
+    }
+
+    let interrupted = result.interrupted;
+    if interrupted {
+        m.degraded_deadline.incr();
+    }
+    let result: Arc<InfomapResult> = Arc::new(result);
+    // Cache under the *chain* fingerprint: server-side compaction rebases
+    // the overlay without moving the chain, so warm entries survive it.
+    if !interrupted {
+        shared.cache.insert(cache_key, Arc::clone(&result));
+    }
+    let outcome = if interrupted {
+        Outcome::Degraded {
+            result,
+            reason: DegradeReason::Deadline,
+        }
+    } else {
+        Outcome::Ok(result)
+    };
+    m.completed.incr();
+    let total = job.submitted.elapsed();
+    m.latency(priority).record(total.as_micros() as u64);
+    job.slot.fill(Response {
+        outcome,
+        queued,
+        service,
+        total,
+        cache_hit: false,
+        trace_id: trace.0,
+        shard,
+        stolen,
+        update: Some(UpdateInfo {
+            incremental: !cold && fallback.is_none(),
+            fallback,
+            cold,
+            frontier_size,
+            ripple_rounds,
+            chain_fingerprint,
+        }),
     });
     obs.trace_async_end(trace, "respond", "request");
     obs.trace_async_end(trace, "request", "request");
@@ -1059,6 +1362,121 @@ mod tests {
             assert!(response.outcome.result().is_some());
         }
         assert_eq!(stats.completed, 16);
+    }
+
+    /// Six 4-cliques in a ring, weakly linked through their base
+    /// vertices: big enough that an intra-clique edit stays well inside
+    /// the incremental path's frontier budget.
+    fn clique_chain() -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::undirected(24);
+        for c in 0..6u32 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j, 8.0);
+                }
+            }
+            b.add_edge(base, ((c + 1) % 6) * 4, 0.1);
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn update_stream_cold_then_incremental() {
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let graph = clique_chain();
+
+        let mut d1 = asa_graph::EdgeDelta::new();
+        d1.insert(1, 2, 0.5);
+        let first = engine
+            .submit(Request::update(Arc::clone(&graph), d1))
+            .wait();
+        let u1 = first.update.expect("update info on update responses");
+        assert!(u1.cold, "first contact seeds the stream");
+        assert!(!u1.incremental);
+        assert!(first.outcome.result().is_some());
+
+        let mut d2 = asa_graph::EdgeDelta::new();
+        d2.insert(5, 6, 0.5);
+        let second = engine
+            .submit(Request::update(Arc::clone(&graph), d2))
+            .wait();
+        let u2 = second.update.expect("update info");
+        assert!(!u2.cold, "stream state is live now");
+        assert!(u2.incremental, "local edit resolves incrementally");
+        assert!(u2.frontier_size > 0);
+        assert_ne!(u2.chain_fingerprint, u1.chain_fingerprint);
+
+        let stats = engine.shutdown();
+        assert_eq!(stats.update_cold, 1);
+        assert_eq!(stats.update_incremental, 1);
+        assert_eq!(stats.partition_misses, 1);
+        assert_eq!(stats.partition_hits, 1);
+        assert_eq!(stats.partition_live, 1);
+    }
+
+    #[test]
+    fn compaction_preserves_cache_identity() {
+        // Compact the stream's overlay after every batch; a warm repeat
+        // of the same version must still hit the shared result cache,
+        // i.e. the chain fingerprint — the cache key — survives
+        // compaction even though the rebased CSR re-fingerprints.
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 1,
+            partition_compact_batches: 0,
+            ..ServeConfig::default()
+        });
+        let graph = two_triangles();
+        let mut d = asa_graph::EdgeDelta::new();
+        d.insert(0, 4, 0.5).delete(5, 3);
+        let first = engine.submit(Request::update(Arc::clone(&graph), d)).wait();
+        assert!(!first.cache_hit);
+        let chain = first.update.unwrap().chain_fingerprint;
+        let r1 = first.outcome.result().unwrap().clone();
+
+        // Same version again (empty delta keeps the chain head in place).
+        let second = engine
+            .submit(Request::update(graph, asa_graph::EdgeDelta::new()))
+            .wait();
+        assert!(second.cache_hit, "compaction must not move the cache key");
+        let u2 = second.update.unwrap();
+        assert_eq!(u2.chain_fingerprint, chain);
+        assert!(Arc::ptr_eq(second.outcome.result().unwrap(), &r1));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn destructive_update_reports_full_fallback() {
+        let engine = ServeEngine::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let graph = clique_chain();
+        // Seed the stream, then densify everything: the old partition is
+        // globally invalid, so the quality guard must fall back.
+        engine
+            .submit(Request::update(
+                Arc::clone(&graph),
+                asa_graph::EdgeDelta::new(),
+            ))
+            .wait();
+        let mut d = asa_graph::EdgeDelta::new();
+        for u in 0..24u32 {
+            for v in (u + 1)..24 {
+                d.insert(u, v, 6.0);
+            }
+        }
+        let response = engine.submit(Request::update(graph, d)).wait();
+        let info = response.update.expect("update info");
+        assert!(!info.cold);
+        assert!(!info.incremental);
+        assert!(info.fallback.is_some());
+        assert!(response.outcome.result().is_some());
+        let stats = engine.shutdown();
+        assert_eq!(stats.update_fallback, 1);
     }
 
     #[test]

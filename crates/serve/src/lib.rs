@@ -27,6 +27,14 @@
 //!   doesn't strand capacity. One process-wide [`cache::ResultCache`] is
 //!   shared across all shards.
 //!
+//! * **Streaming updates** — [`Request::update`] ships an
+//!   [`asa_graph::EdgeDelta`] against a live stream: updates route by
+//!   the stream's chain anchor, per-shard [`store::PartitionStore`]s
+//!   keep [`asa_infomap::IncrementalState`] warm, results cache under
+//!   the chain fingerprint, and a quality guard falls back to a full
+//!   run when codelength drift escapes its budget — reported per
+//!   response as [`request::UpdateInfo`].
+//!
 //! * **SLO health** — declarative objectives over the continuous
 //!   time-series ([`ServeConfig::slo`] + an attached obs collector):
 //!   multi-window burn-rate evaluation drives a
@@ -44,9 +52,13 @@ pub mod engine;
 pub mod queue;
 pub mod request;
 pub mod shard;
+pub mod store;
 
 pub use cache::{CacheKey, ResultCache};
 pub use engine::{config_hash, EngineStats, LatencyStats, ServeConfig, ServeEngine};
 pub use queue::{JobQueue, Popped, PushError};
-pub use request::{DegradeReason, JobHandle, Outcome, Priority, Request, Response};
+pub use request::{
+    DegradeReason, JobHandle, Outcome, Priority, Request, RequestKind, Response, UpdateInfo,
+};
 pub use shard::{ReplicationConfig, RouteDecision, Router, ShardStats};
+pub use store::PartitionStore;

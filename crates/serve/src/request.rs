@@ -3,7 +3,8 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use asa_graph::CsrGraph;
+use asa_graph::{CsrGraph, EdgeDelta};
+use asa_infomap::incremental::FallbackReason;
 use asa_infomap::{InfomapConfig, InfomapResult};
 
 /// Scheduling class of a request. Interactive requests are drained before
@@ -28,11 +29,28 @@ impl Priority {
     }
 }
 
+/// What a request asks the engine to do.
+#[derive(Debug, Clone)]
+pub enum RequestKind {
+    /// Partition [`Request::graph`] from scratch (the classic request).
+    Detect,
+    /// Apply an edge-delta batch to the dynamic-graph stream anchored at
+    /// [`Request::graph`]'s fingerprint and re-optimize incrementally.
+    /// The stream's live [`asa_infomap::IncrementalState`] is kept in the
+    /// home shard's partition store; update streams route by the chain
+    /// *anchor* (the base fingerprint, shared by all versions of the
+    /// stream) so they stay shard-affine, and are never replicated.
+    Update(EdgeDelta),
+}
+
 /// One community-detection request.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// The graph to partition. `Arc` so the caller, queue, and cache can
-    /// share one copy.
+    /// share one copy. For [`RequestKind::Update`] this is the stream's
+    /// *base snapshot*: its fingerprint is the chain anchor that names
+    /// (and routes) the stream, and it seeds the incremental state on
+    /// first contact.
     pub graph: Arc<CsrGraph>,
     /// Requested Infomap parameters. The engine may lower `outer_loops` /
     /// `max_sweeps` for batch requests under load (the response reports
@@ -45,6 +63,8 @@ pub struct Request {
     /// one that expires mid-run stops at the next sweep boundary and
     /// returns the best partition found so far as [`Outcome::Degraded`].
     pub deadline: Option<Duration>,
+    /// What to do: a from-scratch detection or a streaming update.
+    pub kind: RequestKind,
 }
 
 impl Request {
@@ -58,12 +78,26 @@ impl Request {
         Self::new(graph, Priority::Batch)
     }
 
+    /// A streaming update: apply `delta` to the dynamic-graph stream
+    /// anchored at `base`'s fingerprint and re-optimize incrementally
+    /// (interactive class, default parameters, no deadline). The first
+    /// update a shard sees for a stream seeds its incremental state with
+    /// one full run on `base`; later updates reuse the live partition.
+    /// [`Response::update`] reports how the update resolved.
+    pub fn update(base: Arc<CsrGraph>, delta: EdgeDelta) -> Self {
+        Request {
+            kind: RequestKind::Update(delta),
+            ..Self::new(base, Priority::Interactive)
+        }
+    }
+
     fn new(graph: Arc<CsrGraph>, priority: Priority) -> Self {
         Request {
             graph,
             config: InfomapConfig::default(),
             priority,
             deadline: None,
+            kind: RequestKind::Detect,
         }
     }
 
@@ -131,6 +165,30 @@ impl Outcome {
     }
 }
 
+/// How a streaming update resolved; `Some` on [`RequestKind::Update`]
+/// responses that carry a result, `None` otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateInfo {
+    /// Whether the frontier-restricted incremental pass answered this
+    /// update. `false` for the quality guard's full-multilevel fallback
+    /// *and* for the cold full run that seeds a stream's state.
+    pub incremental: bool,
+    /// The quality guard's reason when it forced the fallback (`None` for
+    /// incremental answers and cold seeds).
+    pub fallback: Option<FallbackReason>,
+    /// Whether this update found no live state (first contact, an evicted
+    /// stream, or a config change) and had to seed one with a full run.
+    pub cold: bool,
+    /// Initial touched frontier of the incremental pass.
+    pub frontier_size: usize,
+    /// Frontier-restricted sweeps the incremental pass executed.
+    pub ripple_rounds: usize,
+    /// Chain fingerprint of the graph version this response describes.
+    /// Result-cache entries for update streams key on this value, so it
+    /// is stable across server-side compactions of the delta overlay.
+    pub chain_fingerprint: u64,
+}
+
 /// Completed response: the outcome plus where the request's time went.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -156,6 +214,9 @@ pub struct Response {
     /// Whether a foreign shard's worker stole and ran this (batch) request
     /// instead of its routed shard.
     pub stolen: bool,
+    /// Streaming-update resolution details ([`RequestKind::Update`]
+    /// only).
+    pub update: Option<UpdateInfo>,
 }
 
 /// Shared completion slot between a [`JobHandle`] and the worker that

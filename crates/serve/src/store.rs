@@ -1,0 +1,201 @@
+//! Bounded per-shard store of live [`IncrementalState`]s for
+//! dynamic-graph update streams.
+//!
+//! A stream is named by its chain *anchor* — the base snapshot's
+//! fingerprint — crossed with the config hash, because a stream's chain
+//! head moves on every batch while its anchor only moves on a
+//! server-side compaction rebase the router never sees. Entries evict
+//! LRU under the capacity bound; an evicted stream is not an error, its
+//! next update simply pays one cold full run to re-seed. Lookups and
+//! evictions feed the engine-wide `serve.partition.*` counters, and the
+//! live-entry count backs the `serve.partition.store` gauge.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use asa_infomap::IncrementalState;
+use asa_obs::Counter;
+
+/// Identity of one update stream: `(chain anchor, config hash)`.
+pub type StreamKey = (u64, u64);
+
+struct Entry {
+    state: Arc<Mutex<IncrementalState>>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<StreamKey, Entry>,
+    tick: u64,
+}
+
+/// Bounded LRU map from update streams to their live incremental state.
+/// One per engine shard; streams route by anchor so a stream's state
+/// lives on exactly one shard.
+pub struct PartitionStore {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    /// Lock-free mirror of the entry count, for gauge reads.
+    live: AtomicUsize,
+    hits: Counter,
+    misses: Counter,
+    evicted: Counter,
+}
+
+impl std::fmt::Debug for PartitionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionStore")
+            .field("capacity", &self.capacity)
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+impl PartitionStore {
+    /// A store holding at most `capacity` live streams (0 disables it:
+    /// every update then runs cold). Counters are fed on every lookup and
+    /// eviction.
+    pub fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evicted: Counter,
+    ) -> Self {
+        PartitionStore {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            live: AtomicUsize::new(0),
+            hits,
+            misses,
+            evicted,
+        }
+    }
+
+    /// The stream's live state, bumping its LRU position. Counts a hit or
+    /// a miss.
+    pub fn get(&self, key: StreamKey) -> Option<Arc<Mutex<IncrementalState>>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.incr();
+                Some(Arc::clone(&entry.state))
+            }
+            None => {
+                self.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Installs (or replaces) the stream's live state, evicting the
+    /// least-recently-used stream when the store is full. With zero
+    /// capacity this is a no-op.
+    pub fn insert(&self, key: StreamKey, state: Arc<Mutex<IncrementalState>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            {
+                inner.map.remove(&victim);
+                self.evicted.incr();
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                state,
+                last_used: tick,
+            },
+        );
+        self.live.store(inner.map.len(), Ordering::Relaxed);
+    }
+
+    /// Live streams in the store.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Whether the store holds no live stream.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_graph::GraphBuilder;
+    use asa_infomap::{CancelToken, IncrementalConfig, InfomapConfig};
+    use asa_obs::Obs;
+
+    fn state() -> Arc<Mutex<IncrementalState>> {
+        let mut b = GraphBuilder::undirected(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        let (st, _) = IncrementalState::new(
+            Arc::new(b.build()),
+            InfomapConfig::default(),
+            IncrementalConfig::default(),
+            &Obs::disabled(),
+            &CancelToken::none(),
+        );
+        Arc::new(Mutex::new(st))
+    }
+
+    fn store(capacity: usize) -> (PartitionStore, Counter, Counter, Counter) {
+        let obs = Obs::new_enabled();
+        let (h, m, e) = (
+            obs.counter("t.hits"),
+            obs.counter("t.misses"),
+            obs.counter("t.evicted"),
+        );
+        (
+            PartitionStore::with_counters(capacity, h.clone(), m.clone(), e.clone()),
+            h,
+            m,
+            e,
+        )
+    }
+
+    #[test]
+    fn lru_evicts_stalest_stream() {
+        let (store, hits, misses, evicted) = store(2);
+        let shared = state();
+        store.insert((1, 0), Arc::clone(&shared));
+        store.insert((2, 0), Arc::clone(&shared));
+        assert!(store.get((1, 0)).is_some()); // bumps stream 1
+        store.insert((3, 0), shared); // evicts stream 2
+        assert_eq!(store.len(), 2);
+        assert!(store.get((1, 0)).is_some());
+        assert!(store.get((2, 0)).is_none(), "stream 2 was the LRU victim");
+        assert!(store.get((3, 0)).is_some());
+        assert_eq!(hits.value(), 3);
+        assert_eq!(misses.value(), 1);
+        assert_eq!(evicted.value(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_store() {
+        let (store, _, misses, _) = store(0);
+        store.insert((1, 0), state());
+        assert!(store.is_empty());
+        assert!(store.get((1, 0)).is_none());
+        assert_eq!(misses.value(), 1);
+    }
+}

@@ -13,7 +13,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use asa_graph::{CsrGraph, GraphBuilder};
+use asa_graph::{CsrGraph, EdgeDelta, GraphBuilder};
 use asa_obs::{expose, HealthState, Objective, Obs, SloConfig, Stat, TimeSeriesConfig, TraceKind};
 use asa_serve::{ReplicationConfig, Request, ServeConfig, ServeEngine};
 
@@ -162,6 +162,85 @@ fn overload_burst_degrades_then_recovers_with_visible_transitions() {
     assert!(report.contains("degraded"), "{report}");
     let stats = engine.shutdown();
     assert_eq!(stats.completed, 32);
+}
+
+#[test]
+fn update_fallback_rate_objective_tracks_the_quality_guard() {
+    // An SLO objective over the dynamic-graph telemetry: degrade when
+    // more than half of the warm updates in the burn windows were forced
+    // to a full multilevel run (`serve.update.fallback_permille` > 500).
+    let obs = Obs::new_enabled();
+    obs.attach_collector(TimeSeriesConfig {
+        resolution: Duration::from_secs(3600),
+        slots: 512,
+    });
+    let slo = SloConfig {
+        objectives: vec![Objective::at_most(
+            "update_fallback",
+            "serve.update.fallback_permille",
+            Stat::Max,
+            500.0,
+            0.05,
+            0.2,
+        )],
+        degrade_after: 1,
+        critical_after: 100,
+        recover_after: 2,
+    };
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        obs: obs.clone(),
+        slo: Some(slo),
+        ..ServeConfig::default()
+    });
+    let graph = clique_ring(6, 4, 11);
+
+    // Cold seed: a full run by construction, not a guard decision, so
+    // the fallback rate stays 0 and the engine stays Healthy.
+    engine
+        .submit(Request::update(Arc::clone(&graph), EdgeDelta::new()))
+        .wait();
+    assert!(obs.tick_collector());
+    assert_eq!(engine.health(), HealthState::Healthy);
+
+    // Densify every vertex pair: the old partition is globally invalid,
+    // the quality guard falls back, and the warm fallback rate pins at
+    // 1000 permille — one burning evaluation degrades.
+    let mut storm = EdgeDelta::new();
+    for u in 0..24u32 {
+        for v in (u + 1)..24 {
+            storm.insert(u, v, 6.0);
+        }
+    }
+    let burst = engine
+        .submit(Request::update(Arc::clone(&graph), storm))
+        .wait();
+    assert!(burst.update.expect("update info").fallback.is_some());
+    assert!(obs.tick_collector());
+    assert_eq!(engine.health(), HealthState::Degraded);
+
+    // Two gentle local edits resolve incrementally, pulling the rate back
+    // to 333 permille...
+    for (u, v) in [(1u32, 2u32), (3, 5)] {
+        let mut d = EdgeDelta::new();
+        d.insert(u, v, 0.5);
+        let r = engine.submit(Request::update(Arc::clone(&graph), d)).wait();
+        assert!(
+            r.update.expect("update info").incremental,
+            "gentle edit must stay on the incremental path"
+        );
+    }
+    // ...then aging the storm sample out of the long burn window plus two
+    // clean evaluations recovers (hysteresis).
+    std::thread::sleep(Duration::from_millis(250));
+    obs.tick_collector();
+    obs.tick_collector();
+    assert_eq!(engine.health(), HealthState::Healthy);
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.update_cold, 1);
+    assert_eq!(stats.update_fallback, 1);
+    assert_eq!(stats.update_incremental, 2);
 }
 
 #[test]
