@@ -15,6 +15,8 @@
 //! <path>` does the same for Prometheus expositions via
 //! `ASA_METRICS_OUT`, and `ASA_METRICS_ADDR` is forwarded verbatim
 //! (children run sequentially, so they can share one bind address);
+//! `--prof-out <path>` does the same for folded sampling profiles (and
+//! their sibling `.svg` flamegraphs) via `ASA_PROF_OUT`;
 //! `--smoke` is passed
 //! through to the binaries that support it (`simthroughput`, `serve`).
 //! `--shards <n>`, `--steal`, and `--no-steal` are forwarded to `serve`
@@ -70,6 +72,9 @@ fn main() {
     // the port for the whole run or attaching a collector it never scrapes.
     let metrics_out = args.metrics_out.take();
     let metrics_addr = args.metrics_addr.take();
+    // Profiles likewise belong to the children: each gets a derived
+    // sibling folded-profile path (and writes its own `.svg` next to it).
+    let prof_out = args.prof_out.take();
     let obs = args.build();
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
@@ -112,6 +117,9 @@ fn main() {
         }
         if let Some(addr) = &metrics_addr {
             cmd.env("ASA_METRICS_ADDR", addr);
+        }
+        if let Some(base) = &prof_out {
+            cmd.env("ASA_PROF_OUT", child_obs_path(base, bin));
         }
         if smoke && SMOKE_AWARE.contains(&bin) {
             cmd.arg("--smoke");

@@ -31,10 +31,15 @@
 //! telemetry collector and writes the final Prometheus exposition;
 //! `ASA_METRICS_ADDR` additionally serves it live over HTTP.
 //!
-//! `--obs-overhead` runs a dedicated A/B/C/D check instead of the bench:
+//! `--prof-out <path>` / `ASA_PROF_OUT` attaches the span-stack sampling
+//! profiler and writes the folded-stack profile plus a sibling `.svg`
+//! flamegraph at exit (`ASA_PROF_INTERVAL_MS` tunes the sample interval).
+//!
+//! `--obs-overhead` runs a dedicated overhead check instead of the bench:
 //! the SPA sweep phase with obs fully disabled, versus enabled with a
 //! no-op sink, versus the flight recorder attached, versus the continuous
-//! -telemetry collector thread sampling at its default 250 ms resolution —
+//! -telemetry collector thread sampling at its default 250 ms resolution,
+//! versus the sampling profiler attached at its default 10 ms interval —
 //! failing if any instrumented run is more than `ASA_OBS_TOL` percent
 //! slower (default 5). CI runs this as the overhead smoke gate.
 
@@ -130,8 +135,18 @@ fn obs_overhead_check(reps: usize) {
     collected.attach_collector(asa_obs::TimeSeriesConfig::default());
     let col = run_path(&graph, AccumulatorKind::Spa, reps, &collected);
     collected.stop_collector();
+    let profiled = Obs::new_enabled();
+    profiled.add_sink(Box::new(NullSink));
+    profiled.attach_profiler(asa_bench::prof_interval());
+    let prof = run_path(&graph, AccumulatorKind::Spa, reps, &profiled);
+    profiled.stop_profiler();
 
-    for (leg, timing) in [("no-op sink", &on), ("recorder", &rec), ("collector", &col)] {
+    for (leg, timing) in [
+        ("no-op sink", &on),
+        ("recorder", &rec),
+        ("collector", &col),
+        ("profiler", &prof),
+    ] {
         assert_eq!(
             off.result.partition.labels(),
             timing.result.partition.labels(),
@@ -143,6 +158,7 @@ fn obs_overhead_check(reps: usize) {
         ("no-op sink", &on),
         ("recorder attached", &rec),
         ("collector attached", &col),
+        ("profiler attached", &prof),
     ] {
         let overhead_pct = (timing.find_best / off.find_best - 1.0) * 100.0;
         println!(
@@ -387,7 +403,10 @@ fn main() {
         "bench": "hostperf",
         "scale_div": scale_div(),
         "reps": reps,
-        "meta": run_metadata("dblp-like+soc-pokec-like", &infomap_config()),
+        "meta": asa_bench::with_profile_summary(
+            run_metadata("dblp-like+soc-pokec-like", &infomap_config()),
+            &obs,
+        ),
         "networks": docs,
     });
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
@@ -395,5 +414,6 @@ fn main() {
     drop(_root);
     args.export_trace(&obs);
     args.export_metrics(&obs);
+    args.export_profile(&obs);
     let _ = obs.flush();
 }

@@ -19,11 +19,18 @@
 //!
 //! `--tol-scale` (env `ASA_REGRESS_TOL_SCALE`) multiplies every noise
 //! tolerance; see `asa_bench::regress` for the per-metric defaults.
+//!
+//! Runs that had the sampling profiler attached (`--prof-out`) embed a
+//! `meta.profile` summary; when the hottest sampled stack shifts between
+//! baseline and fresh, an informational note is printed alongside the
+//! delta table. The note never gates.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use asa_bench::regress::{compare, extract_metrics, render_deltas, sanity_errors, MetricSpec};
+use asa_bench::regress::{
+    compare, extract_metrics, profile_shift_note, render_deltas, sanity_errors,
+};
 
 const BENCH_FILES: [&str; 4] = [
     "BENCH_hostperf.json",
@@ -37,13 +44,11 @@ fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn load_metrics(dir: &Path, file: &str) -> Result<Vec<MetricSpec>, String> {
+fn load_doc(dir: &Path, file: &str) -> Result<serde_json::Value, String> {
     let path = dir.join(file);
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let doc = serde_json::from_str(&text)
-        .map_err(|e| format!("cannot parse {}: {e:?}", path.display()))?;
-    Ok(extract_metrics(&doc))
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
 }
 
 fn arg_value(argv: &[String], flag: &str) -> Option<String> {
@@ -79,13 +84,14 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for file in BENCH_FILES {
-        let baseline = match load_metrics(&baseline_dir, file) {
-            Ok(m) => m,
+        let baseline_doc = match load_doc(&baseline_dir, file) {
+            Ok(d) => d,
             Err(e) => {
                 eprintln!("regress: {e}");
                 return ExitCode::from(2);
             }
         };
+        let baseline = extract_metrics(&baseline_doc);
         let errors = sanity_errors(&baseline);
         if !errors.is_empty() {
             for e in &errors {
@@ -95,9 +101,12 @@ fn main() -> ExitCode {
             continue;
         }
 
-        let (fresh, title) = match &fresh_dir {
-            Some(dir) => match load_metrics(dir, file) {
-                Ok(m) => (m, format!("{file}: fresh vs committed baseline")),
+        let (fresh, fresh_doc, title) = match &fresh_dir {
+            Some(dir) => match load_doc(dir, file) {
+                Ok(d) => {
+                    let m = extract_metrics(&d);
+                    (m, Some(d), format!("{file}: fresh vs committed baseline"))
+                }
                 Err(e) => {
                     eprintln!("regress: {e}");
                     return ExitCode::from(2);
@@ -105,12 +114,23 @@ fn main() -> ExitCode {
             },
             // Smoke mode: the baseline self-compares, proving the full
             // extract → compare → render path on the committed files.
-            None => (baseline.clone(), format!("{file}: baseline self-check")),
+            None => (
+                baseline.clone(),
+                None,
+                format!("{file}: baseline self-check"),
+            ),
         };
         let deltas = compare(&baseline, &fresh, tol_scale);
         let regressions = deltas.iter().filter(|d| d.regressed).count();
         if regressions > 0 || fresh_dir.is_some() {
             println!("{}", render_deltas(&title, &deltas));
+            // Informational only — a shifted hot stack never trips the gate,
+            // but it is the first thing to look at when a time gate does.
+            if let Some(doc) = &fresh_doc {
+                if let Some(note) = profile_shift_note(&baseline_doc, doc) {
+                    println!("{file}: {note}");
+                }
+            }
         } else {
             println!(
                 "{file}: {} metrics sane, self-compare clean (tol-scale {tol_scale})",

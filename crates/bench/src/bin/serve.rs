@@ -436,7 +436,7 @@ fn main() {
         "bench": "serve",
         "scale_div": scale_div(),
         "smoke": smoke,
-        "meta": run_metadata("ba+rmat+lfr", &variants[0]),
+        "meta": asa_bench::with_profile_summary(run_metadata("ba+rmat+lfr", &variants[0]), &obs),
         "workers": 1,
         "steal": steal,
         "shard_counts": shard_counts,
@@ -470,5 +470,6 @@ fn main() {
     }
     args.export_trace(&obs);
     args.export_metrics(&obs);
+    args.export_profile(&obs);
     let _ = obs.flush();
 }

@@ -290,7 +290,7 @@ fn main() {
         "bench": "stream",
         "scale_div": scale_div(),
         "smoke": smoke,
-        "meta": run_metadata("lfr-stream", &icfg),
+        "meta": asa_bench::with_profile_summary(run_metadata("lfr-stream", &icfg), &obs),
         "nodes": base.num_nodes(),
         "arcs": base.num_arcs(),
         "batches": batches,
@@ -317,5 +317,6 @@ fn main() {
     drop(_root);
     args.export_trace(&obs);
     args.export_metrics(&obs);
+    args.export_profile(&obs);
     let _ = obs.flush();
 }

@@ -138,8 +138,16 @@ pub struct ObsArgs {
     /// Live scrape endpoint bind address (`--metrics-addr` /
     /// `ASA_METRICS_ADDR`, e.g. `127.0.0.1:9184`). Also attaches the
     /// collector; the endpoint serves for the life of the process, so a
-    /// `curl` mid-run sees current values.
+    /// `curl` mid-run sees current values — including `/flame.svg` and
+    /// `/profile?seconds=N`, since the address also attaches the sampling
+    /// profiler.
     pub metrics_addr: Option<String>,
+    /// Folded-profile destination (`--prof-out` / `ASA_PROF_OUT`).
+    /// Attaches the span-stack sampling profiler (interval
+    /// `ASA_PROF_INTERVAL_MS`, default 10 ms); write the collapsed-format
+    /// profile plus a sibling `.svg` flamegraph at the end of the run
+    /// with [`ObsArgs::export_profile`].
+    pub prof_out: Option<std::path::PathBuf>,
 }
 
 /// Per-thread flight-recorder ring bound used by `--trace-out`
@@ -150,6 +158,45 @@ pub fn trace_capacity() -> usize {
         .and_then(|s| s.parse().ok())
         .filter(|&c| c > 0)
         .unwrap_or(1 << 16)
+}
+
+/// Sampling-profiler interval used by `--prof-out` and the diagnostics
+/// endpoint (`ASA_PROF_INTERVAL_MS` overrides; default 10 ms).
+pub fn prof_interval() -> std::time::Duration {
+    let ms = std::env::var("ASA_PROF_INTERVAL_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(10);
+    std::time::Duration::from_millis(ms)
+}
+
+/// Profile summary embedded in `BENCH_*.json` run metadata when the
+/// sampling profiler is attached: total sample count plus the top-5
+/// folded stacks by self time. `None` without a profiler.
+pub fn profile_summary(obs: &Obs) -> Option<serde_json::Value> {
+    let snap = obs.prof_snapshot()?;
+    let top: Vec<serde_json::Value> = snap
+        .top_stacks(5)
+        .into_iter()
+        .map(|(stack, count)| serde_json::json!({ "stack": stack, "count": count }))
+        .collect();
+    Some(serde_json::json!({
+        "samples": snap.samples,
+        "top": top,
+    }))
+}
+
+/// Appends the [`profile_summary`] under a `"profile"` key of a
+/// `run_metadata` object; the metadata passes through unchanged when no
+/// profiler is attached (committed bench files stay profile-free).
+pub fn with_profile_summary(mut meta: serde_json::Value, obs: &Obs) -> serde_json::Value {
+    if let Some(profile) = profile_summary(obs) {
+        if let serde_json::Value::Object(entries) = &mut meta {
+            entries.push(("profile".to_string(), profile));
+        }
+    }
+    meta
 }
 
 impl ObsArgs {
@@ -174,6 +221,7 @@ impl ObsArgs {
         let metrics_out = path_flag("--metrics-out", "ASA_METRICS_OUT");
         let metrics_addr = path_flag("--metrics-addr", "ASA_METRICS_ADDR")
             .map(|p| p.to_string_lossy().into_owned());
+        let prof_out = path_flag("--prof-out", "ASA_PROF_OUT");
         let progress = argv.iter().any(|a| a == "--progress")
             || std::env::var("ASA_PROGRESS").is_ok_and(|v| v == "1");
         Self {
@@ -182,6 +230,7 @@ impl ObsArgs {
             trace_out,
             metrics_out,
             metrics_addr,
+            prof_out,
         }
     }
 
@@ -192,8 +241,13 @@ impl ObsArgs {
     /// attached.
     pub fn build(&self) -> Obs {
         let metrics = self.metrics_out.is_some() || self.metrics_addr.is_some();
+        let prof = self.prof_out.is_some();
         let obs = ObsConfig {
-            enabled: self.obs_out.is_some() || self.progress || self.trace_out.is_some() || metrics,
+            enabled: self.obs_out.is_some()
+                || self.progress
+                || self.trace_out.is_some()
+                || metrics
+                || prof,
             jsonl_path: self.obs_out.clone(),
             summary: self.obs_out.is_some() || self.progress,
             progress: self.progress,
@@ -206,6 +260,10 @@ impl ObsArgs {
             // Continuous telemetry rides along whenever an exposition
             // consumer exists (file or live endpoint).
             collector: metrics.then(asa_obs::TimeSeriesConfig::default),
+            // The sampling profiler attaches for `--prof-out` (exported
+            // at the end of the run) and whenever a live endpoint exists
+            // — the endpoint's `/flame.svg` and `/profile` routes need it.
+            profiler: (prof || self.metrics_addr.is_some()).then(prof_interval),
         }
         .build()
         .expect("create --obs-out file");
@@ -238,6 +296,37 @@ impl ObsArgs {
         match asa_obs::expose::write_to_file(obs, path) {
             Ok(()) => eprintln!("wrote Prometheus metrics to {}", path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+
+    /// Writes the sampling profiler's folded-stack profile
+    /// (Brendan-Gregg collapsed format) to the `--prof-out` path plus a
+    /// self-contained flamegraph SVG at the same path with an `.svg`
+    /// extension. No-op without a destination; call once at the end of
+    /// the run (the sampler keeps running until then).
+    pub fn export_profile(&self, obs: &Obs) {
+        let Some(path) = &self.prof_out else { return };
+        obs.stop_profiler();
+        let Some(snap) = obs.prof_snapshot() else {
+            return;
+        };
+        match std::fs::write(path, snap.render_folded()) {
+            Ok(()) => eprintln!(
+                "wrote folded profile ({} samples, {} stacks) to {}",
+                snap.samples,
+                snap.stacks.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+        let svg_path = path.with_extension("svg");
+        let title = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("profile");
+        match std::fs::write(&svg_path, asa_obs::render_flamegraph(&snap, title)) {
+            Ok(()) => eprintln!("wrote flamegraph to {}", svg_path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", svg_path.display()),
         }
     }
 

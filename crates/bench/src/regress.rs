@@ -451,6 +451,41 @@ pub fn render_deltas(title: &str, deltas: &[Delta]) -> String {
     )
 }
 
+/// The hottest profiled stack recorded in a bench document's
+/// `meta.profile.top[0].stack`, when the run carried a profile.
+fn top_profiled_stack(doc: &Value) -> Option<&str> {
+    doc.get("meta")?
+        .get("profile")?
+        .get("top")?
+        .as_array()?
+        .first()?
+        .get("stack")?
+        .as_str()
+}
+
+/// Reports — never gates — a shift in the hottest profiled stack between
+/// two bench documents. Profiles ride along in `meta.profile` only when a
+/// run had the sampling profiler attached (`--prof-out` or a live metrics
+/// endpoint), so committed baselines usually carry none; the note fires
+/// when both sides have a profile and disagree on the top frame, or when
+/// a fresh profile appears against an unprofiled baseline. The return
+/// value is deliberately prose and not a [`MetricSpec`]: hot-stack
+/// identity is far too noisy to gate on, but a changed hottest frame is
+/// exactly the hint an operator wants printed next to a tripped time
+/// gate.
+pub fn profile_shift_note(baseline: &Value, fresh: &Value) -> Option<String> {
+    match (top_profiled_stack(baseline), top_profiled_stack(fresh)) {
+        (Some(b), Some(f)) if b != f => Some(format!(
+            "hottest profiled stack shifted (informational, not gated)\n  \
+             baseline: {b}\n  fresh:    {f}"
+        )),
+        (None, Some(f)) => Some(format!(
+            "fresh run carries a profile (hottest stack: {f}); baseline has none"
+        )),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,5 +836,33 @@ mod tests {
             MetricSpec::time("n".into(), f64::NAN),
         ];
         assert_eq!(sanity_errors(&bad).len(), 3);
+    }
+
+    fn doc_with_profile(stack: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"bench":"hostperf","meta":{{"profile":{{"samples":12,
+                "top":[{{"stack":"{stack}","count":9}},
+                       {{"stack":"main;idle","count":3}}]}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_shift_is_reported_but_never_gated() {
+        let spa = doc_with_profile("hostperf;decide;spa.sweep");
+        let hash = doc_with_profile("hostperf;decide;hash.sweep");
+        let bare: Value = serde_json::from_str(r#"{"bench":"hostperf","meta":{}}"#).unwrap();
+
+        assert!(profile_shift_note(&spa, &spa).is_none(), "same top frame");
+        let note = profile_shift_note(&spa, &hash).expect("shift reported");
+        assert!(note.contains("spa.sweep") && note.contains("hash.sweep"));
+        assert!(note.contains("not gated"));
+        let appeared = profile_shift_note(&bare, &spa).expect("new profile noted");
+        assert!(appeared.contains("baseline has none"));
+        assert!(profile_shift_note(&spa, &bare).is_none());
+        assert!(profile_shift_note(&bare, &bare).is_none());
+        // The profile block never feeds the gate: metric extraction is
+        // identical with and without it.
+        assert_eq!(extract_metrics(&spa).len(), extract_metrics(&bare).len());
     }
 }

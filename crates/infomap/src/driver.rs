@@ -78,7 +78,21 @@ impl DecideEngine for HostEngine {
         // Reorder the sweep schedule for cache locality; decisions are
         // re-sorted by vertex id downstream, so results are unaffected.
         let order = kernel::sweep_order(ctx.flow, ctx.active, self.order, &mut self.order_buf);
-        if self.last_spa {
+        // Sampling-profiler leaf label: flamegraphs of a serving engine
+        // distinguish hash vs portable-SPA vs AVX2 sweeps (and their
+        // schedule order) without a span per sweep.
+        if self.obs.profiler_enabled() {
+            self.obs.prof_label(&format!(
+                "kernel={},order={}",
+                if self.last_spa {
+                    kernel::kernel_path_name()
+                } else {
+                    "hash"
+                },
+                kernel::order_name(self.order),
+            ));
+        }
+        let decisions = if self.last_spa {
             let phases = kernel::phase_timing().then(kernel::global_phase_times);
             parallel_decide_spa_phased(
                 ctx.flow,
@@ -90,7 +104,11 @@ impl DecideEngine for HostEngine {
             )
         } else {
             parallel_decide(ctx.flow, ctx.labels, ctx.state, order)
+        };
+        if self.obs.profiler_enabled() {
+            self.obs.prof_label("");
         }
+        decisions
     }
 
     fn obs(&self) -> Obs {

@@ -31,6 +31,12 @@ pub struct ObsConfig {
     /// [`Obs::timeseries`](crate::Obs::timeseries); render with
     /// [`expose::render`](crate::expose::render).
     pub collector: Option<crate::timeseries::TimeSeriesConfig>,
+    /// Attach the sampling profiler at this interval (`None` = no
+    /// profiler). Read back via
+    /// [`Obs::prof_snapshot`](crate::Obs::prof_snapshot); render with
+    /// [`ProfSnapshot::render_folded`](crate::ProfSnapshot::render_folded)
+    /// or [`render_flamegraph`](crate::render_flamegraph).
+    pub profiler: Option<std::time::Duration>,
 }
 
 impl ObsConfig {

@@ -132,7 +132,18 @@ impl Renderer {
         }
         for (le, cum) in h.le_buckets() {
             let label = format!("{{le=\"{}\"}}", fmt_value(le));
-            self.sample(&format!("{name}_bucket"), &label, cum as f64);
+            // OpenMetrics-style exemplar: the bucket's most recent trace
+            // id, linking a latency bucket to its flight-recorder trace.
+            match h.exemplar_for_le(le) {
+                Some((trace, value)) => {
+                    self.out.push_str(&format!(
+                        "{name}_bucket{label} {} # {{trace_id=\"{trace}\"}} {}\n",
+                        fmt_value(cum as f64),
+                        fmt_value(value as f64)
+                    ));
+                }
+                None => self.sample(&format!("{name}_bucket"), &label, cum as f64),
+            }
         }
         self.sample(&format!("{name}_sum"), "", h.sum as f64);
         let total = h.le_buckets().last().map_or(h.count, |&(_, c)| c);
@@ -265,21 +276,62 @@ struct Sample {
     name: String,
     le: Option<String>,
     value: f64,
+    /// Whether the line carried an OpenMetrics exemplar suffix.
+    exemplar: bool,
+}
+
+/// Validates an OpenMetrics exemplar suffix (everything after ` # `):
+/// `{label="value",...} <finite value>`.
+fn parse_exemplar(s: &str, line: &str) -> Result<(), String> {
+    let s = s.trim();
+    let Some(rest) = s.strip_prefix('{') else {
+        return Err(format!("exemplar without labels in: {line}"));
+    };
+    let close = rest
+        .find('}')
+        .ok_or_else(|| format!("unclosed exemplar braces: {line}"))?;
+    for pair in split_labels(&rest[..close]) {
+        let (k, _) = pair.ok_or_else(|| format!("malformed exemplar label in: {line}"))?;
+        if !valid_name(&k) {
+            return Err(format!("invalid exemplar label name {k:?} in: {line}"));
+        }
+    }
+    let mut it = rest[close + 1..].split_whitespace();
+    let value = it
+        .next()
+        .ok_or_else(|| format!("exemplar without a value in: {line}"))?;
+    let value = value
+        .parse::<f64>()
+        .map_err(|_| format!("unparsable exemplar value {value:?} in: {line}"))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite exemplar value in: {line}"));
+    }
+    if it.next().is_some() {
+        return Err(format!("trailing tokens after exemplar value: {line}"));
+    }
+    Ok(())
 }
 
 fn parse_sample(line: &str) -> Result<Sample, String> {
-    let (name_labels, value_str) = match line.find('{') {
+    // Split off an exemplar suffix first: ` # ` cannot appear inside this
+    // renderer's label values, and `rfind('}')` below would otherwise
+    // find the exemplar's closing brace.
+    let (main, exemplar_part) = match line.find(" # ") {
+        Some(pos) => (line[..pos].trim_end(), Some(&line[pos + 3..])),
+        None => (line, None),
+    };
+    let (name_labels, value_str) = match main.find('{') {
         Some(brace) => {
-            let close = line
+            let close = main
                 .rfind('}')
                 .ok_or_else(|| format!("unclosed label braces: {line}"))?;
             (
-                (&line[..brace], Some(&line[brace + 1..close])),
-                line[close + 1..].trim(),
+                (&main[..brace], Some(&main[brace + 1..close])),
+                main[close + 1..].trim(),
             )
         }
         None => {
-            let mut it = line.split_whitespace();
+            let mut it = main.split_whitespace();
             let name = it.next().unwrap_or("");
             let value = it.next().unwrap_or("");
             if it.next().is_some() {
@@ -315,10 +367,14 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
             }
         }
     }
+    if let Some(ex) = exemplar_part {
+        parse_exemplar(ex, line)?;
+    }
     Ok(Sample {
         name: name.to_string(),
         le,
         value,
+        exemplar: exemplar_part.is_some(),
     })
 }
 
@@ -425,7 +481,7 @@ pub fn validate(text: &str) -> Result<ExpositionSummary, Vec<String>> {
 
     struct HistCheck {
         buckets: Vec<(f64, f64)>, // (le, cumulative)
-        sum_seen: bool,
+        sum: Option<f64>,
         count: Option<f64>,
     }
     let mut hists: HashMap<String, HistCheck> = HashMap::new();
@@ -464,6 +520,12 @@ pub fn validate(text: &str) -> Result<ExpositionSummary, Vec<String>> {
             errors.push(format!("sample without a # TYPE family: {}", sample.name));
             continue;
         };
+        if sample.exemplar && suffix != "_bucket" {
+            errors.push(format!(
+                "exemplar on non-bucket sample {} in family {family}",
+                sample.name
+            ));
+        }
         if current_family.as_deref() != Some(family.as_str()) {
             if blocks_seen.contains(&family) {
                 errors.push(format!("family {family} samples interleaved across blocks"));
@@ -476,7 +538,7 @@ pub fn validate(text: &str) -> Result<ExpositionSummary, Vec<String>> {
         if declared.get(&family).is_some_and(|k| k == "histogram") {
             let entry = hists.entry(family.clone()).or_insert(HistCheck {
                 buckets: Vec::new(),
-                sum_seen: false,
+                sum: None,
                 count: None,
             });
             match suffix {
@@ -488,7 +550,7 @@ pub fn validate(text: &str) -> Result<ExpositionSummary, Vec<String>> {
                     },
                     None => errors.push(format!("{family}_bucket without an le label")),
                 },
-                "_sum" => entry.sum_seen = true,
+                "_sum" => entry.sum = Some(sample.value),
                 "_count" => entry.count = Some(sample.value),
                 _ => errors.push(format!(
                     "bare sample {} for histogram {family}",
@@ -522,8 +584,12 @@ pub fn validate(text: &str) -> Result<ExpositionSummary, Vec<String>> {
                 ));
             }
         }
-        if !h.sum_seen {
-            errors.push(format!("histogram {family} missing _sum"));
+        match h.sum {
+            None => errors.push(format!("histogram {family} missing _sum")),
+            Some(s) if !s.is_finite() => {
+                errors.push(format!("histogram {family} _sum is non-finite"));
+            }
+            Some(_) => {}
         }
         if h.count.is_none() {
             errors.push(format!("histogram {family} missing _count"));
@@ -577,10 +643,122 @@ impl Drop for MetricsServer {
     }
 }
 
+const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+const TEXT_CONTENT_TYPE: &str = "text/plain; charset=utf-8";
+
+/// Routes one request path to `(status, content-type, body)`. Public in
+/// spirit via the endpoint; kept testable without sockets.
+fn respond(obs: &Obs, path: &str) -> (&'static str, &'static str, String) {
+    let (route, query) = path.split_once('?').map_or((path, ""), |(r, q)| (r, q));
+    match route {
+        "/" | "/metrics" => ("200 OK", PROM_CONTENT_TYPE, render(obs)),
+        "/profile" => {
+            let seconds = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("seconds="))
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or(1.0)
+                .clamp(0.01, 60.0);
+            match obs.capture_profile(Duration::from_secs_f64(seconds), Duration::from_millis(10)) {
+                Some(snap) => ("200 OK", TEXT_CONTENT_TYPE, snap.render_folded()),
+                None => (
+                    "503 Service Unavailable",
+                    TEXT_CONTENT_TYPE,
+                    "no profiler attached (set ASA_PROF_OUT or ObsConfig.profiler)\n".to_string(),
+                ),
+            }
+        }
+        "/flame.svg" => match obs.prof_snapshot() {
+            Some(snap) => (
+                "200 OK",
+                "image/svg+xml",
+                crate::prof::render_flamegraph(&snap, "asa cumulative profile"),
+            ),
+            None => (
+                "503 Service Unavailable",
+                TEXT_CONTENT_TYPE,
+                "no profiler attached (set ASA_PROF_OUT or ObsConfig.profiler)\n".to_string(),
+            ),
+        },
+        "/debug" => ("200 OK", TEXT_CONTENT_TYPE, debug_page(obs)),
+        _ => (
+            "404 Not Found",
+            TEXT_CONTENT_TYPE,
+            "not found; endpoints: /metrics /profile?seconds=N /flame.svg /debug\n".to_string(),
+        ),
+    }
+}
+
+/// The `/debug` text status page: uptime, resources, metric registry
+/// shape, live time-series, profiler state, top-k slow request stages
+/// (when a flight recorder is attached), and registered black-box
+/// sections.
+fn debug_page(obs: &Obs) -> String {
+    let mut out = String::new();
+    out.push_str("# asa debug status\n\n");
+    out.push_str(&format!("uptime_us: {}\n", obs.elapsed_us()));
+    if let Some(rs) = resource::sample() {
+        out.push_str(&format!(
+            "rss_bytes: {} (peak {})\ncpu_s: {:.3} user + {:.3} sys\nopen_fds: {}\n",
+            rs.rss_bytes, rs.peak_rss_bytes, rs.cpu_user_s, rs.cpu_sys_s, rs.open_fds
+        ));
+    }
+    if let Some((counters, gauges, hists)) = obs.metrics_snapshot() {
+        out.push_str(&format!(
+            "\nmetrics: {} counters, {} gauges, {} histograms\n",
+            counters.len(),
+            gauges.len(),
+            hists.len()
+        ));
+        for g in &gauges {
+            out.push_str(&format!(
+                "  gauge {} = {} (max {})\n",
+                g.name, g.last, g.max
+            ));
+        }
+    }
+    if let Some(store) = obs.timeseries() {
+        out.push_str(&format!("\ntimeseries: {} ticks\n", store.ticks()));
+        for s in store.series() {
+            out.push_str(&format!(
+                "  {} [{:?}] samples={} last={}\n",
+                s.name, s.kind, s.samples, s.last
+            ));
+        }
+    }
+    match obs.prof_snapshot() {
+        Some(snap) => {
+            out.push_str(&format!(
+                "\nprofiler: attached, {} passes, {} distinct stacks (top 5):\n",
+                snap.samples,
+                snap.stacks.len()
+            ));
+            for (stack, count) in snap.top_stacks(5) {
+                out.push_str(&format!("  {count:>8} {stack}\n"));
+            }
+        }
+        None => out.push_str("\nprofiler: not attached\n"),
+    }
+    if let Some(snap) = obs.trace_snapshot() {
+        let tail = crate::tail::TailReport::from_snapshot(&snap, "request", 5.0);
+        if !tail.tail.is_empty() {
+            out.push('\n');
+            out.push_str(&tail.render());
+        }
+    }
+    let sections = crate::blackbox::section_names();
+    if !sections.is_empty() {
+        out.push_str(&format!("\nblackbox sections: {}\n", sections.join(", ")));
+    }
+    out
+}
+
 /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
-/// serves the handle's exposition to every connection: the
-/// `ASA_METRICS_ADDR` live-scrape endpoint. Each request re-renders, so
-/// a `curl` mid-bench sees current values.
+/// serves the handle's diagnostics to every connection: the
+/// `ASA_METRICS_ADDR` live endpoint. Routes: `/metrics` (Prometheus
+/// exposition, re-rendered per request so a `curl` mid-bench sees
+/// current values), `/profile?seconds=N` (on-demand folded capture),
+/// `/flame.svg` (cumulative-profile flamegraph), `/debug` (text status).
 pub fn serve(addr: &str, obs: Obs) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
@@ -594,13 +772,18 @@ pub fn serve(addr: &str, obs: Obs) -> std::io::Result<MetricsServer> {
                 match listener.accept() {
                     Ok((mut conn, _)) => {
                         let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
-                        // Drain whatever request line arrived; the
-                        // response is the same for every path.
                         let mut buf = [0u8; 1024];
-                        let _ = conn.read(&mut buf);
-                        let body = render(&obs);
+                        let n = conn.read(&mut buf).unwrap_or(0);
+                        let req = String::from_utf8_lossy(&buf[..n]);
+                        let path = req
+                            .lines()
+                            .next()
+                            .and_then(|l| l.split_whitespace().nth(1))
+                            .unwrap_or("/")
+                            .to_string();
+                        let (status, ctype, body) = respond(&obs, &path);
                         let head = format!(
-                            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                            "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
                             body.len()
                         );
                         let _ = conn.write_all(head.as_bytes());

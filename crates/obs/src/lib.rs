@@ -34,11 +34,13 @@
 //! assert_eq!(obs.ring().unwrap().records().len(), 1);
 //! ```
 
+pub mod blackbox;
 pub mod chrome;
 pub mod config;
 pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod resource;
 pub mod sink;
 pub mod slo;
@@ -50,6 +52,7 @@ pub mod trace;
 pub use config::ObsConfig;
 pub use json::{Record, Value};
 pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Hist, HistSnapshot};
+pub use prof::{render_flamegraph, FoldedStack, ProfSnapshot};
 pub use resource::ResourceSample;
 pub use sink::{FlushReport, JsonlSink, NullSink, RingHandle, RingSink, Sink, SummarySink};
 pub use slo::{Breach, HealthState, HealthTransition, Objective, SloConfig, SloEngine, Stat};
@@ -115,6 +118,10 @@ pub(crate) struct ObsInner {
     /// [`Obs::attach_collector`]. Like `trace`, a `OnceLock` so hot-path
     /// instrumentation never pays for its existence.
     collector: OnceLock<CollectorCore>,
+    /// Sampling profiler, set at most once by [`Obs::attach_profiler`].
+    /// Span enter/exit only mirrors frames once this is populated, so an
+    /// unprofiled process pays one `OnceLock::get` per span.
+    pub(crate) prof: OnceLock<prof::ProfCore>,
 }
 
 /// The attached time-series collector: the store plus the background
@@ -217,6 +224,7 @@ impl Obs {
             ring: Mutex::new(None),
             trace: OnceLock::new(),
             collector: OnceLock::new(),
+            prof: OnceLock::new(),
         })))
     }
 
@@ -244,6 +252,9 @@ impl Obs {
         }
         if let Some(ts) = cfg.collector {
             obs.attach_collector(ts);
+        }
+        if let Some(interval) = cfg.profiler {
+            obs.attach_profiler(interval);
         }
         Ok(obs)
     }
@@ -312,7 +323,7 @@ impl Obs {
                 if let Some(core) = reg.hists.iter().find(|h| h.name == name) {
                     return Hist(Some(core.clone()));
                 }
-                let core = Arc::new(HistCore::new(name));
+                let core = Arc::new(HistCore::with_obs(name, inner.id));
                 reg.hists.push(core.clone());
                 Hist(Some(core))
             }
@@ -448,6 +459,86 @@ impl Obs {
         if let Some(inner) = &self.0 {
             if let Some(col) = inner.collector.get() {
                 col.shutdown();
+            }
+        }
+    }
+
+    /// Attaches the sampling profiler: a background thread that snapshots
+    /// every registered thread's live span stack every `interval` and
+    /// folds the observations into a collapsed-stack profile. Idempotent
+    /// (a second call keeps the first profiler and its interval) and a
+    /// no-op on a disabled handle.
+    ///
+    /// Same lifecycle discipline as [`Obs::attach_collector`]: the
+    /// sampler holds only a `Weak` reference, so the last handle drop
+    /// stops it; [`Obs::stop_profiler`] stops it sooner.
+    pub fn attach_profiler(&self, interval: Duration) {
+        let Some(inner) = &self.0 else { return };
+        inner.prof.get_or_init(|| prof::spawn_core(inner, interval));
+    }
+
+    /// Whether a profiler is attached (and spans mirror live stacks).
+    #[inline]
+    pub fn profiler_enabled(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|inner| inner.prof.get().is_some())
+    }
+
+    /// Performs one synchronous sampling pass on the calling thread.
+    /// Test hook, mirroring [`Obs::tick_collector`]: attach the profiler
+    /// with an hours-long interval so the background thread stays idle,
+    /// then drive passes manually for deterministic profiles. `false`
+    /// when no profiler is attached.
+    pub fn tick_profiler(&self) -> bool {
+        let Some(inner) = &self.0 else { return false };
+        let Some(core) = inner.prof.get() else {
+            return false;
+        };
+        core.tick();
+        true
+    }
+
+    /// Stops and joins the profiler thread (the aggregate stays
+    /// readable). Idempotent; also happens automatically when the last
+    /// handle drops.
+    pub fn stop_profiler(&self) {
+        if let Some(inner) = &self.0 {
+            if let Some(core) = inner.prof.get() {
+                core.shutdown();
+            }
+        }
+    }
+
+    /// Snapshot of the cumulative folded profile; `None` without an
+    /// attached profiler.
+    pub fn prof_snapshot(&self) -> Option<ProfSnapshot> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.prof.get())
+            .map(prof::ProfCore::snapshot)
+    }
+
+    /// On-demand capture: blocks the calling thread for `duration`,
+    /// sampling every `interval` into a fresh aggregate (the cumulative
+    /// profile is untouched). `None` without an attached profiler — the
+    /// live-stack mirroring the capture reads only exists once
+    /// [`Obs::attach_profiler`] has run.
+    pub fn capture_profile(&self, duration: Duration, interval: Duration) -> Option<ProfSnapshot> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.prof.get())
+            .map(|core| core.capture(duration, interval))
+    }
+
+    /// Sets this thread's profiler leaf label (e.g. the active
+    /// kernel/order, `"kernel=avx2,order=degree"`); samples taken while
+    /// the label is set carry it as an extra leaf frame. `""` clears. A
+    /// no-op without an attached profiler.
+    pub fn prof_label(&self, label: &str) {
+        if let Some(inner) = &self.0 {
+            if inner.prof.get().is_some() {
+                prof::set_label(inner, label);
             }
         }
     }

@@ -250,21 +250,44 @@ fn quantile_from_buckets(
 #[derive(Debug)]
 pub(crate) struct HistCore {
     pub(crate) name: &'static str,
+    /// Owning obs-instance id, keying the thread-local trace stacks for
+    /// exemplar capture (0 = standalone core, no exemplars).
+    obs_id: u64,
     buckets: Box<[AtomicU64]>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Most recent nonzero trace id observed per bucket (0 = none): the
+    /// OpenMetrics exemplar linking a latency bucket to a flight-recorder
+    /// trace. One relaxed store per record inside a trace scope.
+    exemplar_trace: Box<[AtomicU64]>,
+    /// The sample value that carried `exemplar_trace` (stored second; a
+    /// racing reader may pair it with a neighbouring record's trace id,
+    /// which is still a valid exemplar for the bucket).
+    exemplar_value: Box<[AtomicU64]>,
 }
 
 impl HistCore {
+    /// Standalone core (no owning obs instance, so no exemplar capture);
+    /// test-only — registry-built cores go through [`HistCore::with_obs`].
+    #[cfg(test)]
     pub(crate) fn new(name: &'static str) -> Self {
+        Self::with_obs(name, 0)
+    }
+
+    pub(crate) fn with_obs(name: &'static str, obs_id: u64) -> Self {
         let buckets = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_trace = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_value = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
         HistCore {
             name,
+            obs_id,
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplar_trace,
+            exemplar_value,
         }
     }
 }
@@ -283,14 +306,23 @@ impl Hist {
         Hist(None)
     }
 
-    /// Records one sample.
+    /// Records one sample. Inside a trace scope, the sample's bucket also
+    /// retains the current trace id as its exemplar (most recent wins).
     #[inline]
     pub fn record(&self, v: u64) {
         if let Some(core) = &self.0 {
-            core.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            let bucket = bucket_of(v);
+            core.buckets[bucket].fetch_add(1, Ordering::Relaxed);
             core.count.fetch_add(1, Ordering::Relaxed);
             core.sum.fetch_add(v, Ordering::Relaxed);
             core.max.fetch_max(v, Ordering::Relaxed);
+            if core.obs_id != 0 {
+                let trace = crate::trace::current_trace(core.obs_id);
+                if trace != 0 {
+                    core.exemplar_trace[bucket].store(trace, Ordering::Relaxed);
+                    core.exemplar_value[bucket].store(v, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -369,6 +401,9 @@ pub struct HistSnapshot {
     pub max: u64,
     /// Non-empty buckets as `(inclusive lower bound, count)`.
     pub buckets: Vec<(u64, u64)>,
+    /// Exemplars as `(bucket lower bound, trace id, sample value)` for
+    /// every bucket that retained a nonzero trace id.
+    pub exemplars: Vec<(u64, u64, u64)>,
 }
 
 impl HistSnapshot {
@@ -414,6 +449,22 @@ impl HistSnapshot {
         out.push((f64::INFINITY, self.count.max(cum)));
         out
     }
+
+    /// The exemplar `(trace id, value)` for the cumulative bucket whose
+    /// `le` bound is `le`, if that underlying bucket retained one.
+    /// Matches the bounds produced by [`HistSnapshot::le_buckets`]: the
+    /// catch-all log bucket answers for `le = +∞`.
+    pub fn exemplar_for_le(&self, le: f64) -> Option<(u64, u64)> {
+        self.exemplars.iter().find_map(|&(lower, trace, value)| {
+            let upper = bucket_upper(bucket_of(lower));
+            let matches = if upper == u64::MAX {
+                le.is_infinite()
+            } else {
+                (upper - 1) as f64 == le
+            };
+            matches.then_some((trace, value))
+        })
+    }
 }
 
 pub(crate) fn snapshot_counter(core: &CounterCore) -> CounterSnapshot {
@@ -441,12 +492,28 @@ pub(crate) fn snapshot_hist(core: &HistCore) -> HistSnapshot {
             (n > 0).then(|| (bucket_lower(i), n))
         })
         .collect();
+    let exemplars = core
+        .exemplar_trace
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let trace = t.load(Ordering::Relaxed);
+            (trace > 0).then(|| {
+                (
+                    bucket_lower(i),
+                    trace,
+                    core.exemplar_value[i].load(Ordering::Relaxed),
+                )
+            })
+        })
+        .collect();
     HistSnapshot {
         name: core.name,
         count: core.count.load(Ordering::Relaxed),
         sum: core.sum.load(Ordering::Relaxed),
         max: core.max.load(Ordering::Relaxed),
         buckets,
+        exemplars,
     }
 }
 
@@ -484,6 +551,44 @@ mod tests {
         let h = Hist::disabled();
         h.record(3);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn exemplars_capture_trace_ids_inside_scopes() {
+        let obs = crate::Obs::new_enabled();
+        obs.attach_recorder(64);
+        let h = obs.hist("ex.lat");
+        h.record(5); // outside any scope: no exemplar for bucket 5
+        let id = obs.mint_trace_id();
+        {
+            let _scope = obs.trace_scope(id);
+            h.record(7);
+        }
+        let (_, _, hists) = obs.metrics_snapshot().unwrap();
+        let snap = &hists[0];
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.exemplars, vec![(7, id.0, 7)]);
+        assert_eq!(snap.exemplar_for_le(7.0), Some((id.0, 7)));
+        assert_eq!(snap.exemplar_for_le(5.0), None);
+    }
+
+    #[test]
+    fn standalone_core_records_no_exemplars() {
+        let core = Arc::new(HistCore::new("bare"));
+        let h = Hist(Some(core.clone()));
+        h.record(3);
+        assert!(snapshot_hist(&core).exemplars.is_empty());
+    }
+
+    #[test]
+    fn exemplar_for_le_matches_catch_all_at_infinity() {
+        let core = Arc::new(HistCore::with_obs("inf", 0));
+        let h = Hist(Some(core.clone()));
+        h.record(u64::MAX);
+        let mut snap = snapshot_hist(&core);
+        // Simulate a retained exemplar in the catch-all bucket.
+        snap.exemplars = vec![(snap.buckets[0].0, 42, u64::MAX)];
+        assert_eq!(snap.exemplar_for_le(f64::INFINITY), Some((42, u64::MAX)));
     }
 
     #[test]

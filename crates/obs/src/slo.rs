@@ -266,6 +266,18 @@ impl SloEngine {
         &self.transitions
     }
 
+    /// Per-objective `(name, state)` pairs, in configuration order — the
+    /// machine-readable companion to [`report`](SloEngine::report), used
+    /// by the black-box bundle.
+    pub fn objective_states(&self) -> Vec<(&'static str, HealthState)> {
+        self.cfg
+            .objectives
+            .iter()
+            .zip(&self.states)
+            .map(|(obj, st)| (obj.name, st.state))
+            .collect()
+    }
+
     /// Runs one evaluation over every objective and returns the (possibly
     /// changed) overall state. When a recorder is supplied, an overall
     /// transition emits an `slo.<state>` instant on the calling thread.

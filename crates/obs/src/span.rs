@@ -189,6 +189,10 @@ struct SpanGuard {
     node: usize,
     name: &'static str,
     start: Instant,
+    /// Whether enter mirrored a frame onto this thread's profiler live
+    /// stack (only then does drop pop one — the profiler may attach
+    /// while a span is already open).
+    profiled: bool,
 }
 
 impl Span {
@@ -209,12 +213,16 @@ impl Span {
         if let Some(rec) = obs.trace.get() {
             rec.record_current(name, "span", TraceKind::Begin);
         }
+        // Likewise for the sampling profiler: mirror the name onto this
+        // thread's sampler-visible live stack.
+        let profiled = crate::prof::on_span_enter(&obs, name);
         Span {
             inner: Some(SpanGuard {
                 obs,
                 node,
                 name,
                 start: Instant::now(),
+                profiled,
             }),
             _not_send: PhantomData,
         }
@@ -227,6 +235,9 @@ impl Drop for Span {
             let nanos = guard.start.elapsed().as_nanos() as u64;
             if let Some(rec) = guard.obs.trace.get() {
                 rec.record_current(guard.name, "span", TraceKind::End);
+            }
+            if guard.profiled {
+                crate::prof::on_span_exit(guard.obs.id);
             }
             pop_span(guard.obs.id, guard.node);
             guard.obs.spans.lock().unwrap().exit(guard.node, nanos);

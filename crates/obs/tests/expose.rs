@@ -124,6 +124,88 @@ a 2
 }
 
 #[test]
+fn exemplar_bearing_scrape_renders_and_validates() {
+    let obs = populated_obs();
+    obs.attach_recorder(64);
+    let id = obs.mint_trace_id();
+    {
+        let _scope = obs.trace_scope(id);
+        obs.hist("e.latency_us").record(30);
+    }
+    let text = expose::render(&obs);
+    // The bucket that retained the trace id renders the exemplar suffix…
+    let needle = format!("# {{trace_id=\"{}\"}} 30", id.0);
+    assert!(text.contains(&needle), "{text}");
+    // …and the strict validator accepts the exemplar-bearing exposition.
+    expose::validate(&text).unwrap_or_else(|e| panic!("invalid: {e:#?}"));
+}
+
+#[test]
+fn validator_rejects_missing_or_non_finite_sum() {
+    let missing_sum = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_count 5
+";
+    let errs = expose::validate(missing_sum).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("missing _sum")), "{errs:?}");
+
+    let inf_sum = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum +Inf
+h_count 5
+";
+    let errs = expose::validate(inf_sum).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("_sum is non-finite")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn validator_checks_exemplar_shape_and_placement() {
+    let good = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2 # {trace_id=\"17\"} 1
+h_bucket{le=\"+Inf\"} 2
+h_sum 2
+h_count 2
+";
+    expose::validate(good).unwrap_or_else(|e| panic!("invalid: {e:#?}"));
+
+    let on_counter = "\
+# TYPE c counter
+c 2 # {trace_id=\"17\"} 1
+";
+    let errs = expose::validate(on_counter).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("exemplar on non-bucket")),
+        "{errs:?}"
+    );
+
+    let no_value = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 2 # {trace_id=\"17\"}
+h_sum 2
+h_count 2
+";
+    let errs = expose::validate(no_value).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("exemplar without a value")),
+        "{errs:?}"
+    );
+
+    let bad_label = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 2 # {trace id} 1
+h_sum 2
+h_count 2
+";
+    assert!(expose::validate(bad_label).is_err());
+}
+
+#[test]
 fn count_mismatch_with_inf_bucket_is_an_error() {
     let bad = "\
 # TYPE h histogram
@@ -177,4 +259,69 @@ fn tcp_endpoint_serves_live_exposition() {
     server.stop();
     // A post-stop connect either refuses or hangs w/o response; just make
     // sure stop() returned (thread joined) — reaching here is the assert.
+}
+
+#[test]
+fn tcp_endpoint_routes_diagnostics_paths() {
+    let obs = populated_obs();
+    obs.attach_recorder(64);
+    obs.attach_profiler(Duration::from_secs(3600));
+    {
+        let _s = obs.span("diag.work");
+        obs.tick_profiler();
+    }
+    let server = expose::serve("127.0.0.1:0", obs.clone()).unwrap();
+    let addr = server.local_addr();
+
+    let fetch = |path: &str| -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(conn, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("http header split");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = fetch("/flame.svg");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(head.contains("image/svg+xml"), "{head}");
+    assert!(body.starts_with("<svg"), "{body}");
+    assert!(body.contains("diag.work"), "{body}");
+
+    let (head, body) = fetch("/profile?seconds=0.01");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    // On-demand capture: folded lines (possibly none if nothing was on
+    // stack during the capture window) — format check only when present.
+    for line in body.lines() {
+        let mut it = line.rsplitn(2, ' ');
+        it.next().unwrap().parse::<u64>().expect("folded count");
+        assert!(!it.next().unwrap().is_empty());
+    }
+
+    let (head, body) = fetch("/debug");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(body.contains("uptime_us:"), "{body}");
+    assert!(body.contains("profiler: attached"), "{body}");
+
+    let (head, _) = fetch("/nope");
+    assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+    server.stop();
+    obs.stop_profiler();
+}
+
+#[test]
+fn profile_endpoint_without_profiler_is_503() {
+    let obs = Obs::new_enabled();
+    let server = expose::serve("127.0.0.1:0", obs).unwrap();
+    let addr = server.local_addr();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(conn, "GET /profile HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.0 503"), "{raw}");
+    server.stop();
 }

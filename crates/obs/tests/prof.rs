@@ -1,0 +1,172 @@
+//! Sampling-profiler lifecycle: idempotent attach, join-on-last-drop,
+//! trace-id attribution mid-scope, and thread-exit safety under the
+//! barrier interleavings the sampler must survive.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use asa_obs::Obs;
+
+/// Live `asa-obs-profiler` threads per procfs (comm truncates to 15
+/// chars). `None` when procfs is unavailable (skip the assertion).
+fn profiler_threads() -> Option<usize> {
+    let entries = std::fs::read_dir("/proc/self/task").ok()?;
+    Some(
+        entries
+            .filter_map(Result::ok)
+            .filter(|e| {
+                std::fs::read_to_string(e.path().join("comm"))
+                    .is_ok_and(|c| c.trim().starts_with("asa-obs-profile"))
+            })
+            .count(),
+    )
+}
+
+#[test]
+fn attach_is_idempotent_and_samples_in_background() {
+    let obs = Obs::new_enabled();
+    obs.attach_profiler(Duration::from_millis(2));
+    // Second attach with a different interval is a keep-first no-op.
+    obs.attach_profiler(Duration::from_secs(3600));
+    assert!(obs.profiler_enabled());
+    let snap = obs.prof_snapshot().unwrap();
+    assert_eq!(snap.interval, Duration::from_millis(2), "first attach wins");
+
+    // Keep a span open so the background passes have something to sample.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut samples = 0;
+    while samples < 3 && Instant::now() < deadline {
+        let _s = obs.span("idem.work");
+        std::thread::sleep(Duration::from_millis(5));
+        samples = obs.prof_snapshot().unwrap().samples;
+    }
+    assert!(samples >= 3, "background sampler never ran");
+
+    obs.stop_profiler();
+    let frozen = obs.prof_snapshot().unwrap().samples;
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        obs.prof_snapshot().unwrap().samples,
+        frozen,
+        "passes continued after stop"
+    );
+    // Stopping again (and dropping, which stops too) must not panic.
+    obs.stop_profiler();
+    drop(obs);
+}
+
+#[test]
+fn dropping_the_last_handle_joins_the_sampler_thread() {
+    let before = profiler_threads();
+    let obs = Obs::new_enabled();
+    obs.attach_profiler(Duration::from_millis(2));
+    if let (Some(b), Some(after)) = (before, profiler_threads()) {
+        assert_eq!(after, b + 1, "sampler thread not started");
+    }
+    drop(obs);
+    // Drop joins: once it returns, the thread is gone.
+    if let (Some(b), Some(after)) = (before, profiler_threads()) {
+        assert_eq!(after, b, "sampler thread survived the last handle drop");
+    }
+}
+
+#[test]
+fn samples_mid_trace_scope_attribute_to_the_trace_id() {
+    let obs = Obs::new_enabled();
+    obs.attach_recorder(64);
+    // Hours-long interval: the background thread stays idle and every
+    // pass is a deterministic manual tick.
+    obs.attach_profiler(Duration::from_secs(3600));
+    let id = obs.mint_trace_id();
+    assert_ne!(id.0, 0);
+    {
+        let _scope = obs.trace_scope(id);
+        let _s = obs.span("traced.work");
+        assert!(obs.tick_profiler());
+    }
+    {
+        let _s = obs.span("untraced.work");
+        assert!(obs.tick_profiler());
+    }
+    let snap = obs.prof_snapshot().unwrap();
+    assert_eq!(snap.samples, 2);
+    let traced = snap
+        .stacks
+        .iter()
+        .find(|s| s.frames.iter().any(|f| f == "traced.work"))
+        .expect("traced stack sampled");
+    assert_eq!(traced.traces, vec![(id.0, 1)]);
+    let untraced = snap
+        .stacks
+        .iter()
+        .find(|s| s.frames.iter().any(|f| f == "untraced.work"))
+        .expect("untraced stack sampled");
+    assert!(untraced.traces.is_empty(), "{:?}", untraced.traces);
+    obs.stop_profiler();
+}
+
+#[test]
+fn thread_exit_mid_sample_never_poisons_the_aggregate() {
+    let obs = Obs::new_enabled();
+    obs.attach_profiler(Duration::from_secs(3600));
+    let barrier = Arc::new(Barrier::new(2));
+    let obs2 = obs.clone();
+    let b2 = Arc::clone(&barrier);
+    let t = std::thread::Builder::new()
+        .name("doomed".into())
+        .spawn(move || {
+            let _s = obs2.span("doomed.work");
+            b2.wait(); // (1) registered with the span open
+            b2.wait(); // (2) main thread sampled us
+        })
+        .unwrap();
+    barrier.wait(); // (1)
+    assert!(obs.tick_profiler());
+    barrier.wait(); // (2)
+    t.join().unwrap();
+    // The thread is gone; its TLS destructor marked the live stack dead.
+    // Further passes prune it and keep aggregating without panicking.
+    for _ in 0..3 {
+        assert!(obs.tick_profiler());
+    }
+    let snap = obs.prof_snapshot().unwrap();
+    assert_eq!(snap.samples, 4);
+    let doomed: Vec<_> = snap
+        .stacks
+        .iter()
+        .filter(|s| s.frames.iter().any(|f| f == "doomed.work"))
+        .collect();
+    assert_eq!(doomed.len(), 1);
+    assert_eq!(doomed[0].count, 1, "dead thread sampled after exit");
+    assert_eq!(doomed[0].thread, "doomed");
+    obs.stop_profiler();
+}
+
+#[test]
+fn rayon_pool_spans_sample_cleanly_under_contention() {
+    use rayon::prelude::*;
+    let obs = Obs::new_enabled();
+    obs.attach_profiler(Duration::from_millis(1));
+    (0u32..256).into_par_iter().for_each(|i| {
+        let _outer = obs.span("pool.work");
+        let _inner = obs.span(if i % 2 == 0 { "pool.even" } else { "pool.odd" });
+        std::thread::sleep(Duration::from_micros(200));
+    });
+    obs.stop_profiler();
+    let snap = obs.prof_snapshot().unwrap();
+    assert!(snap.samples > 0, "sampler never ran during the pool burst");
+    for s in &snap.stacks {
+        assert!(!s.frames.is_empty());
+        assert!(s.count > 0);
+        // Nested frames keep call order: pool.even/odd only under pool.work.
+        if s.frames.iter().any(|f| f.starts_with("pool.")) {
+            assert_eq!(s.frames[0], "pool.work", "{:?}", s.frames);
+        }
+    }
+    // The folded rendering is line-parseable.
+    for line in snap.render_folded().lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack count");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().unwrap();
+    }
+}

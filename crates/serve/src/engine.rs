@@ -35,7 +35,9 @@
 //!    who asked for full quality. The cache is engine-wide, so a replica
 //!    shard never recomputes what another shard already answered.
 
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -45,6 +47,7 @@ use asa_infomap::{
     detect_communities_cancellable, detect_communities_distributed_cancellable, CancelToken,
     IncrementalConfig, IncrementalState, InfomapConfig, InfomapResult,
 };
+use asa_obs::blackbox::{self, SectionGuard};
 use asa_obs::{intern_name, Counter, Gauge, HealthState, Hist, Obs, SloConfig, SloEngine, TraceId};
 
 use crate::cache::{CacheKey, ResultCache};
@@ -136,6 +139,17 @@ pub struct ServeConfig {
     /// into the flight recorder (attach it *before* `start`), and the
     /// human-readable report prints at shutdown.
     pub slo: Option<SloConfig>,
+    /// Black-box flight-data path. When set (default: `ASA_BLACKBOX_OUT`
+    /// when present) and the configured [`Obs`] is enabled, the engine
+    /// installs a panic hook at `start` and writes one JSON diagnostic
+    /// bundle there on any panic and again on graceful [`shutdown`]
+    /// (reason `"shutdown"`). The bundle carries the flight-recorder
+    /// drain, time-series tails, metric/resource snapshots, the folded
+    /// profile, and the engine's own `serve.shards` / `serve.slo`
+    /// sections.
+    ///
+    /// [`shutdown`]: ServeEngine::shutdown
+    pub blackbox_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -157,6 +171,7 @@ impl Default for ServeConfig {
             incremental: IncrementalConfig::default(),
             obs: Obs::disabled(),
             slo: None,
+            blackbox_out: std::env::var_os("ASA_BLACKBOX_OUT").map(PathBuf::from),
         }
     }
 }
@@ -464,6 +479,10 @@ struct Shared {
     /// graph never recomputes a result another shard already answered.
     cache: ResultCache,
     metrics: Metrics,
+    /// One-shot black-box drill: the next dequeued job panics its worker
+    /// before taking any lock, exercising the panic-hook bundle path.
+    /// Armed only by [`ServeEngine::inject_panic`] (tests/CI).
+    panic_drill: AtomicBool,
 }
 
 impl Shared {
@@ -529,6 +548,10 @@ pub struct ServeEngine {
     /// The observer holds its own `Arc` (never an `Obs` clone — that
     /// would cycle the obs registry back to itself through the store).
     slo: Option<Arc<Mutex<SloEngine>>>,
+    /// Black-box section registrations (`serve.shards`, `serve.slo`);
+    /// dropping the engine unregisters them from the process-global
+    /// bundle table.
+    _sections: Vec<SectionGuard>,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -585,7 +608,28 @@ impl ServeEngine {
             ),
             metrics,
             cfg,
+            panic_drill: AtomicBool::new(false),
         });
+        // Black-box wiring. Section closures capture a `Weak<Shared>` (a
+        // dead engine renders `null`, never keeps shards alive) and the
+        // SLO engine Arc — never an `Obs` clone, which would cycle the
+        // registry through the process-global section table.
+        let mut sections = Vec::new();
+        if shared.cfg.obs.enabled() {
+            let weak: Weak<Shared> = Arc::downgrade(&shared);
+            sections.push(blackbox::register_section("serve.shards", move || {
+                render_shards_section(&weak)
+            }));
+            let slo = slo.clone();
+            sections.push(blackbox::register_section("serve.slo", move || {
+                render_slo_section(slo.as_deref())
+            }));
+        }
+        if let Some(path) = &shared.cfg.blackbox_out {
+            if shared.cfg.obs.enabled() {
+                blackbox::install_panic_hook(&shared.cfg.obs, path);
+            }
+        }
         let workers = (0..shared.cfg.shards)
             .flat_map(|shard| (0..shared.cfg.workers.max(1)).map(move |w| (shard, w)))
             .map(|(shard, w)| {
@@ -600,7 +644,17 @@ impl ServeEngine {
             shared,
             workers,
             slo,
+            _sections: sections,
         }
+    }
+
+    /// Arms the one-shot black-box drill: the next job any worker
+    /// dequeues panics before touching a lock, exercising the panic hook
+    /// installed for [`ServeConfig::blackbox_out`]. Test/CI plumbing —
+    /// not part of the serving API.
+    #[doc(hidden)]
+    pub fn inject_panic(&self) {
+        self.shared.panic_drill.store(true, Ordering::Relaxed);
     }
 
     /// Submits a request. Never blocks: cache hits and admission
@@ -809,6 +863,17 @@ impl ServeEngine {
         if let Some(report) = self.slo_report() {
             eprintln!("{report}");
         }
+        // Final black-box bundle: everything drained and joined, so the
+        // flight recorder, queues and stores are quiescent. The panic
+        // hook is disarmed afterwards — the engine it pointed at is gone.
+        if let Some(path) = &self.shared.cfg.blackbox_out {
+            if self.shared.cfg.obs.enabled() {
+                if let Err(e) = blackbox::write_bundle(path, &self.shared.cfg.obs, "shutdown") {
+                    eprintln!("serve: black-box bundle write failed: {e}");
+                }
+                blackbox::clear_panic_hook();
+            }
+        }
         self.stats()
     }
 }
@@ -836,6 +901,94 @@ fn degraded_config(cfg: &InfomapConfig, rung: u8) -> InfomapConfig {
     if rung >= 2 {
         out.max_sweeps = (cfg.max_sweeps / 2).max(2);
     }
+    out
+}
+
+/// `HealthState` as the lowercase token used in black-box sections.
+fn health_name(state: HealthState) -> &'static str {
+    match state {
+        HealthState::Healthy => "healthy",
+        HealthState::Degraded => "degraded",
+        HealthState::Critical => "critical",
+    }
+}
+
+/// Minimal JSON string escaping for the static names embedded in
+/// black-box sections.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// `serve.shards` black-box section: per-shard queue depth and
+/// partition-store occupancy at dump time. Renders `null` once the engine
+/// is gone (the closure only holds a `Weak`).
+fn render_shards_section(shared: &Weak<Shared>) -> String {
+    use std::fmt::Write as _;
+    let Some(shared) = shared.upgrade() else {
+        return "null".to_string();
+    };
+    let mut out = String::from("[");
+    for (i, s) in shared.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{i},\"queue_depth\":{},\"queue_depth_max\":{},\"store\":{},\
+             \"executed\":{},\"shed\":{}}}",
+            s.queue.depth(),
+            s.queue_depth.max(),
+            s.store.len(),
+            s.executed_local.value(),
+            s.shed.value(),
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// `serve.slo` black-box section: overall health, per-objective states
+/// and the transition history. Uses `try_lock` — a panicking evaluator
+/// thread must never deadlock its own hook — and recovers a poisoned
+/// engine (the state is plain data, still worth dumping).
+fn render_slo_section(slo: Option<&Mutex<SloEngine>>) -> String {
+    use std::fmt::Write as _;
+    let Some(slo) = slo else {
+        return "null".to_string();
+    };
+    let eng = match slo.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return "\"unavailable\"".to_string(),
+    };
+    let mut out = String::new();
+    let _ = write!(out, "{{\"state\":\"{}\"", health_name(eng.state()));
+    out.push_str(",\"objectives\":[");
+    for (i, (name, state)) in eng.objective_states().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"state\":\"{}\"}}",
+            json_escape(name),
+            health_name(*state),
+        );
+    }
+    out.push_str("],\"transitions\":[");
+    for (i, tr) in eng.transitions().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"t_us\":{},\"from\":\"{}\",\"to\":\"{}\"}}",
+            tr.t_us,
+            health_name(tr.from),
+            health_name(tr.to),
+        );
+    }
+    out.push_str("]}");
     out
 }
 
@@ -895,6 +1048,11 @@ fn worker_loop(shared: &Shared, me: usize) {
 /// executing shard; `job.shard` is the routed one (they differ exactly
 /// when `stolen`).
 fn run_job(shared: &Shared, me: usize, priority: Priority, job: Job, stolen: bool) {
+    // Black-box drill: fire before any lock or trace state is held, so
+    // the panic hook renders the bundle from a clean worker stack.
+    if shared.panic_drill.swap(false, Ordering::Relaxed) {
+        panic!("blackbox drill: injected worker panic");
+    }
     if matches!(job.request.kind, RequestKind::Update(_)) {
         return run_update(shared, me, priority, job, stolen);
     }

@@ -1,0 +1,151 @@
+//! Black-box flight-data acceptance: a deliberately panicked worker
+//! triggers the panic hook, which dumps one JSON diagnostic bundle with
+//! every layer present (flight recorder, time-series tails, SLO states,
+//! resource snapshot, folded profile, engine sections); a later graceful
+//! shutdown overwrites it with a `"shutdown"`-reason bundle.
+//!
+//! The panic hook and the section table are process-global, so this file
+//! keeps everything in one `#[test]` — parallel tests would race over
+//! which path the hook is armed with.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asa_graph::{CsrGraph, GraphBuilder};
+use asa_obs::{Objective, Obs, SloConfig, Stat, TimeSeriesConfig};
+use asa_serve::{Request, ServeConfig, ServeEngine};
+
+fn two_triangles() -> Arc<CsrGraph> {
+    let mut b = GraphBuilder::undirected(6);
+    for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+        b.add_edge(u, v, 1.0);
+    }
+    Arc::new(b.build())
+}
+
+#[test]
+fn forced_panic_then_shutdown_write_complete_bundles() {
+    let dir = std::env::temp_dir().join(format!("asa-blackbox-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("blackbox.json");
+
+    // Every observability layer attached, all on manual ticks (hours-long
+    // intervals) so the bundle contents are deterministic.
+    let obs = Obs::new_enabled();
+    obs.attach_recorder(1 << 12);
+    obs.attach_collector(TimeSeriesConfig {
+        resolution: Duration::from_secs(3600),
+        slots: 64,
+    });
+    obs.attach_profiler(Duration::from_secs(3600));
+
+    let slo = SloConfig {
+        objectives: vec![Objective::at_most(
+            "queue_depth",
+            "serve.queue.depth",
+            Stat::Max,
+            1e9,
+            0.05,
+            0.2,
+        )],
+        degrade_after: 1,
+        critical_after: 100,
+        recover_after: 2,
+    };
+    let engine = ServeEngine::start(ServeConfig {
+        shards: 1,
+        workers: 2,
+        cache_capacity: 0,
+        obs: obs.clone(),
+        slo: Some(slo),
+        blackbox_out: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+
+    // Populate every layer: one real request (flight-recorder events,
+    // latency histograms), a collector tick (time-series points + SLO
+    // evaluation), and a profiler tick with a span open (folded stacks).
+    let graph = two_triangles();
+    let response = engine
+        .submit(Request::interactive(Arc::clone(&graph)))
+        .wait();
+    assert!(response.outcome.result().is_some());
+    assert!(obs.tick_collector());
+    {
+        let _s = obs.span("blackbox.test.work");
+        assert!(obs.tick_profiler());
+    }
+
+    // Arm the drill and submit: the worker that dequeues this job panics
+    // before running it, so its handle never resolves — do NOT wait on it.
+    engine.inject_panic();
+    let _doomed = engine.submit(Request::batch(Arc::clone(&graph)));
+
+    // The panic hook writes the bundle from the dying worker thread.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let bundle = loop {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(v) = serde_json::from_str::<serde_json::Value>(&text) {
+                break v;
+            }
+        }
+        assert!(Instant::now() < deadline, "panic bundle never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    assert_eq!(bundle["bundle"], "asa-blackbox");
+    assert_eq!(bundle["version"].as_u64(), Some(1));
+    let reason = bundle["reason"].as_str().unwrap();
+    assert!(reason.starts_with("panic:"), "{reason}");
+    assert!(reason.contains("blackbox drill"), "{reason}");
+
+    // Flight recorder: the completed request left begin/end event pairs.
+    let threads = bundle["flight_recorder"]["threads"].as_array().unwrap();
+    let events: usize = threads
+        .iter()
+        .map(|t| t["events"].as_array().unwrap().len())
+        .sum();
+    assert!(events > 0, "flight recorder drained empty");
+
+    // Time-series tails: the manual tick produced at least one point in
+    // at least one series.
+    let ts = &bundle["timeseries"];
+    assert!(ts["ticks"].as_u64().unwrap() >= 1, "{ts:?}");
+    assert!(!ts["series"].as_array().unwrap().is_empty());
+
+    // Folded profile: the ticked span is in there.
+    let prof = &bundle["profile"];
+    assert!(prof["samples"].as_u64().unwrap() >= 1, "{prof:?}");
+    let folded = prof["folded"].as_array().unwrap();
+    assert!(
+        folded
+            .iter()
+            .any(|l| l.as_str().unwrap().contains("blackbox.test.work")),
+        "{folded:?}"
+    );
+
+    // Resource + metrics snapshots render (metrics carry serve counters).
+    assert!(bundle["metrics"]["counters"].as_array().is_some());
+    assert!(
+        !matches!(bundle["resource"], serde_json::Value::Null) || cfg!(not(target_os = "linux"))
+    );
+
+    // Engine sections: per-shard occupancy and the SLO state machine.
+    let shards = bundle["sections"]["serve.shards"].as_array().unwrap();
+    assert_eq!(shards.len(), 1);
+    assert!(shards[0]["queue_depth"].as_u64().is_some());
+    assert!(shards[0]["store"].as_u64().is_some());
+    let slo_section = &bundle["sections"]["serve.slo"];
+    assert_eq!(slo_section["state"], "healthy");
+    assert_eq!(slo_section["objectives"][0]["name"], "queue_depth");
+
+    // Graceful shutdown: remaining workers drain, the bundle is
+    // overwritten with reason "shutdown", and the hook is disarmed.
+    engine.shutdown();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bundle: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(bundle["reason"], "shutdown");
+    assert!(bundle["sections"]["serve.shards"].as_array().is_some());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
